@@ -1,0 +1,32 @@
+//! Table 1: round-trip latency (µs) of the Nectar-specific protocols
+//! and UDP, between host processes and between CAB-resident threads.
+//!
+//! Paper anchors: datagram 325 µs host↔host / 179 µs CAB↔CAB; the
+//! abstract pins request-response RPC under 500 µs. Remaining cells
+//! were illegible in the scan and are reconstructed (see DESIGN.md).
+
+use nectar::config::Config;
+use nectar::scenario::Transport;
+use nectar_bench::{cab_rtt, host_rtt};
+
+fn main() {
+    let count = 100;
+    let size = 32;
+    println!("Table 1: roundtrip latency, {size}-byte messages, median of {count} (microseconds)");
+    println!();
+    println!("{:<18} {:>12} {:>12}   paper host-host", "protocol", "host-host", "CAB-CAB");
+    println!("{}", "-".repeat(62));
+    let rows = [
+        (Transport::Datagram, "datagram", "325 (known)"),
+        (Transport::Rmp, "reliable message", "~ (reconstructed)"),
+        (Transport::ReqResp, "request-response", "<500 (abstract)"),
+        (Transport::Udp, "UDP", "~ (reconstructed)"),
+    ];
+    for (t, name, anchor) in rows {
+        let hh = host_rtt(Config::default(), t, size, count);
+        let cc = cab_rtt(Config::default(), t, size, count);
+        println!("{name:<18} {hh:>10.1}us {cc:>10.1}us   {anchor}");
+    }
+    println!();
+    println!("shape checks: datagram fastest; CAB-CAB < host-host; UDP slowest");
+}

@@ -1,0 +1,185 @@
+//! Shared experiment drivers for the benchmark harness.
+//!
+//! Each bench target (`table1`, `fig6`, `fig7`, `fig8`, `scalars`, the
+//! ablations) prints the corresponding table/figure of the paper from
+//! a fresh simulation. The functions here own the common world setup
+//! so every bench measures through exactly the same code paths as the
+//! tests and examples.
+
+use nectar::config::Config;
+use nectar::scenario::{
+    CabEcho, CabPinger, CabRmpStreamer, CabSink, CabTcpListener, CabTcpStreamer, EchoServer,
+    HostRmpStreamer, HostSink, HostTcpStreamer, Pinger, Transport,
+};
+use nectar::world::World;
+use nectar_cab::HostOpMode;
+use nectar_sim::{SimDuration, SimTime};
+
+/// Echo-server UDP port used by latency experiments.
+pub const UDP_ECHO_PORT: u16 = 7;
+/// TCP port used by throughput experiments.
+pub const TCP_PORT: u16 = 5000;
+
+/// Round-trip latency between two host processes (Table 1 column 1).
+/// Returns the median RTT in microseconds.
+pub fn host_rtt(config: Config, transport: Transport, size: usize, count: u32) -> f64 {
+    let (mut world, mut sim) = World::single_hub(config, 2);
+    let svc = world.cabs[1].shared.create_mailbox(true, HostOpMode::SharedMemory);
+    let reply = world.cabs[0].shared.create_mailbox(true, HostOpMode::SharedMemory);
+    let server = match transport {
+        Transport::Udp => (1u16, UDP_ECHO_PORT),
+        _ => (1u16, svc),
+    };
+    let (echo, _) = EchoServer::new(transport, svc, UDP_ECHO_PORT, false);
+    world.hosts[1].spawn(Box::new(echo));
+    let (ping, rtts, done) = Pinger::new(transport, server, reply, 7001, size, count, false);
+    world.hosts[0].spawn(Box::new(ping));
+    world.run_until(&mut sim, SimTime::ZERO + SimDuration::from_secs(60));
+    assert!(done.get(), "{transport:?} host ping-pong did not finish");
+    let m = rtts.borrow_mut().median().as_micros_f64();
+    m
+}
+
+/// Round-trip latency between two CAB-resident threads (Table 1
+/// column 2). Returns the median RTT in microseconds.
+pub fn cab_rtt(config: Config, transport: Transport, size: usize, count: u32) -> f64 {
+    let (mut world, mut sim) = World::single_hub(config, 2);
+    let svc = world.cabs[1].shared.create_mailbox(false, HostOpMode::SharedMemory);
+    let reply = world.cabs[0].shared.create_mailbox(false, HostOpMode::SharedMemory);
+    world.cabs[1].fork_app(Box::new(CabEcho { transport, recv_mbox: svc }));
+    let server = match transport {
+        Transport::Udp => (1u16, UDP_ECHO_PORT),
+        _ => (1u16, svc),
+    };
+    if transport == Transport::Udp {
+        let m = nectar_cab::reqs::udp_bind_encode(UDP_ECHO_PORT, svc);
+        let msg =
+            world.cabs[1].shared.begin_put(nectar_cab::reqs::MB_UDP_CTL, m.len()).unwrap();
+        world.cabs[1].shared.msg_write(&msg, 0, &m);
+        world.cabs[1].shared.end_put(nectar_cab::reqs::MB_UDP_CTL, msg);
+    }
+    let (ping, rtts, done) = CabPinger::new(transport, server, reply, size, count);
+    world.cabs[0].fork_app(Box::new(ping));
+    world.run_until(&mut sim, SimTime::ZERO + SimDuration::from_secs(60));
+    assert!(done.get(), "{transport:?} CAB ping-pong did not finish");
+    let m = rtts.borrow_mut().median().as_micros_f64();
+    m
+}
+
+/// Which Figure 7/8 series to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamProto {
+    Rmp,
+    Tcp,
+    TcpNoChecksum,
+}
+
+/// CAB-to-CAB streaming throughput at one message size (Figure 7).
+/// Returns Mbit/s of delivered payload.
+pub fn cab_throughput(mut config: Config, proto: StreamProto, msg_size: usize, total: u64) -> f64 {
+    if proto == StreamProto::TcpNoChecksum {
+        config.tcp.compute_checksum = false;
+    }
+    let (mut world, mut sim) = World::single_hub(config, 2);
+    match proto {
+        StreamProto::Rmp => {
+            let sink_mbox = world.cabs[1].shared.create_mailbox(false, HostOpMode::SharedMemory);
+            let src_mbox = world.cabs[0].shared.create_mailbox(false, HostOpMode::SharedMemory);
+            let (sink, meter, received, done) = CabSink::new(sink_mbox, total);
+            world.cabs[1].fork_app(Box::new(sink));
+            let (streamer, _) = CabRmpStreamer::new((1, sink_mbox), src_mbox, msg_size, total);
+            world.cabs[0].fork_app(Box::new(streamer));
+            world.run_until(&mut sim, SimTime::ZERO + SimDuration::from_secs(600));
+            assert!(done.get(), "RMP sink got {}/{total} at size {msg_size}", received.get());
+            let m = meter.borrow().mbits_per_sec_to_last();
+            m
+        }
+        StreamProto::Tcp | StreamProto::TcpNoChecksum => {
+            let accept = world.cabs[1].shared.create_mailbox(false, HostOpMode::SharedMemory);
+            let data = world.cabs[1].shared.create_mailbox(false, HostOpMode::SharedMemory);
+            world.cabs[1].fork_app(Box::new(CabTcpListener::new(TCP_PORT, accept, data)));
+            let (sink, meter, received, done) = CabSink::new(data, total);
+            world.cabs[1].fork_app(Box::new(sink));
+            let (streamer, _) = CabTcpStreamer::new(1, TCP_PORT, msg_size, total);
+            world.cabs[0].fork_app(Box::new(streamer));
+            world.run_until(&mut sim, SimTime::ZERO + SimDuration::from_secs(600));
+            assert!(done.get(), "TCP sink got {}/{total} at size {msg_size}", received.get());
+            let m = meter.borrow().mbits_per_sec_to_last();
+            m
+        }
+    }
+}
+
+/// Host-to-host streaming throughput at one message size (Figure 8).
+pub fn host_throughput(mut config: Config, proto: StreamProto, msg_size: usize, total: u64) -> f64 {
+    if proto == StreamProto::TcpNoChecksum {
+        config.tcp.compute_checksum = false;
+    }
+    let (mut world, mut sim) = World::single_hub(config, 2);
+    match proto {
+        StreamProto::Rmp => {
+            let sink_mbox = world.cabs[1].shared.create_mailbox(true, HostOpMode::SharedMemory);
+            let src_mbox = world.cabs[0].shared.create_mailbox(true, HostOpMode::SharedMemory);
+            let (sink, meter, received, done) = HostSink::new(sink_mbox, None, total);
+            world.hosts[1].spawn(Box::new(sink));
+            let (streamer, _) = HostRmpStreamer::new((1, sink_mbox), src_mbox, msg_size, total);
+            world.hosts[0].spawn(Box::new(streamer));
+            world.run_until(&mut sim, SimTime::ZERO + SimDuration::from_secs(600));
+            assert!(done.get(), "host RMP sink got {}/{total}", received.get());
+            let m = meter.borrow().mbits_per_sec_to_last();
+            m
+        }
+        StreamProto::Tcp | StreamProto::TcpNoChecksum => {
+            let accept = world.cabs[1].shared.create_mailbox(true, HostOpMode::SharedMemory);
+            let data = world.cabs[1].shared.create_mailbox(true, HostOpMode::SharedMemory);
+            // server side: listen via the control mailbox from the host
+            let listen = nectar_cab::reqs::TcpCtl::Listen { port: TCP_PORT, accept_mbox: accept }
+                .encode();
+            let msg = world.cabs[1]
+                .shared
+                .begin_put(nectar_cab::reqs::MB_TCP_CTL, listen.len())
+                .unwrap();
+            world.cabs[1].shared.msg_write(&msg, 0, &listen);
+            world.cabs[1].shared.end_put(nectar_cab::reqs::MB_TCP_CTL, msg);
+            let (sink, meter, received, done) = HostSink::new(data, Some(accept), total);
+            world.hosts[1].spawn(Box::new(sink));
+            let src_mbox = world.cabs[0].shared.create_mailbox(true, HostOpMode::SharedMemory);
+            let (streamer, _) = HostTcpStreamer::new(1, TCP_PORT, src_mbox, msg_size, total);
+            world.hosts[0].spawn(Box::new(streamer));
+            world.run_until(&mut sim, SimTime::ZERO + SimDuration::from_secs(600));
+            assert!(done.get(), "host TCP sink got {}/{total}", received.get());
+            let m = meter.borrow().mbits_per_sec_to_last();
+            m
+        }
+    }
+}
+
+/// The message-size sweep of Figures 7 and 8.
+pub fn size_sweep() -> Vec<usize> {
+    vec![16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192]
+}
+
+/// Scale the transferred volume to the message size so small-message
+/// points finish in reasonable wall time while large ones smooth out.
+pub fn volume_for(msg_size: usize) -> u64 {
+    (msg_size as u64 * 200).clamp(100_000, 4_000_000)
+}
+
+/// Pretty-print one figure series.
+pub fn print_series(label: &str, sizes: &[usize], values: &[f64]) {
+    print!("{label:>16} |");
+    for v in values {
+        print!(" {v:>7.2}");
+    }
+    println!();
+    let _ = sizes;
+}
+
+pub fn print_size_header(sizes: &[usize]) {
+    print!("{:>16} |", "message bytes");
+    for s in sizes {
+        print!(" {s:>7}");
+    }
+    println!();
+    println!("{}", "-".repeat(18 + sizes.len() * 8));
+}

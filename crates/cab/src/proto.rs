@@ -1,0 +1,1071 @@
+//! Protocol state and server threads on the CAB.
+//!
+//! §4 of the paper: "Time-critical functions are performed by
+//! interrupt handlers and mailbox upcalls, most others by system
+//! threads. Mailboxes are used throughout for the management of data
+//! areas." Concretely:
+//!
+//! * IP input processing runs at interrupt time (§4.1) — or, as the
+//!   experiment §3.1 proposes (ablation A1), in a high-priority
+//!   thread when [`ProtoState::ip_in_thread`] is set.
+//! * ICMP is a mailbox upcall on the ICMP input mailbox.
+//! * TCP and UDP each run in system threads, blocked on their input
+//!   and send-request mailboxes.
+//! * The Nectar-specific protocols: datagram send requests are served
+//!   by a thread (Figure 6's "CAB thread must be scheduled" stage);
+//!   datagram/RMP/request-response *receive* processing runs at
+//!   interrupt time, which is what makes the datagram row of Table 1
+//!   the fastest path in the system.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::Ipv4Addr;
+
+use nectar_stack::icmp::{IcmpEngine, IcmpInput};
+use nectar_stack::ip::{IpEndpoint, IpInput};
+use nectar_stack::reqresp::{RrClient, RrClientAction, RrConfig, RrServer, RrServerAction};
+use nectar_stack::rmp::{RmpConfig, RmpReceiver, RmpRecvAction, RmpSendAction, RmpSender};
+use nectar_stack::tcp::{SocketId, TcpConfig, TcpEvent, TcpStack, TcpStackEvent};
+use nectar_stack::udp::{UdpEndpoint, UdpInput};
+use nectar_wire::datalink::DatalinkProto;
+use nectar_wire::icmp::UnreachableCode;
+use nectar_wire::ipv4::{IpProtocol, Ipv4Header};
+use nectar_wire::nectar::{DatagramHeader, ReqRespHeader, ReqRespKind, RmpHeader, RmpKind};
+
+use crate::reqs::{self, RrReplyReq, SendReq, TcpCtl, UdpSendReq};
+use crate::runtime::{CabThread, Cx, Step, Upcall};
+use crate::shared::{CondId, HostOpMode, MboxId, WouldBlock};
+
+/// Map a CAB node id to its IP address (10.0.x.y, starting at
+/// 10.0.0.1 for CAB 0).
+pub fn ip_for_cab(cab: u16) -> Ipv4Addr {
+    let v = cab as u32 + 1;
+    Ipv4Addr::new(10, 0, (v >> 8) as u8, v as u8)
+}
+
+/// Inverse of [`ip_for_cab`].
+pub fn cab_for_ip(ip: Ipv4Addr) -> Option<u16> {
+    let o = ip.octets();
+    if o[0] != 10 || o[1] != 0 {
+        return None;
+    }
+    let v = ((o[2] as u32) << 8) | o[3] as u32;
+    if v == 0 {
+        return None;
+    }
+    Some((v - 1) as u16)
+}
+
+/// Per-connection TCP bookkeeping on the CAB side.
+#[derive(Debug, Default)]
+pub struct TcpConn {
+    /// Where in-order received data is delivered.
+    pub recv_mbox: Option<MboxId>,
+    /// Sync to complete when an active open finishes (socket id + 1,
+    /// or 0 on failure).
+    pub reply_sync: Option<u16>,
+    /// Data accepted from send requests but not yet admitted into the
+    /// socket's send buffer (window/buffer full).
+    pub pending: VecDeque<Vec<u8>>,
+    /// Listening port this connection arrived on (passive opens).
+    pub port: Option<u16>,
+    pub established: bool,
+    /// EOF marker delivered.
+    pub eof_sent: bool,
+    /// Close requested while send data was still queued; the FIN goes
+    /// out once `pending` drains.
+    pub close_requested: bool,
+}
+
+/// Counters for the protocol layer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProtoStats {
+    pub frames_in: u64,
+    pub crc_drops: u64,
+    pub no_mbox_drops: u64,
+    pub no_space_drops: u64,
+    pub datagrams_in: u64,
+    pub datagrams_out: u64,
+    pub rmp_msgs_in: u64,
+    pub rr_requests_in: u64,
+    pub bad_requests: u64,
+    pub ip_packets_in: u64,
+}
+
+/// All protocol engines and bindings on one CAB.
+pub struct ProtoState {
+    pub ip: IpEndpoint,
+    pub icmp: IcmpEngine,
+    pub udp: UdpEndpoint,
+    pub tcp: TcpStack,
+    pub rmp_rx: RmpReceiver,
+    pub rmp_tx: HashMap<(u16, u16, u16), RmpSender>,
+    pub rmp_cfg: RmpConfig,
+    pub rr_clients: HashMap<u16, RrClient>,
+    pub rr_servers: HashMap<u16, RrServer>,
+    pub rr_cfg: RrConfig,
+    pub tcp_conns: HashMap<SocketId, TcpConn>,
+    /// Listening port → accept-notification mailbox.
+    pub tcp_accepts: HashMap<u16, MboxId>,
+    /// Ping replies (ICMP echo) are delivered here when set.
+    pub ping_mbox: Option<MboxId>,
+    /// Ablation A1: process IP input in a thread instead of at
+    /// interrupt level.
+    pub ip_in_thread: bool,
+    /// Datalink payload limit for IP packets.
+    pub mtu: usize,
+    pub stats: ProtoStats,
+    /// Shared reader conditions for the server threads.
+    pub tcp_cond: CondId,
+    pub udp_cond: CondId,
+    pub rmp_cond: CondId,
+    pub rr_cond: CondId,
+    pub dg_cond: CondId,
+    pub ip_cond: CondId,
+}
+
+impl ProtoState {
+    /// The IP address of the CAB this state belongs to.
+    pub fn addr(&self) -> Ipv4Addr {
+        self.ip.addr()
+    }
+}
+
+/// Build the protocol state and well-known mailboxes for CAB `id`.
+/// Must run before any user mailboxes are created so the ids in
+/// [`crate::reqs`] hold.
+pub fn init_protocols(
+    shared: &mut crate::shared::CabShared,
+    id: u16,
+    tcp_cfg: TcpConfig,
+    mtu: usize,
+    seed: u64,
+) -> ProtoState {
+    let addr = ip_for_cab(id);
+    let tcp_cond = shared.alloc_cond();
+    let udp_cond = shared.alloc_cond();
+    let rmp_cond = shared.alloc_cond();
+    let rr_cond = shared.alloc_cond();
+    let dg_cond = shared.alloc_cond();
+    let ip_cond = shared.alloc_cond();
+    // host-writable request mailboxes, in the fixed well-known order
+    let ids = [
+        shared.create_mailbox_on(false, HostOpMode::SharedMemory, dg_cond), // MB_DG_SEND
+        shared.create_mailbox_on(false, HostOpMode::SharedMemory, rmp_cond), // MB_RMP_SEND
+        shared.create_mailbox_on(false, HostOpMode::SharedMemory, rr_cond), // MB_RR_SEND
+        shared.create_mailbox_on(false, HostOpMode::SharedMemory, rr_cond), // MB_RR_REPLY
+        shared.create_mailbox_on(false, HostOpMode::SharedMemory, tcp_cond), // MB_TCP_CTL
+        shared.create_mailbox_on(false, HostOpMode::SharedMemory, tcp_cond), // MB_TCP_SEND
+        shared.create_mailbox_on(false, HostOpMode::SharedMemory, udp_cond), // MB_UDP_CTL
+        shared.create_mailbox_on(false, HostOpMode::SharedMemory, udp_cond), // MB_UDP_SEND
+        shared.create_mailbox_on(false, HostOpMode::SharedMemory, ip_cond), // MB_IP_IN
+        shared.create_mailbox_on(false, HostOpMode::SharedMemory, tcp_cond), // MB_TCP_IN
+        shared.create_mailbox_on(false, HostOpMode::SharedMemory, udp_cond), // MB_UDP_IN
+        shared.create_mailbox(false, HostOpMode::SharedMemory),             // MB_ICMP_IN
+        shared.create_mailbox(true, HostOpMode::SharedMemory),              // MB_RAW_IN
+        shared.create_mailbox_on(false, HostOpMode::SharedMemory, ip_cond), // MB_RAW_SEND
+    ];
+    assert_eq!(ids[0], reqs::MB_DG_SEND);
+    assert_eq!(ids[13], reqs::MB_RAW_SEND);
+    ProtoState {
+        ip: IpEndpoint::new(addr),
+        icmp: IcmpEngine::new(),
+        udp: UdpEndpoint::new(),
+        tcp: TcpStack::new(addr, tcp_cfg, seed ^ 0x7cb0),
+        rmp_rx: RmpReceiver::new(),
+        rmp_tx: HashMap::new(),
+        rmp_cfg: RmpConfig { max_fragment: mtu, ..Default::default() },
+        rr_clients: HashMap::new(),
+        rr_servers: HashMap::new(),
+        rr_cfg: RrConfig::default(),
+        tcp_conns: HashMap::new(),
+        tcp_accepts: HashMap::new(),
+        ping_mbox: None,
+        ip_in_thread: false,
+        mtu,
+        stats: ProtoStats::default(),
+        tcp_cond,
+        udp_cond,
+        rmp_cond,
+        rr_cond,
+        dg_cond,
+        ip_cond,
+    }
+}
+
+// ----------------------------------------------------------------------
+// helpers shared by threads and interrupt handlers
+// ----------------------------------------------------------------------
+
+/// Deliver `prefix + payload` as one message into `mbox`. Drops (with
+/// a counter) when the mailbox does not exist or the heap is full —
+/// the unreliable-layer semantics of the datagram path.
+pub fn deliver_to_mbox(cx: &mut Cx<'_>, mbox: MboxId, prefix: &[u8], payload: &[u8]) -> bool {
+    if mbox as usize >= cx.shared.mailboxes.len() {
+        cx.proto.stats.no_mbox_drops += 1;
+        return false;
+    }
+    match cx.begin_put(mbox, prefix.len() + payload.len()) {
+        Ok(m) => {
+            // payload movement is DMA / pointer work, not a CPU copy
+            if !prefix.is_empty() {
+                cx.shared.msg_write(&m, 0, prefix);
+            }
+            if !payload.is_empty() {
+                cx.shared.msg_write(&m, prefix.len(), payload);
+            }
+            cx.end_put(mbox, m);
+            true
+        }
+        Err(_) => {
+            cx.proto.stats.no_space_drops += 1;
+            false
+        }
+    }
+}
+
+/// IP_Output (§4.1): wrap a transport payload and hand the resulting
+/// packets to the datalink layer.
+pub fn ip_output(cx: &mut Cx<'_>, dst: Ipv4Addr, protocol: IpProtocol, payload: &[u8]) {
+    cx.charge(cx.costs.ip_proc);
+    cx.charge(cx.costs.ip_header_checksum);
+    let mtu = cx.proto.mtu;
+    let packets = cx.proto.ip.output(dst, protocol, payload, mtu);
+    let Some(dst_cab) = cab_for_ip(dst) else {
+        cx.proto.stats.no_mbox_drops += 1;
+        return;
+    };
+    for p in packets {
+        if dst_cab == cx.cab_id {
+            // loopback: straight back into input processing
+            process_ip_input(cx, &p);
+        } else {
+            cx.datalink_send(dst_cab, DatalinkProto::Ip, 0, &p);
+        }
+    }
+}
+
+/// IP input processing (§4.1). Runs at interrupt level by default, or
+/// from the IP thread in ablation A1. Demultiplexes complete datagrams
+/// to the higher protocols' input mailboxes with Enqueue semantics.
+pub fn process_ip_input(cx: &mut Cx<'_>, packet: &[u8]) {
+    cx.charge(cx.costs.ip_proc);
+    cx.charge(cx.costs.ip_header_checksum);
+    cx.proto.stats.ip_packets_in += 1;
+    let now = cx.now();
+    match cx.proto.ip.input(now, packet) {
+        IpInput::Delivered { header, payload } => match header.protocol {
+            IpProtocol::ICMP => {
+                let src = header.src.octets();
+                if !deliver_to_mbox(cx, reqs::MB_ICMP_IN, &src, &payload) {
+                    // dropped; counted
+                }
+            }
+            IpProtocol::TCP => {
+                let full = header.build_packet(&payload);
+                deliver_to_mbox(cx, reqs::MB_TCP_IN, &[], &full);
+            }
+            IpProtocol::UDP => {
+                let full = header.build_packet(&payload);
+                deliver_to_mbox(cx, reqs::MB_UDP_IN, &[], &full);
+            }
+            other => {
+                let _ = other;
+                let full = header.build_packet(&payload);
+                let msg = cx.proto.icmp.unreachable_for(&full, UnreachableCode::Protocol);
+                ip_output(cx, header.src, IpProtocol::ICMP, &msg.build());
+            }
+        },
+        IpInput::FragmentHeld => {}
+        IpInput::NotForUs | IpInput::Bad(_) => {
+            cx.proto.stats.no_mbox_drops += 1;
+        }
+    }
+    // reassembly expiry is progress-driven: check on every input
+    let expired = cx.proto.ip.poll_expired(now);
+    for e in expired {
+        if let Some(quote) = e.original {
+            let msg = cx.proto.icmp.time_exceeded_for(quote);
+            ip_output(cx, e.src, IpProtocol::ICMP, &msg.build());
+        }
+    }
+}
+
+/// Submit an RMP message on the (dst_cab, dst_mbox, src_mbox) channel
+/// and push out whatever the stop-and-wait window allows.
+pub fn rmp_submit(cx: &mut Cx<'_>, req: SendReq, payload: &[u8]) {
+    if req.dst_cab == cx.cab_id {
+        deliver_to_mbox(cx, req.dst_mbox, &[], payload);
+        return;
+    }
+    let key = (req.dst_cab, req.dst_mbox, req.src_mbox);
+    let cfg = cx.proto.rmp_cfg;
+    let sender = cx
+        .proto
+        .rmp_tx
+        .entry(key)
+        .or_insert_with(|| RmpSender::new(req.dst_cab, req.dst_mbox, req.src_mbox, cfg));
+    sender.send(payload.to_vec());
+    let now = cx.now();
+    let mut acts = Vec::new();
+    cx.proto.rmp_tx.get_mut(&key).expect("just inserted").poll(now, &mut acts);
+    run_rmp_send_actions(cx, acts);
+}
+
+pub fn run_rmp_send_actions(cx: &mut Cx<'_>, acts: Vec<RmpSendAction>) {
+    for act in acts {
+        match act {
+            RmpSendAction::Transmit { dst_cab, packet } => {
+                cx.charge(cx.costs.rmp_proc);
+                cx.datalink_send(dst_cab, DatalinkProto::Rmp, 0, &packet);
+            }
+            RmpSendAction::Delivered { .. } | RmpSendAction::Failed { .. } => {
+                // wake application threads flow-controlled on RMP
+                // progress (and the RMP server thread)
+                let c = cx.proto.rmp_cond;
+                cx.shared.notices.wake_conds.push(c);
+            }
+        }
+    }
+}
+
+/// Issue a request-response call from this CAB.
+pub fn rr_call(cx: &mut Cx<'_>, req: SendReq, payload: &[u8]) -> u32 {
+    let cfg = cx.proto.rr_cfg;
+    let now = cx.now();
+    let client = cx
+        .proto
+        .rr_clients
+        .entry(req.src_mbox)
+        .or_insert_with(|| RrClient::new(req.dst_cab, req.dst_mbox, req.src_mbox, cfg));
+    let mut acts = Vec::new();
+    let id = client.call(now, payload.to_vec(), &mut acts);
+    run_rr_client_actions(cx, acts);
+    id
+}
+
+fn run_rr_client_actions(cx: &mut Cx<'_>, acts: Vec<RrClientAction>) {
+    for act in acts {
+        match act {
+            RrClientAction::Transmit { dst_cab, packet } => {
+                cx.charge(cx.costs.reqresp_proc);
+                cx.datalink_send(dst_cab, DatalinkProto::ReqResp, 0, &packet);
+            }
+            RrClientAction::Response { req_id, payload } => {
+                // responses are normally delivered by the interrupt
+                // handler straight into the reply mailbox; this arm is
+                // reached for loopback calls
+                let prefix = req_id.to_be_bytes();
+                let mbox = cx.proto.rr_clients.keys().next().copied().unwrap_or(0);
+                deliver_to_mbox(cx, mbox, &prefix, &payload);
+            }
+            RrClientAction::Failed { req_id } => {
+                let _ = req_id;
+                cx.proto.stats.bad_requests += 1;
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// interrupt-level receive processing (end-of-packet)
+// ----------------------------------------------------------------------
+
+/// End-of-data processing for a received frame, per protocol. The
+/// datalink header has been parsed and the CRC verified by the board.
+pub fn rx_dispatch(cx: &mut Cx<'_>, proto: DatalinkProto, src_cab: u16, msg_id: u32, payload: &[u8]) {
+    match proto {
+        DatalinkProto::Raw => {
+            // network-device mode: queue the raw frame for the host
+            deliver_to_mbox(cx, reqs::MB_RAW_IN, &src_cab.to_be_bytes(), payload);
+        }
+        DatalinkProto::Datagram => {
+            cx.charge(cx.costs.datagram_proc);
+            let Ok((hdr, body)) = DatagramHeader::parse(payload) else {
+                cx.proto.stats.bad_requests += 1;
+                return;
+            };
+            cx.proto.stats.datagrams_in += 1;
+            cx.stamp("cab_rx_datagram", msg_id as u64);
+            deliver_to_mbox(cx, hdr.dst_mbox, &[], body);
+        }
+        DatalinkProto::Rmp => {
+            cx.charge(cx.costs.rmp_proc);
+            let Ok((hdr, body)) = RmpHeader::parse(payload) else {
+                cx.proto.stats.bad_requests += 1;
+                return;
+            };
+            match hdr.kind {
+                RmpKind::Data => {
+                    let now = cx.now();
+                    let _ = now;
+                    let mut acts = Vec::new();
+                    cx.proto.rmp_rx.on_data(src_cab, &hdr, body, &mut acts);
+                    for act in acts {
+                        match act {
+                            RmpRecvAction::Ack { dst_cab, packet } => {
+                                cx.datalink_send(dst_cab, DatalinkProto::Rmp, msg_id, &packet);
+                            }
+                            RmpRecvAction::Deliver { dst_mbox, message, .. } => {
+                                cx.proto.stats.rmp_msgs_in += 1;
+                                deliver_to_mbox(cx, dst_mbox, &[], &message);
+                            }
+                        }
+                    }
+                }
+                RmpKind::Ack => {
+                    let key = (src_cab, hdr.src_mbox, hdr.dst_mbox);
+                    let now = cx.now();
+                    let mut acts = Vec::new();
+                    if let Some(sender) = cx.proto.rmp_tx.get_mut(&key) {
+                        sender.on_ack(now, &hdr, &mut acts);
+                    }
+                    run_rmp_send_actions(cx, acts);
+                }
+            }
+        }
+        DatalinkProto::ReqResp => {
+            cx.charge(cx.costs.reqresp_proc);
+            let Ok((hdr, body)) = ReqRespHeader::parse(payload) else {
+                cx.proto.stats.bad_requests += 1;
+                return;
+            };
+            match hdr.kind {
+                ReqRespKind::Request => {
+                    let server = cx.proto.rr_servers.entry(hdr.dst_mbox).or_default();
+                    let mut acts = Vec::new();
+                    server.on_request(src_cab, &hdr, body, &mut acts);
+                    cx.proto.stats.rr_requests_in += 1;
+                    for act in acts {
+                        match act {
+                            RrServerAction::Execute { client_cab, reply_mbox, req_id, payload } => {
+                                let msg =
+                                    reqs::rr_deliver_encode(client_cab, reply_mbox, req_id, &payload);
+                                deliver_to_mbox(cx, hdr.dst_mbox, &[], &msg);
+                            }
+                            RrServerAction::Transmit { dst_cab, packet } => {
+                                cx.datalink_send(dst_cab, DatalinkProto::ReqResp, msg_id, &packet);
+                            }
+                        }
+                    }
+                }
+                ReqRespKind::Reply => {
+                    // hdr.dst_mbox is the client's reply mailbox
+                    let now = cx.now();
+                    let mut acts = Vec::new();
+                    if let Some(client) = cx.proto.rr_clients.get_mut(&hdr.dst_mbox) {
+                        client.on_reply(now, &hdr, body, &mut acts);
+                    }
+                    for act in acts {
+                        match act {
+                            RrClientAction::Transmit { dst_cab, packet } => {
+                                cx.datalink_send(dst_cab, DatalinkProto::ReqResp, msg_id, &packet);
+                            }
+                            RrClientAction::Response { req_id, payload } => {
+                                let prefix = req_id.to_be_bytes();
+                                deliver_to_mbox(cx, hdr.dst_mbox, &prefix, &payload);
+                            }
+                            RrClientAction::Failed { .. } => {}
+                        }
+                    }
+                }
+                ReqRespKind::ReplyAck => {
+                    if let Some(server) = cx.proto.rr_servers.get_mut(&hdr.dst_mbox) {
+                        server.on_reply_ack(src_cab, &hdr);
+                    }
+                }
+            }
+        }
+        DatalinkProto::Ip => {
+            if cx.proto.ip_in_thread {
+                deliver_to_mbox(cx, reqs::MB_IP_IN, &[], payload);
+            } else {
+                process_ip_input(cx, payload);
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// server threads
+// ----------------------------------------------------------------------
+
+/// How many requests a server thread drains per burst before yielding
+/// (keeps bursts short so interrupt latency stays bounded).
+const BURST_LIMIT: usize = 4;
+
+/// The datagram send-request server (§6.1: "the CAB must be
+/// interrupted and a CAB thread must be scheduled to handle the
+/// message").
+pub struct DatagramSendThread;
+
+impl CabThread for DatagramSendThread {
+    fn name(&self) -> &'static str {
+        "datagram-send"
+    }
+
+    fn run(&mut self, cx: &mut Cx<'_>) -> Step {
+        for _ in 0..BURST_LIMIT {
+            match cx.begin_get(reqs::MB_DG_SEND) {
+                Err(WouldBlock::Empty(c)) => return Step::Block(c),
+                Err(WouldBlock::NoSpace(c)) => return Step::Block(c),
+                Ok(msg) => {
+                    let bytes = cx.shared.msg_bytes(&msg).to_vec();
+                    cx.charge(cx.costs.datagram_proc);
+                    if let Some((req, payload)) = SendReq::decode(&bytes) {
+                        cx.proto.stats.datagrams_out += 1;
+                        cx.stamp("cab_dg_send", msg.msg_id as u64);
+                        if req.dst_cab == cx.cab_id {
+                            deliver_to_mbox(cx, req.dst_mbox, &[], payload);
+                        } else {
+                            let pkt = DatagramHeader {
+                                dst_mbox: req.dst_mbox,
+                                src_mbox: req.src_mbox,
+                            }
+                            .build(payload);
+                            cx.datalink_send(
+                                req.dst_cab,
+                                DatalinkProto::Datagram,
+                                msg.msg_id,
+                                &pkt,
+                            );
+                        }
+                    } else {
+                        cx.proto.stats.bad_requests += 1;
+                    }
+                    cx.end_get(reqs::MB_DG_SEND, msg);
+                }
+            }
+        }
+        Step::Yield
+    }
+}
+
+/// The RMP server thread: accepts send requests and drives
+/// retransmission timers. Ack-driven progress happens at interrupt
+/// level; this thread only supplies new work and recovers losses.
+pub struct RmpThread;
+
+impl CabThread for RmpThread {
+    fn name(&self) -> &'static str {
+        "rmp"
+    }
+
+    fn run(&mut self, cx: &mut Cx<'_>) -> Step {
+        for _ in 0..BURST_LIMIT {
+            match cx.begin_get(reqs::MB_RMP_SEND) {
+                Err(_) => break,
+                Ok(msg) => {
+                    let bytes = cx.shared.msg_bytes(&msg).to_vec();
+                    if let Some((req, payload)) = SendReq::decode(&bytes) {
+                        cx.stamp("cab_rmp_send", msg.msg_id as u64);
+                        rmp_submit(cx, req, payload);
+                    } else {
+                        cx.proto.stats.bad_requests += 1;
+                    }
+                    cx.end_get(reqs::MB_RMP_SEND, msg);
+                }
+            }
+        }
+        // retransmission timers
+        let now = cx.now();
+        let keys: Vec<(u16, u16, u16)> = cx.proto.rmp_tx.keys().copied().collect();
+        for key in keys {
+            let mut acts = Vec::new();
+            if let Some(s) = cx.proto.rmp_tx.get_mut(&key) {
+                s.poll(now, &mut acts);
+            }
+            run_rmp_send_actions(cx, acts);
+        }
+        let wake = cx.proto.rmp_tx.values().filter_map(|s| s.next_wakeup()).min();
+        match wake {
+            Some(t) => Step::BlockTimeout(cx.proto.rmp_cond, t),
+            None => Step::Block(cx.proto.rmp_cond),
+        }
+    }
+}
+
+/// The request-response server thread: client calls, server replies,
+/// and client retransmission timers.
+pub struct RrThread;
+
+impl CabThread for RrThread {
+    fn name(&self) -> &'static str {
+        "req-resp"
+    }
+
+    fn run(&mut self, cx: &mut Cx<'_>) -> Step {
+        for _ in 0..BURST_LIMIT {
+            match cx.begin_get(reqs::MB_RR_SEND) {
+                Err(_) => break,
+                Ok(msg) => {
+                    let bytes = cx.shared.msg_bytes(&msg).to_vec();
+                    if let Some((req, payload)) = SendReq::decode(&bytes) {
+                        cx.stamp("cab_rr_call", msg.msg_id as u64);
+                        rr_call(cx, req, payload);
+                    } else {
+                        cx.proto.stats.bad_requests += 1;
+                    }
+                    cx.end_get(reqs::MB_RR_SEND, msg);
+                }
+            }
+        }
+        for _ in 0..BURST_LIMIT {
+            match cx.begin_get(reqs::MB_RR_REPLY) {
+                Err(_) => break,
+                Ok(msg) => {
+                    let bytes = cx.shared.msg_bytes(&msg).to_vec();
+                    if let Some((req, payload)) = RrReplyReq::decode(&bytes) {
+                        let mut acts = Vec::new();
+                        let server = cx.proto.rr_servers.entry(req.service_mbox).or_default();
+                        server.reply(
+                            req.client_cab,
+                            req.reply_mbox,
+                            req.req_id,
+                            payload.to_vec(),
+                            &mut acts,
+                        );
+                        for act in acts {
+                            match act {
+                                RrServerAction::Transmit { dst_cab, packet } => {
+                                    cx.charge(cx.costs.reqresp_proc);
+                                    if dst_cab == cx.cab_id {
+                                        // loopback reply
+                                        let Ok((hdr, body)) = ReqRespHeader::parse(&packet)
+                                        else {
+                                            continue;
+                                        };
+                                        rx_dispatch(
+                                            cx,
+                                            DatalinkProto::ReqResp,
+                                            dst_cab,
+                                            0,
+                                            &hdr.build(body),
+                                        );
+                                    } else {
+                                        cx.datalink_send(
+                                            dst_cab,
+                                            DatalinkProto::ReqResp,
+                                            msg.msg_id,
+                                            &packet,
+                                        );
+                                    }
+                                }
+                                RrServerAction::Execute { .. } => unreachable!("reply path"),
+                            }
+                        }
+                    } else {
+                        cx.proto.stats.bad_requests += 1;
+                    }
+                    cx.end_get(reqs::MB_RR_REPLY, msg);
+                }
+            }
+        }
+        // client retransmission timers
+        let now = cx.now();
+        let mboxes: Vec<u16> = cx.proto.rr_clients.keys().copied().collect();
+        for mb in mboxes {
+            let mut acts = Vec::new();
+            if let Some(c) = cx.proto.rr_clients.get_mut(&mb) {
+                c.poll(now, &mut acts);
+            }
+            run_rr_client_actions(cx, acts);
+        }
+        let wake = cx.proto.rr_clients.values().filter_map(|c| c.next_wakeup()).min();
+        match wake {
+            Some(t) => Step::BlockTimeout(cx.proto.rr_cond, t),
+            None => Step::Block(cx.proto.rr_cond),
+        }
+    }
+}
+
+/// The IP input thread (ablation A1): the same processing as the
+/// interrupt path, scheduled as a high-priority thread instead.
+pub struct IpThread;
+
+impl CabThread for IpThread {
+    fn name(&self) -> &'static str {
+        "ip-input"
+    }
+
+    fn run(&mut self, cx: &mut Cx<'_>) -> Step {
+        // network-device mode (§5.1): "to send a packet the driver
+        // writes the packet into a free buffer in the output pool and
+        // notifies the server that the packet should be sent"
+        for _ in 0..BURST_LIMIT {
+            match cx.begin_get(reqs::MB_RAW_SEND) {
+                Err(_) => break,
+                Ok(msg) => {
+                    let bytes = cx.shared.msg_bytes(&msg).to_vec();
+                    if bytes.len() >= 2 {
+                        let dst_cab = u16::from_be_bytes([bytes[0], bytes[1]]);
+                        cx.charge(cx.costs.datalink);
+                        cx.datalink_send(dst_cab, DatalinkProto::Raw, msg.msg_id, &bytes[2..]);
+                    }
+                    cx.end_get(reqs::MB_RAW_SEND, msg);
+                }
+            }
+        }
+        for _ in 0..BURST_LIMIT {
+            match cx.begin_get(reqs::MB_IP_IN) {
+                Err(WouldBlock::Empty(c)) | Err(WouldBlock::NoSpace(c)) => return Step::Block(c),
+                Ok(msg) => {
+                    let packet = cx.shared.msg_bytes(&msg).to_vec();
+                    process_ip_input(cx, &packet);
+                    cx.end_get(reqs::MB_IP_IN, msg);
+                }
+            }
+        }
+        Step::Yield
+    }
+}
+
+/// The ICMP responder, attached as a mailbox reader upcall (§4.1:
+/// "ICMP is implemented as a mailbox upcall").
+pub struct IcmpUpcall;
+
+impl Upcall for IcmpUpcall {
+    fn name(&self) -> &'static str {
+        "icmp"
+    }
+
+    fn on_message(&mut self, cx: &mut Cx<'_>, mbox: MboxId) {
+        while let Ok(msg) = cx.begin_get(mbox) {
+            let bytes = cx.shared.msg_bytes(&msg).to_vec();
+            cx.end_get(mbox, msg);
+            if bytes.len() < 4 {
+                continue;
+            }
+            let src = Ipv4Addr::new(bytes[0], bytes[1], bytes[2], bytes[3]);
+            match cx.proto.icmp.input(src, &bytes[4..]) {
+                IcmpInput::Reply { dst, message } => {
+                    ip_output(cx, dst, IpProtocol::ICMP, &message.build());
+                }
+                IcmpInput::EchoReply { src, ident, seq, .. } => {
+                    if let Some(pm) = cx.proto.ping_mbox {
+                        let mut note = Vec::with_capacity(8);
+                        note.extend_from_slice(&src.octets());
+                        note.extend_from_slice(&ident.to_be_bytes());
+                        note.extend_from_slice(&seq.to_be_bytes());
+                        deliver_to_mbox(cx, pm, &[], &note);
+                    }
+                }
+                IcmpInput::Error { .. } | IcmpInput::Bad(_) => {}
+            }
+        }
+    }
+}
+
+/// The UDP server thread (§4.1: "UDP and TCP each have their own
+/// server threads").
+pub struct UdpThread;
+
+impl CabThread for UdpThread {
+    fn name(&self) -> &'static str {
+        "udp"
+    }
+
+    fn run(&mut self, cx: &mut Cx<'_>) -> Step {
+        // control: bind requests
+        while let Ok(msg) = cx.begin_get(reqs::MB_UDP_CTL) {
+            let bytes = cx.shared.msg_bytes(&msg).to_vec();
+            if let Some((port, mbox)) = reqs::udp_bind_decode(&bytes) {
+                cx.proto.udp.bind(port, mbox as u32);
+            } else {
+                cx.proto.stats.bad_requests += 1;
+            }
+            cx.end_get(reqs::MB_UDP_CTL, msg);
+        }
+        // input packets
+        for _ in 0..BURST_LIMIT {
+            match cx.begin_get(reqs::MB_UDP_IN) {
+                Err(_) => break,
+                Ok(msg) => {
+                    let packet = cx.shared.msg_bytes(&msg).to_vec();
+                    cx.charge(cx.costs.udp_proc);
+                    if let Ok(header) = Ipv4Header::parse(&packet) {
+                        let data = &packet[nectar_wire::ipv4::HEADER_LEN..];
+                        cx.charge(cx.costs.checksum(data.len()));
+                        match cx.proto.udp.input(&header, data) {
+                            UdpInput::Deliver { token, payload, .. } => {
+                                cx.stamp("cab_udp_deliver", msg.msg_id as u64);
+                                deliver_to_mbox(cx, token as MboxId, &[], &payload);
+                            }
+                            UdpInput::PortUnreachable { .. } => {
+                                let m = cx
+                                    .proto
+                                    .icmp
+                                    .unreachable_for(&packet, UnreachableCode::Port);
+                                ip_output(cx, header.src, IpProtocol::ICMP, &m.build());
+                            }
+                            UdpInput::Bad(_) => {}
+                        }
+                    }
+                    cx.end_get(reqs::MB_UDP_IN, msg);
+                }
+            }
+        }
+        // send requests
+        for _ in 0..BURST_LIMIT {
+            match cx.begin_get(reqs::MB_UDP_SEND) {
+                Err(_) => break,
+                Ok(msg) => {
+                    let bytes = cx.shared.msg_bytes(&msg).to_vec();
+                    cx.charge(cx.costs.udp_proc);
+                    if let Some((req, payload)) = UdpSendReq::decode(&bytes) {
+                        cx.stamp("cab_udp_send", msg.msg_id as u64);
+                        let src = cx.proto.addr();
+                        let dst = ip_for_cab(req.dst_cab);
+                        let dgram =
+                            cx.proto.udp.output(src, req.src_port, dst, req.dst_port, payload);
+                        cx.charge(cx.costs.checksum(dgram.len()));
+                        ip_output(cx, dst, IpProtocol::UDP, &dgram);
+                    } else {
+                        cx.proto.stats.bad_requests += 1;
+                    }
+                    cx.end_get(reqs::MB_UDP_SEND, msg);
+                }
+            }
+        }
+        Step::Block(cx.proto.udp_cond)
+    }
+}
+
+/// The TCP server thread (§4.2): control, input, and send-request
+/// processing plus retransmission timers, all over the shared TCP
+/// condition.
+pub struct TcpThread;
+
+impl TcpThread {
+    fn handle_events(cx: &mut Cx<'_>, events: Vec<TcpStackEvent>) {
+        for ev in events {
+            match ev {
+                TcpStackEvent::Transmit { dst, segment } => {
+                    if cx.proto.tcp.config().compute_checksum {
+                        cx.charge(cx.costs.checksum(segment.len()));
+                    }
+                    ip_output(cx, dst, IpProtocol::TCP, &segment);
+                }
+                TcpStackEvent::Incoming { id, local_port } => {
+                    let conn = cx.proto.tcp_conns.entry(id).or_default();
+                    conn.port = Some(local_port);
+                }
+                TcpStackEvent::Socket { id, event } => {
+                    Self::handle_socket_event(cx, id, event)
+                }
+                TcpStackEvent::Dropped => {}
+            }
+        }
+    }
+
+    fn handle_socket_event(cx: &mut Cx<'_>, id: SocketId, event: TcpEvent) {
+        match event {
+            TcpEvent::Connected => {
+                let (reply_sync, port) = {
+                    let conn = cx.proto.tcp_conns.entry(id).or_default();
+                    conn.established = true;
+                    (conn.reply_sync.take(), conn.port)
+                };
+                if let Some(s) = reply_sync {
+                    cx.sync_write(s, id + 1);
+                }
+                if let Some(port) = port {
+                    if let Some(&accept_mbox) = cx.proto.tcp_accepts.get(&port) {
+                        let note = reqs::tcp_accept_encode(port, id as u16);
+                        deliver_to_mbox(cx, accept_mbox, &[], &note);
+                    }
+                }
+            }
+            TcpEvent::DataAvailable => Self::drain_recv(cx, id),
+            TcpEvent::PeerClosed => {
+                Self::drain_recv(cx, id);
+                Self::send_eof(cx, id);
+            }
+            TcpEvent::Transmit { .. } => {
+                unreachable!("Transmit is unwrapped into TcpStackEvent::Transmit by the stack")
+            }
+            TcpEvent::Closed | TcpEvent::Aborted(_) => {
+                let reply_sync = cx
+                    .proto
+                    .tcp_conns
+                    .get_mut(&id)
+                    .and_then(|c| c.reply_sync.take());
+                if let Some(s) = reply_sync {
+                    cx.sync_write(s, 0); // open failed
+                }
+                Self::send_eof(cx, id);
+            }
+        }
+    }
+
+    fn drain_recv(cx: &mut Cx<'_>, id: SocketId) {
+        let Some(mbox) = cx.proto.tcp_conns.get(&id).and_then(|c| c.recv_mbox) else {
+            return; // not attached yet: data waits in the socket buffer
+        };
+        let data = cx.proto.tcp.recv(id, usize::MAX);
+        if !data.is_empty() {
+            cx.charge(cx.costs.tcp_proc / 4); // Enqueue-style transfer
+            deliver_to_mbox(cx, mbox, &[], &data);
+            // reading opened the receive window; let the stack act
+            let now = cx.now();
+            let events = cx.proto.tcp.poll(now);
+            Self::handle_events(cx, events);
+        }
+    }
+
+    fn send_eof(cx: &mut Cx<'_>, id: SocketId) {
+        let Some(conn) = cx.proto.tcp_conns.get_mut(&id) else { return };
+        if conn.eof_sent {
+            return;
+        }
+        conn.eof_sent = true;
+        if let Some(mbox) = conn.recv_mbox {
+            deliver_to_mbox(cx, mbox, &[], &[]);
+        }
+    }
+
+    /// Push queued send data into the socket as the buffer drains; once
+    /// everything is admitted, honour any deferred close.
+    fn pump_pending(cx: &mut Cx<'_>, id: SocketId) {
+        loop {
+            let Some(chunk) = cx
+                .proto
+                .tcp_conns
+                .get_mut(&id)
+                .and_then(|c| c.pending.pop_front())
+            else {
+                break;
+            };
+            let now = cx.now();
+            let (n, events) = cx.proto.tcp.send(now, id, &chunk);
+            Self::handle_events(cx, events);
+            if n < chunk.len() {
+                let rest = chunk[n..].to_vec();
+                cx.proto.tcp_conns.entry(id).or_default().pending.push_front(rest);
+                return;
+            }
+        }
+        let deferred = cx
+            .proto
+            .tcp_conns
+            .get(&id)
+            .map(|c| c.close_requested && c.pending.is_empty())
+            .unwrap_or(false);
+        if deferred {
+            cx.proto.tcp_conns.entry(id).or_default().close_requested = false;
+            let now = cx.now();
+            let events = cx.proto.tcp.close(now, id);
+            Self::handle_events(cx, events);
+        }
+    }
+}
+
+impl CabThread for TcpThread {
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn run(&mut self, cx: &mut Cx<'_>) -> Step {
+        // 1. control requests
+        while let Ok(msg) = cx.begin_get(reqs::MB_TCP_CTL) {
+            let bytes = cx.shared.msg_bytes(&msg).to_vec();
+            cx.end_get(reqs::MB_TCP_CTL, msg);
+            let now = cx.now();
+            match TcpCtl::decode(&bytes) {
+                Some(TcpCtl::Open { dst_cab, port, recv_mbox, reply_sync }) => {
+                    let remote = (ip_for_cab(dst_cab), port);
+                    let (id, events) = cx.proto.tcp.connect(now, remote, None);
+                    let conn = cx.proto.tcp_conns.entry(id).or_default();
+                    conn.recv_mbox = Some(recv_mbox);
+                    conn.reply_sync = Some(reply_sync);
+                    Self::handle_events(cx, events);
+                }
+                Some(TcpCtl::Listen { port, accept_mbox }) => {
+                    cx.proto.tcp.listen(port);
+                    cx.proto.tcp_accepts.insert(port, accept_mbox);
+                }
+                Some(TcpCtl::Attach { conn, recv_mbox }) => {
+                    let id = conn as SocketId;
+                    cx.proto.tcp_conns.entry(id).or_default().recv_mbox = Some(recv_mbox);
+                    Self::drain_recv(cx, id);
+                }
+                Some(TcpCtl::Close { conn }) => {
+                    let id = conn as SocketId;
+                    let entry = cx.proto.tcp_conns.entry(id).or_default();
+                    if entry.pending.is_empty() {
+                        let events = cx.proto.tcp.close(now, id);
+                        Self::handle_events(cx, events);
+                    } else {
+                        // data queued ahead of the close: defer the FIN
+                        entry.close_requested = true;
+                    }
+                }
+                Some(TcpCtl::Abort { conn }) => {
+                    let events = cx.proto.tcp.abort(now, conn as SocketId);
+                    Self::handle_events(cx, events);
+                }
+                None => cx.proto.stats.bad_requests += 1,
+            }
+        }
+        // 2. input segments
+        for _ in 0..BURST_LIMIT {
+            match cx.begin_get(reqs::MB_TCP_IN) {
+                Err(_) => break,
+                Ok(msg) => {
+                    let packet = cx.shared.msg_bytes(&msg).to_vec();
+                    cx.end_get(reqs::MB_TCP_IN, msg);
+                    cx.charge(cx.costs.tcp_proc);
+                    if let Ok(header) = Ipv4Header::parse(&packet) {
+                        let data = &packet[nectar_wire::ipv4::HEADER_LEN..];
+                        if cx.proto.tcp.config().compute_checksum {
+                            cx.charge(cx.costs.checksum(data.len()));
+                        }
+                        let now = cx.now();
+                        let events = cx.proto.tcp.on_packet(now, &header, data);
+                        Self::handle_events(cx, events);
+                    }
+                }
+            }
+        }
+        // 3. send requests
+        for _ in 0..BURST_LIMIT {
+            match cx.begin_get(reqs::MB_TCP_SEND) {
+                Err(_) => break,
+                Ok(msg) => {
+                    let bytes = cx.shared.msg_bytes(&msg).to_vec();
+                    cx.end_get(reqs::MB_TCP_SEND, msg);
+                    cx.charge(cx.costs.tcp_proc);
+                    if let Some((conn, payload)) = reqs::tcp_send_decode(&bytes) {
+                        let id = conn as SocketId;
+                        cx.proto
+                            .tcp_conns
+                            .entry(id)
+                            .or_default()
+                            .pending
+                            .push_back(payload.to_vec());
+                        Self::pump_pending(cx, id);
+                    } else {
+                        cx.proto.stats.bad_requests += 1;
+                    }
+                }
+            }
+        }
+        // 4. timers + pending pumps
+        let now = cx.now();
+        let events = cx.proto.tcp.poll(now);
+        Self::handle_events(cx, events);
+        let ids: Vec<SocketId> = cx
+            .proto
+            .tcp_conns
+            .iter()
+            .filter(|(_, c)| !c.pending.is_empty())
+            .map(|(&id, _)| id)
+            .collect();
+        for id in ids {
+            Self::pump_pending(cx, id);
+        }
+        match cx.proto.tcp.next_wakeup() {
+            Some(t) => Step::BlockTimeout(cx.proto.tcp_cond, t),
+            None => Step::Block(cx.proto.tcp_cond),
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Whole-system configuration: one struct gathering every tunable of
+//! the reproduction, with paper-calibrated defaults.
+
+use nectar_cab::{CostModel, LinkModel};
+use nectar_host::HostCostModel;
+use nectar_hub::HubConfig;
+use nectar_sim::SimDuration;
+use nectar_stack::tcp::TcpConfig;
+
+/// Fault injection on fibers (applied where a frame enters the
+/// network, per transmitting CAB).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultPlan {
+    /// Probability a frame is silently lost.
+    pub loss: f64,
+    /// Probability a frame has one bit flipped (the hardware CRC must
+    /// catch it).
+    pub corrupt: f64,
+}
+
+/// Configuration for building a [`crate::world::World`].
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    pub cab_costs: CostModel,
+    pub link: LinkModel,
+    pub hub: HubConfig,
+    pub host_costs: HostCostModel,
+    pub tcp: TcpConfig,
+    /// Datalink payload limit for IP packets and RMP fragments. The
+    /// default admits an 8 KiB message in one packet, matching the
+    /// paper's Figure 7/8 sweeps up to 8192 bytes.
+    pub mtu: usize,
+    /// Latency of the VME interrupt line (doorbell) in each direction.
+    pub doorbell_latency: SimDuration,
+    pub faults: FaultPlan,
+    /// Ablation A1 (§3.1's planned experiment): process IP input in a
+    /// high-priority thread instead of at interrupt level.
+    pub ip_in_thread: bool,
+    /// Master seed: ISNs, fault injection, workloads.
+    pub seed: u64,
+    /// Record a stage trace (Figure 6).
+    pub trace: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cab_costs: CostModel::default(),
+            link: LinkModel::default(),
+            hub: HubConfig::default(),
+            host_costs: HostCostModel::default(),
+            tcp: TcpConfig::default(),
+            mtu: 8 * 1024 + 64,
+            doorbell_latency: SimDuration::from_micros(1),
+            faults: FaultPlan::default(),
+            ip_in_thread: false,
+            seed: 0x5eca_1ab1,
+            trace: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_shaped() {
+        let c = Config::default();
+        assert_eq!(c.link.fiber_bits_per_sec, 100_000_000);
+        assert_eq!(c.hub.setup_latency, SimDuration::from_nanos(700));
+        assert_eq!(c.cab_costs.ctx_switch, SimDuration::from_micros(20));
+        assert!(c.mtu > 8192);
+        assert_eq!(c.faults.loss, 0.0);
+    }
+}

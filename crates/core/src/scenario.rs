@@ -1,0 +1,1026 @@
+//! Reusable measurement workloads: the host processes and CAB threads
+//! behind Table 1, Figures 6–8, the ablations, and the examples.
+//!
+//! Everything here goes through the same public interfaces an
+//! application would use — service mailboxes, host condition
+//! variables, Nectarine-style helpers — so the measured numbers include
+//! every cost a real application paid.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use nectar_cab::proto::{self, rmp_submit, rr_call};
+use nectar_cab::reqs::{self, RrReplyReq, SendReq, TcpCtl, UdpSendReq};
+use nectar_cab::shared::{HostCondId, MboxId, WouldBlock};
+use nectar_cab::{CabThread, Cx, Step};
+use nectar_host::{HostCx, HostProcess, HostStep};
+use nectar_sim::{Histogram, RateMeter, SimTime};
+use nectar_wire::datalink::DatalinkProto;
+use nectar_wire::nectar::DatagramHeader;
+
+/// Which transport a ping-pong or stream exercises (Table 1 rows).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transport {
+    Datagram,
+    Rmp,
+    ReqResp,
+    Udp,
+}
+
+/// Shared latency results.
+pub type SharedHistogram = Rc<RefCell<Histogram>>;
+/// Shared throughput meter.
+pub type SharedMeter = Rc<RefCell<RateMeter>>;
+/// Shared completion flag.
+pub type SharedFlag = Rc<Cell<bool>>;
+/// Shared byte counter.
+pub type SharedCount = Rc<Cell<u64>>;
+
+fn encode_reply_addr(cab: u16, mbox_or_port: u16) -> [u8; 4] {
+    let mut b = [0u8; 4];
+    b[..2].copy_from_slice(&cab.to_be_bytes());
+    b[2..].copy_from_slice(&mbox_or_port.to_be_bytes());
+    b
+}
+
+fn decode_reply_addr(b: &[u8]) -> Option<(u16, u16)> {
+    if b.len() < 4 {
+        return None;
+    }
+    Some((
+        u16::from_be_bytes([b[0], b[1]]),
+        u16::from_be_bytes([b[2], b[3]]),
+    ))
+}
+
+// ----------------------------------------------------------------------
+// host-side ping-pong (Table 1 host↔host column, Figure 6)
+// ----------------------------------------------------------------------
+
+enum PingState {
+    Init,
+    Send,
+    Wait { sent_at: SimTime },
+    Finished,
+}
+
+/// A host process measuring round-trip latency over one transport.
+pub struct Pinger {
+    pub transport: Transport,
+    /// Echo service address: (CAB id, mailbox) — or (CAB id, UDP port).
+    pub server: (u16, u16),
+    /// Local receive mailbox (host-readable).
+    pub my_mbox: MboxId,
+    /// Local UDP port (UDP transport only).
+    pub my_port: u16,
+    pub size: usize,
+    pub count: u32,
+    /// Poll (the fast path of §6.1) or block in the driver.
+    pub block: bool,
+    pub rtts: SharedHistogram,
+    pub done: SharedFlag,
+    state: PingState,
+    seen_poll: u32,
+    hc: Option<HostCondId>,
+    seq: u32,
+}
+
+impl Pinger {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        transport: Transport,
+        server: (u16, u16),
+        my_mbox: MboxId,
+        my_port: u16,
+        size: usize,
+        count: u32,
+        block: bool,
+    ) -> (Pinger, SharedHistogram, SharedFlag) {
+        let rtts: SharedHistogram = Rc::new(RefCell::new(Histogram::new()));
+        let done: SharedFlag = Rc::new(Cell::new(false));
+        (
+            Pinger {
+                transport,
+                server,
+                my_mbox,
+                my_port,
+                size,
+                count,
+                block,
+                rtts: rtts.clone(),
+                done: done.clone(),
+                state: PingState::Init,
+                seen_poll: 0,
+                hc: None,
+                seq: 0,
+            },
+            rtts,
+            done,
+        )
+    }
+
+    fn payload(&self, cx: &HostCx<'_>) -> Vec<u8> {
+        let mut p = Vec::with_capacity(self.size.max(4));
+        let reply_id = if self.transport == Transport::Udp { self.my_port } else { self.my_mbox };
+        p.extend_from_slice(&encode_reply_addr(cx.cab_id, reply_id));
+        while p.len() < self.size {
+            p.push((p.len() * 7) as u8);
+        }
+        p
+    }
+
+    fn send(&mut self, cx: &mut HostCx<'_>) -> Result<(), WouldBlock> {
+        let payload = self.payload(cx);
+        let (cab, id) = self.server;
+        match self.transport {
+            Transport::Datagram => {
+                let req = SendReq { dst_cab: cab, dst_mbox: id, src_mbox: self.my_mbox };
+                let m = req.encode(&payload);
+                cx.stamp("host_send", self.seq as u64);
+                cx.put_message(reqs::MB_DG_SEND, &m)?;
+            }
+            Transport::Rmp => {
+                let req = SendReq { dst_cab: cab, dst_mbox: id, src_mbox: self.my_mbox };
+                let m = req.encode(&payload);
+                cx.put_message(reqs::MB_RMP_SEND, &m)?;
+            }
+            Transport::ReqResp => {
+                let req = SendReq { dst_cab: cab, dst_mbox: id, src_mbox: self.my_mbox };
+                let m = req.encode(&payload);
+                cx.put_message(reqs::MB_RR_SEND, &m)?;
+            }
+            Transport::Udp => {
+                let req = UdpSendReq { dst_cab: cab, src_port: self.my_port, dst_port: id };
+                let m = req.encode(&payload);
+                cx.put_message(reqs::MB_UDP_SEND, &m)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl HostProcess for Pinger {
+    fn name(&self) -> &'static str {
+        "pinger"
+    }
+
+    fn run(&mut self, cx: &mut HostCx<'_>) -> HostStep {
+        match self.state {
+            PingState::Init => {
+                self.hc = cx.mbox_host_cond(self.my_mbox);
+                if let Some(hc) = self.hc {
+                    self.seen_poll = cx.poll_cond(hc);
+                }
+                if self.transport == Transport::Udp {
+                    let m = reqs::udp_bind_encode(self.my_port, self.my_mbox);
+                    let _ = cx.put_message(reqs::MB_UDP_CTL, &m);
+                }
+                self.state = PingState::Send;
+                HostStep::Yield
+            }
+            PingState::Send => {
+                let sent_at = cx.now();
+                match self.send(cx) {
+                    Ok(()) => {
+                        self.state = PingState::Wait { sent_at };
+                        HostStep::Yield
+                    }
+                    Err(_) => HostStep::Yield, // heap pressure: retry
+                }
+            }
+            PingState::Wait { sent_at } => {
+                // cheap poll first (one VME read)
+                if let Some(hc) = self.hc {
+                    let v = cx.poll_cond(hc);
+                    if v == self.seen_poll {
+                        if self.block {
+                            let reg = cx.driver_register(hc);
+                            if reg == self.seen_poll {
+                                return HostStep::Block(hc);
+                            }
+                        }
+                        return HostStep::Yield;
+                    }
+                    self.seen_poll = v;
+                }
+                match cx.get_message(self.my_mbox) {
+                    Some((_, _bytes)) => {
+                        let rtt = cx.now().saturating_since(sent_at);
+                        self.rtts.borrow_mut().record(rtt);
+                        self.seq += 1;
+                        if self.seq >= self.count {
+                            self.done.set(true);
+                            self.state = PingState::Finished;
+                            HostStep::Done
+                        } else {
+                            self.state = PingState::Send;
+                            HostStep::Yield
+                        }
+                    }
+                    None => HostStep::Yield,
+                }
+            }
+            PingState::Finished => HostStep::Done,
+        }
+    }
+}
+
+/// A host process echoing every message back to its sender over the
+/// same transport.
+pub struct EchoServer {
+    pub transport: Transport,
+    /// The service mailbox (and, for UDP, the bound port).
+    pub recv_mbox: MboxId,
+    pub my_port: u16,
+    pub block: bool,
+    state_init: bool,
+    seen_poll: u32,
+    hc: Option<HostCondId>,
+    pub echoed: SharedCount,
+}
+
+impl EchoServer {
+    pub fn new(transport: Transport, recv_mbox: MboxId, my_port: u16, block: bool) -> (Self, SharedCount) {
+        let echoed: SharedCount = Rc::new(Cell::new(0));
+        (
+            EchoServer {
+                transport,
+                recv_mbox,
+                my_port,
+                block,
+                state_init: false,
+                seen_poll: 0,
+                hc: None,
+                echoed: echoed.clone(),
+            },
+            echoed,
+        )
+    }
+}
+
+impl HostProcess for EchoServer {
+    fn name(&self) -> &'static str {
+        "echo"
+    }
+
+    fn run(&mut self, cx: &mut HostCx<'_>) -> HostStep {
+        if !self.state_init {
+            self.state_init = true;
+            self.hc = cx.mbox_host_cond(self.recv_mbox);
+            if let Some(hc) = self.hc {
+                self.seen_poll = cx.poll_cond(hc);
+            }
+            if self.transport == Transport::Udp {
+                let m = reqs::udp_bind_encode(self.my_port, self.recv_mbox);
+                let _ = cx.put_message(reqs::MB_UDP_CTL, &m);
+            }
+            return HostStep::Yield;
+        }
+        // drain everything available, then wait
+        let mut drained = 0;
+        while let Some((_, bytes)) = cx.get_message(self.recv_mbox) {
+            drained += 1;
+            match self.transport {
+                Transport::Datagram | Transport::Rmp => {
+                    if let Some((cab, mbox)) = decode_reply_addr(&bytes) {
+                        let req = SendReq { dst_cab: cab, dst_mbox: mbox, src_mbox: self.recv_mbox };
+                        let m = req.encode(&bytes);
+                        let target = if self.transport == Transport::Datagram {
+                            reqs::MB_DG_SEND
+                        } else {
+                            reqs::MB_RMP_SEND
+                        };
+                        let _ = cx.put_message(target, &m);
+                        self.echoed.set(self.echoed.get() + 1);
+                    }
+                }
+                Transport::ReqResp => {
+                    if let Some((client_cab, reply_mbox, req_id, payload)) =
+                        reqs::rr_deliver_decode(&bytes)
+                    {
+                        let req = RrReplyReq {
+                            service_mbox: self.recv_mbox,
+                            client_cab,
+                            reply_mbox,
+                            req_id,
+                        };
+                        let m = req.encode(payload);
+                        let _ = cx.put_message(reqs::MB_RR_REPLY, &m);
+                        self.echoed.set(self.echoed.get() + 1);
+                    }
+                }
+                Transport::Udp => {
+                    if let Some((cab, port)) = decode_reply_addr(&bytes) {
+                        let req =
+                            UdpSendReq { dst_cab: cab, src_port: self.my_port, dst_port: port };
+                        let m = req.encode(&bytes);
+                        let _ = cx.put_message(reqs::MB_UDP_SEND, &m);
+                        self.echoed.set(self.echoed.get() + 1);
+                    }
+                }
+            }
+            if drained >= 4 {
+                return HostStep::Yield;
+            }
+        }
+        if let Some(hc) = self.hc {
+            let v = cx.poll_cond(hc);
+            if v != self.seen_poll {
+                self.seen_poll = v;
+                return HostStep::Yield;
+            }
+            if self.block {
+                let reg = cx.driver_register(hc);
+                if reg == self.seen_poll {
+                    return HostStep::Block(hc);
+                }
+            }
+        }
+        HostStep::Yield
+    }
+}
+
+// ----------------------------------------------------------------------
+// host-side streaming (Figure 8)
+// ----------------------------------------------------------------------
+
+/// A host process pushing a byte stream to a remote sink over RMP.
+pub struct HostRmpStreamer {
+    pub dst: (u16, u16),
+    pub my_mbox: MboxId,
+    pub msg_size: usize,
+    pub total_bytes: u64,
+    sent: u64,
+    pub done: SharedFlag,
+}
+
+impl HostRmpStreamer {
+    pub fn new(dst: (u16, u16), my_mbox: MboxId, msg_size: usize, total_bytes: u64) -> (Self, SharedFlag) {
+        let done: SharedFlag = Rc::new(Cell::new(false));
+        (
+            HostRmpStreamer { dst, my_mbox, msg_size, total_bytes, sent: 0, done: done.clone() },
+            done,
+        )
+    }
+}
+
+impl HostProcess for HostRmpStreamer {
+    fn name(&self) -> &'static str {
+        "rmp-streamer"
+    }
+
+    fn run(&mut self, cx: &mut HostCx<'_>) -> HostStep {
+        if self.sent >= self.total_bytes {
+            self.done.set(true);
+            return HostStep::Done;
+        }
+        // simple flow control: keep the send-request mailbox shallow so
+        // CAB memory is not exhausted (one VME read)
+        cx.vme(1);
+        if cx.shared.mailboxes[reqs::MB_RMP_SEND as usize].queue.len() >= 4 {
+            return HostStep::Yield;
+        }
+        let n = self.msg_size.min((self.total_bytes - self.sent) as usize);
+        let payload = vec![0x5au8; n];
+        let req = SendReq { dst_cab: self.dst.0, dst_mbox: self.dst.1, src_mbox: self.my_mbox };
+        match cx.put_message(reqs::MB_RMP_SEND, &req.encode(&payload)) {
+            Ok(_) => {
+                self.sent += n as u64;
+                HostStep::Yield
+            }
+            Err(_) => HostStep::Yield,
+        }
+    }
+}
+
+/// A host process pushing a byte stream through a TCP connection
+/// opened via the CAB's TCP control mailbox.
+pub struct HostTcpStreamer {
+    pub dst_cab: u16,
+    pub port: u16,
+    pub my_mbox: MboxId,
+    pub chunk: usize,
+    pub total_bytes: u64,
+    state: TcpStreamState,
+    sent: u64,
+    pub done: SharedFlag,
+}
+
+enum TcpStreamState {
+    Open,
+    WaitConn { sync: u16 },
+    Stream { conn: u16 },
+    Finished,
+}
+
+impl HostTcpStreamer {
+    pub fn new(dst_cab: u16, port: u16, my_mbox: MboxId, chunk: usize, total_bytes: u64) -> (Self, SharedFlag) {
+        let done: SharedFlag = Rc::new(Cell::new(false));
+        (
+            HostTcpStreamer {
+                dst_cab,
+                port,
+                my_mbox,
+                chunk,
+                total_bytes,
+                state: TcpStreamState::Open,
+                sent: 0,
+                done: done.clone(),
+            },
+            done,
+        )
+    }
+}
+
+impl HostProcess for HostTcpStreamer {
+    fn name(&self) -> &'static str {
+        "tcp-streamer"
+    }
+
+    fn run(&mut self, cx: &mut HostCx<'_>) -> HostStep {
+        match self.state {
+            TcpStreamState::Open => {
+                let sync = cx.sync_alloc();
+                let ctl = TcpCtl::Open {
+                    dst_cab: self.dst_cab,
+                    port: self.port,
+                    recv_mbox: self.my_mbox,
+                    reply_sync: sync,
+                };
+                let _ = cx.put_message(reqs::MB_TCP_CTL, &ctl.encode());
+                self.state = TcpStreamState::WaitConn { sync };
+                HostStep::Yield
+            }
+            TcpStreamState::WaitConn { sync } => match cx.sync_poll(sync) {
+                Some(0) => {
+                    // refused
+                    self.done.set(true);
+                    self.state = TcpStreamState::Finished;
+                    HostStep::Done
+                }
+                Some(v) => {
+                    self.state = TcpStreamState::Stream { conn: (v - 1) as u16 };
+                    HostStep::Yield
+                }
+                None => HostStep::Yield,
+            },
+            TcpStreamState::Stream { conn } => {
+                if self.sent >= self.total_bytes {
+                    let _ = cx.put_message(reqs::MB_TCP_CTL, &TcpCtl::Close { conn }.encode());
+                    self.done.set(true);
+                    self.state = TcpStreamState::Finished;
+                    return HostStep::Done;
+                }
+                cx.vme(1);
+                if cx.shared.mailboxes[reqs::MB_TCP_SEND as usize].queue.len() >= 4 {
+                    return HostStep::Yield;
+                }
+                let n = self.chunk.min((self.total_bytes - self.sent) as usize);
+                let payload = vec![0xc3u8; n];
+                match cx.put_message(reqs::MB_TCP_SEND, &reqs::tcp_send_encode(conn, &payload)) {
+                    Ok(_) => {
+                        self.sent += n as u64;
+                        HostStep::Yield
+                    }
+                    Err(_) => HostStep::Yield,
+                }
+            }
+            TcpStreamState::Finished => HostStep::Done,
+        }
+    }
+}
+
+/// A host process draining a mailbox and metering goodput. For TCP
+/// sinks it also attaches accepted connections to the data mailbox.
+pub struct HostSink {
+    pub recv_mbox: MboxId,
+    /// When set, treat `recv_mbox` as a TCP accept mailbox feeding
+    /// `data_mbox`.
+    pub tcp_accept: Option<MboxId>,
+    pub expected: u64,
+    pub meter: SharedMeter,
+    pub received: SharedCount,
+    pub done: SharedFlag,
+    seen_poll: u32,
+    hc: Option<HostCondId>,
+    init: bool,
+}
+
+impl HostSink {
+    pub fn new(recv_mbox: MboxId, tcp_accept: Option<MboxId>, expected: u64) -> (Self, SharedMeter, SharedCount, SharedFlag) {
+        let meter: SharedMeter = Rc::new(RefCell::new(RateMeter::new()));
+        let received: SharedCount = Rc::new(Cell::new(0));
+        let done: SharedFlag = Rc::new(Cell::new(false));
+        (
+            HostSink {
+                recv_mbox,
+                tcp_accept,
+                expected,
+                meter: meter.clone(),
+                received: received.clone(),
+                done: done.clone(),
+                seen_poll: 0,
+                hc: None,
+                init: false,
+            },
+            meter,
+            received,
+            done,
+        )
+    }
+}
+
+impl HostProcess for HostSink {
+    fn name(&self) -> &'static str {
+        "sink"
+    }
+
+    fn run(&mut self, cx: &mut HostCx<'_>) -> HostStep {
+        if !self.init {
+            self.init = true;
+            let watch = self.tcp_accept.unwrap_or(self.recv_mbox);
+            let _ = watch;
+            self.hc = cx.mbox_host_cond(self.recv_mbox);
+            if let Some(hc) = self.hc {
+                self.seen_poll = cx.poll_cond(hc);
+            }
+            return HostStep::Yield;
+        }
+        // TCP mode: attach accepted connections to the data mailbox
+        if let Some(accept_mbox) = self.tcp_accept {
+            while let Some((_, note)) = cx.get_message(accept_mbox) {
+                if let Some((_port, conn)) = reqs::tcp_accept_decode(&note) {
+                    let ctl = TcpCtl::Attach { conn, recv_mbox: self.recv_mbox };
+                    let _ = cx.put_message(reqs::MB_TCP_CTL, &ctl.encode());
+                }
+            }
+        }
+        let mut got_any = false;
+        for _ in 0..4 {
+            match cx.get_message(self.recv_mbox) {
+                Some((_, bytes)) => {
+                    got_any = true;
+                    let now = cx.now();
+                    self.meter.borrow_mut().record(now, bytes.len());
+                    self.received.set(self.received.get() + bytes.len() as u64);
+                    if self.received.get() >= self.expected {
+                        self.done.set(true);
+                        return HostStep::Done;
+                    }
+                }
+                None => break,
+            }
+        }
+        if got_any {
+            return HostStep::Yield;
+        }
+        if let Some(hc) = self.hc {
+            let v = cx.poll_cond(hc);
+            if v != self.seen_poll {
+                self.seen_poll = v;
+            }
+        }
+        HostStep::Yield
+    }
+}
+
+// ----------------------------------------------------------------------
+// CAB-resident workloads (Table 1 CAB↔CAB column, Figure 7, §5.3)
+// ----------------------------------------------------------------------
+
+/// A CAB thread answering pings over the Nectar transports — the echo
+/// half of the CAB↔CAB latency measurements, running entirely on the
+/// communication processor.
+pub struct CabEcho {
+    pub transport: Transport,
+    pub recv_mbox: MboxId,
+}
+
+impl CabThread for CabEcho {
+    fn name(&self) -> &'static str {
+        "cab-echo"
+    }
+
+    fn run(&mut self, cx: &mut Cx<'_>) -> Step {
+        for _ in 0..4 {
+            match cx.begin_get(self.recv_mbox) {
+                Err(WouldBlock::Empty(c)) | Err(WouldBlock::NoSpace(c)) => return Step::Block(c),
+                Ok(msg) => {
+                    let bytes = cx.shared.msg_bytes(&msg).to_vec();
+                    cx.end_get(self.recv_mbox, msg);
+                    match self.transport {
+                        Transport::Datagram => {
+                            if let Some((cab, mbox)) = decode_reply_addr(&bytes) {
+                                let pkt = DatagramHeader { dst_mbox: mbox, src_mbox: self.recv_mbox }
+                                    .build(&bytes);
+                                cx.charge(cx.costs.datagram_proc);
+                                cx.datalink_send(cab, DatalinkProto::Datagram, 0, &pkt);
+                            }
+                        }
+                        Transport::Rmp => {
+                            if let Some((cab, mbox)) = decode_reply_addr(&bytes) {
+                                let req =
+                                    SendReq { dst_cab: cab, dst_mbox: mbox, src_mbox: self.recv_mbox };
+                                rmp_submit(cx, req, &bytes);
+                            }
+                        }
+                        Transport::ReqResp => {
+                            if let Some((client_cab, reply_mbox, req_id, payload)) =
+                                reqs::rr_deliver_decode(&bytes)
+                            {
+                                let mut acts = Vec::new();
+                                let server =
+                                    cx.proto.rr_servers.entry(self.recv_mbox).or_default();
+                                server.reply(
+                                    client_cab,
+                                    reply_mbox,
+                                    req_id,
+                                    payload.to_vec(),
+                                    &mut acts,
+                                );
+                                for act in acts {
+                                    if let nectar_stack::reqresp::RrServerAction::Transmit {
+                                        dst_cab,
+                                        packet,
+                                    } = act
+                                    {
+                                        cx.charge(cx.costs.reqresp_proc);
+                                        cx.datalink_send(
+                                            dst_cab,
+                                            DatalinkProto::ReqResp,
+                                            0,
+                                            &packet,
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        Transport::Udp => {
+                            if let Some((cab, port)) = decode_reply_addr(&bytes) {
+                                // CAB-resident sender: invoke UDP/IP
+                                // directly, no send-thread hop
+                                cx.charge(cx.costs.udp_proc);
+                                let src = cx.proto.addr();
+                                let dst = proto::ip_for_cab(cab);
+                                let dgram = cx.proto.udp.output(src, 7, dst, port, &bytes);
+                                cx.charge(cx.costs.checksum(dgram.len()));
+                                proto::ip_output(
+                                    cx,
+                                    dst,
+                                    nectar_wire::ipv4::IpProtocol::UDP,
+                                    &dgram,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Step::Yield
+    }
+}
+
+/// A CAB thread measuring ping-pong latency over a Nectar transport —
+/// the client half of the CAB↔CAB column.
+pub struct CabPinger {
+    pub transport: Transport,
+    pub server: (u16, u16),
+    pub my_mbox: MboxId,
+    pub size: usize,
+    pub count: u32,
+    pub rtts: SharedHistogram,
+    pub done: SharedFlag,
+    waiting: Option<SimTime>,
+    seq: u32,
+}
+
+impl CabPinger {
+    pub fn new(
+        transport: Transport,
+        server: (u16, u16),
+        my_mbox: MboxId,
+        size: usize,
+        count: u32,
+    ) -> (Self, SharedHistogram, SharedFlag) {
+        let rtts: SharedHistogram = Rc::new(RefCell::new(Histogram::new()));
+        let done: SharedFlag = Rc::new(Cell::new(false));
+        (
+            CabPinger {
+                transport,
+                server,
+                my_mbox,
+                size,
+                count,
+                rtts: rtts.clone(),
+                done: done.clone(),
+                waiting: None,
+                seq: 0,
+            },
+            rtts,
+            done,
+        )
+    }
+
+    fn payload(&self, cx: &Cx<'_>) -> Vec<u8> {
+        let reply_id = if self.transport == Transport::Udp { 9000 } else { self.my_mbox };
+        let mut p = Vec::with_capacity(self.size.max(4));
+        p.extend_from_slice(&encode_reply_addr(cx.cab_id, reply_id));
+        while p.len() < self.size {
+            p.push((p.len() * 3) as u8);
+        }
+        p
+    }
+
+    fn send(&mut self, cx: &mut Cx<'_>) {
+        let payload = self.payload(cx);
+        let (cab, id) = self.server;
+        match self.transport {
+            Transport::Datagram => {
+                let pkt = DatagramHeader { dst_mbox: id, src_mbox: self.my_mbox }.build(&payload);
+                cx.charge(cx.costs.datagram_proc);
+                cx.datalink_send(cab, DatalinkProto::Datagram, 0, &pkt);
+            }
+            Transport::Rmp => {
+                let req = SendReq { dst_cab: cab, dst_mbox: id, src_mbox: self.my_mbox };
+                rmp_submit(cx, req, &payload);
+            }
+            Transport::ReqResp => {
+                let req = SendReq { dst_cab: cab, dst_mbox: id, src_mbox: self.my_mbox };
+                rr_call(cx, req, &payload);
+            }
+            Transport::Udp => {
+                cx.charge(cx.costs.udp_proc);
+                let src = cx.proto.addr();
+                let dst = proto::ip_for_cab(cab);
+                let dgram = cx.proto.udp.output(src, 9000, dst, id, &payload);
+                cx.charge(cx.costs.checksum(dgram.len()));
+                proto::ip_output(cx, dst, nectar_wire::ipv4::IpProtocol::UDP, &dgram);
+            }
+        }
+    }
+}
+
+impl CabThread for CabPinger {
+    fn name(&self) -> &'static str {
+        "cab-pinger"
+    }
+
+    fn run(&mut self, cx: &mut Cx<'_>) -> Step {
+        if self.seq == 0 && self.waiting.is_none() && self.transport == Transport::Udp {
+            // bind our reply port to the reply mailbox
+            let m = reqs::udp_bind_encode(9000, self.my_mbox);
+            let _ = cx.put_message(reqs::MB_UDP_CTL, &m);
+        }
+        match self.waiting {
+            None => {
+                let sent_at = cx.now();
+                self.send(cx);
+                self.waiting = Some(sent_at);
+                Step::Yield
+            }
+            Some(sent_at) => match cx.begin_get(self.my_mbox) {
+                Ok(msg) => {
+                    cx.end_get(self.my_mbox, msg);
+                    let rtt = cx.now().saturating_since(sent_at);
+                    self.rtts.borrow_mut().record(rtt);
+                    self.waiting = None;
+                    self.seq += 1;
+                    if self.seq >= self.count {
+                        self.done.set(true);
+                        Step::Done
+                    } else {
+                        Step::Yield
+                    }
+                }
+                Err(WouldBlock::Empty(c)) | Err(WouldBlock::NoSpace(c)) => Step::Block(c),
+            },
+        }
+    }
+}
+
+/// A CAB thread streaming messages to a remote mailbox over RMP — the
+/// Figure 7 sender ("Application tasks executing on two communication
+/// processors can obtain 90 Mbit/sec").
+pub struct CabRmpStreamer {
+    pub dst: (u16, u16),
+    pub my_mbox: MboxId,
+    pub msg_size: usize,
+    pub total_bytes: u64,
+    sent: u64,
+    pub done: SharedFlag,
+}
+
+impl CabRmpStreamer {
+    pub fn new(dst: (u16, u16), my_mbox: MboxId, msg_size: usize, total_bytes: u64) -> (Self, SharedFlag) {
+        let done: SharedFlag = Rc::new(Cell::new(false));
+        (CabRmpStreamer { dst, my_mbox, msg_size, total_bytes, sent: 0, done: done.clone() }, done)
+    }
+}
+
+impl CabThread for CabRmpStreamer {
+    fn name(&self) -> &'static str {
+        "cab-rmp-streamer"
+    }
+
+    fn run(&mut self, cx: &mut Cx<'_>) -> Step {
+        if self.sent >= self.total_bytes {
+            self.done.set(true);
+            return Step::Done;
+        }
+        let key = (self.dst.0, self.dst.1, self.my_mbox);
+        let backlog = cx.proto.rmp_tx.get(&key).map(|s| s.backlog()).unwrap_or(0);
+        if backlog >= 2 {
+            // wait for ack progress (the interrupt path signals
+            // rmp_cond on delivery)
+            return Step::Block(cx.proto.rmp_cond);
+        }
+        let n = self.msg_size.min((self.total_bytes - self.sent) as usize);
+        let payload = vec![0x77u8; n];
+        let req = SendReq { dst_cab: self.dst.0, dst_mbox: self.dst.1, src_mbox: self.my_mbox };
+        rmp_submit(cx, req, &payload);
+        self.sent += n as u64;
+        Step::Yield
+    }
+}
+
+/// A CAB thread streaming over TCP — the Figure 7 TCP sender. The
+/// connection is opened through the stack directly ("CAB-resident
+/// senders can do this directly without involving the TCP send
+/// thread").
+pub struct CabTcpStreamer {
+    pub dst_cab: u16,
+    pub port: u16,
+    pub chunk: usize,
+    pub total_bytes: u64,
+    conn: Option<nectar_stack::tcp::SocketId>,
+    sent: u64,
+    pub done: SharedFlag,
+}
+
+impl CabTcpStreamer {
+    pub fn new(dst_cab: u16, port: u16, chunk: usize, total_bytes: u64) -> (Self, SharedFlag) {
+        let done: SharedFlag = Rc::new(Cell::new(false));
+        (
+            CabTcpStreamer {
+                dst_cab,
+                port,
+                chunk,
+                total_bytes,
+                conn: None,
+                sent: 0,
+                done: done.clone(),
+            },
+            done,
+        )
+    }
+}
+
+impl CabThread for CabTcpStreamer {
+    fn name(&self) -> &'static str {
+        "cab-tcp-streamer"
+    }
+
+    fn run(&mut self, cx: &mut Cx<'_>) -> Step {
+        let now = cx.now();
+        let conn = match self.conn {
+            Some(c) => c,
+            None => {
+                let remote = (proto::ip_for_cab(self.dst_cab), self.port);
+                let (id, events) = cx.proto.tcp.connect(now, remote, None);
+                self.conn = Some(id);
+                handle_tcp_events_inline(cx, events);
+                return Step::Block(cx.proto.tcp_cond);
+            }
+        };
+        if self.sent >= self.total_bytes {
+            let events = cx.proto.tcp.close(now, conn);
+            handle_tcp_events_inline(cx, events);
+            self.done.set(true);
+            return Step::Done;
+        }
+        let cap = cx.proto.tcp.socket(conn).map(|s| s.send_capacity()).unwrap_or(0);
+        if cap == 0 {
+            return Step::Block(cx.proto.tcp_cond);
+        }
+        let n = self.chunk.min(cap).min((self.total_bytes - self.sent) as usize);
+        let payload = vec![0x11u8; n];
+        cx.charge(cx.costs.tcp_proc);
+        let (accepted, events) = cx.proto.tcp.send(now, conn, &payload);
+        self.sent += accepted as u64;
+        handle_tcp_events_inline(cx, events);
+        Step::Yield
+    }
+}
+
+/// Shared TCP event handling for CAB-resident streamers: transmit via
+/// IP + charge the software checksum, exactly like the TCP thread.
+pub fn handle_tcp_events_inline(cx: &mut Cx<'_>, events: Vec<nectar_stack::tcp::TcpStackEvent>) {
+    use nectar_stack::tcp::TcpStackEvent;
+    for ev in events {
+        if let TcpStackEvent::Transmit { dst, segment } = ev {
+            if cx.proto.tcp.config().compute_checksum {
+                cx.charge(cx.costs.checksum(segment.len()));
+            }
+            proto::ip_output(cx, dst, nectar_wire::ipv4::IpProtocol::TCP, &segment);
+        }
+    }
+}
+
+/// A CAB thread draining a mailbox and metering goodput — the Figure 7
+/// receiver.
+pub struct CabSink {
+    pub recv_mbox: MboxId,
+    pub expected: u64,
+    pub meter: SharedMeter,
+    pub received: SharedCount,
+    pub done: SharedFlag,
+}
+
+impl CabSink {
+    pub fn new(recv_mbox: MboxId, expected: u64) -> (Self, SharedMeter, SharedCount, SharedFlag) {
+        let meter: SharedMeter = Rc::new(RefCell::new(RateMeter::new()));
+        let received: SharedCount = Rc::new(Cell::new(0));
+        let done: SharedFlag = Rc::new(Cell::new(false));
+        (
+            CabSink {
+                recv_mbox,
+                expected,
+                meter: meter.clone(),
+                received: received.clone(),
+                done: done.clone(),
+            },
+            meter,
+            received,
+            done,
+        )
+    }
+}
+
+impl CabThread for CabSink {
+    fn name(&self) -> &'static str {
+        "cab-sink"
+    }
+
+    fn run(&mut self, cx: &mut Cx<'_>) -> Step {
+        for _ in 0..8 {
+            match cx.begin_get(self.recv_mbox) {
+                Ok(msg) => {
+                    let len = msg.len as usize;
+                    cx.end_get(self.recv_mbox, msg);
+                    let now = cx.now();
+                    self.meter.borrow_mut().record(now, len);
+                    self.received.set(self.received.get() + len as u64);
+                    if self.received.get() >= self.expected {
+                        self.done.set(true);
+                        return Step::Done;
+                    }
+                }
+                Err(WouldBlock::Empty(c)) | Err(WouldBlock::NoSpace(c)) => return Step::Block(c),
+            }
+        }
+        Step::Yield
+    }
+}
+
+/// A CAB thread accepting one TCP connection on `port` and delivering
+/// its data to `recv_mbox` via the TCP thread bindings — the Figure 7
+/// TCP receiver side (set up through the control mailbox).
+pub struct CabTcpListener {
+    pub port: u16,
+    pub accept_mbox: MboxId,
+    pub recv_mbox: MboxId,
+    started: bool,
+}
+
+impl CabTcpListener {
+    pub fn new(port: u16, accept_mbox: MboxId, recv_mbox: MboxId) -> Self {
+        CabTcpListener { port, accept_mbox, recv_mbox, started: false }
+    }
+}
+
+impl CabThread for CabTcpListener {
+    fn name(&self) -> &'static str {
+        "cab-tcp-listener"
+    }
+
+    fn run(&mut self, cx: &mut Cx<'_>) -> Step {
+        if !self.started {
+            self.started = true;
+            let ctl = TcpCtl::Listen { port: self.port, accept_mbox: self.accept_mbox };
+            let _ = cx.put_message(reqs::MB_TCP_CTL, &ctl.encode());
+            return Step::Yield;
+        }
+        match cx.begin_get(self.accept_mbox) {
+            Ok(msg) => {
+                let bytes = cx.shared.msg_bytes(&msg).to_vec();
+                cx.end_get(self.accept_mbox, msg);
+                if let Some((_port, conn)) = reqs::tcp_accept_decode(&bytes) {
+                    let ctl = TcpCtl::Attach { conn, recv_mbox: self.recv_mbox };
+                    let _ = cx.put_message(reqs::MB_TCP_CTL, &ctl.encode());
+                }
+                Step::Yield
+            }
+            Err(WouldBlock::Empty(c)) | Err(WouldBlock::NoSpace(c)) => Step::Block(c),
+        }
+    }
+}

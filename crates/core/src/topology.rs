@@ -1,0 +1,212 @@
+//! Network topology: HUBs, attachments, and source-route computation.
+//!
+//! §2.1 of the paper: "The Nectar system consists of a set of host
+//! computers connected in an arbitrary mesh via crossbar switches
+//! called HUBs. … Large Nectar systems are built using multiple HUBs.
+//! In such systems, some of the HUB I/O ports are used to connect
+//! together HUBs. The CABs use source routing to send a message
+//! through the network." This module computes those source routes by
+//! breadth-first search over the HUB graph.
+
+use std::collections::{HashMap, VecDeque};
+
+use nectar_hub::PORTS;
+use nectar_wire::route::Route;
+
+/// What sits behind a HUB output port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Attachment {
+    /// A CAB's fiber pair.
+    Cab(u16),
+    /// A trunk to another HUB; the frame arrives at that HUB's
+    /// `in_port`.
+    Hub { hub: u16, in_port: u8 },
+    /// Unused port.
+    None,
+}
+
+/// The physical layout of the network.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// Number of HUBs.
+    pub hubs: usize,
+    /// Per CAB: (hub index, port) of its attachment. A CAB's fiber
+    /// pair terminates at one HUB port, used for both directions.
+    pub cab_port: Vec<(u16, u8)>,
+    /// Per HUB, per port: what the output side of the port drives.
+    pub port_map: Vec<[Attachment; PORTS]>,
+}
+
+impl Topology {
+    /// All `n` CABs on one HUB (n ≤ 16).
+    pub fn single_hub(n: usize) -> Topology {
+        assert!(n <= PORTS, "a 16x16 HUB has {PORTS} ports");
+        let mut port_map = vec![[Attachment::None; PORTS]];
+        let mut cab_port = Vec::with_capacity(n);
+        for i in 0..n {
+            port_map[0][i] = Attachment::Cab(i as u16);
+            cab_port.push((0, i as u8));
+        }
+        Topology { hubs: 1, cab_port, port_map }
+    }
+
+    /// The paper's production deployment shape: CABs split across two
+    /// HUBs joined by one trunk on the last port of each (§6: "2 HUBs
+    /// and 26 hosts").
+    pub fn two_hubs(n: usize) -> Topology {
+        let per_hub = PORTS - 1; // one port reserved for the trunk
+        assert!(n <= 2 * per_hub, "two-HUB mesh holds at most {}", 2 * per_hub);
+        let trunk = (PORTS - 1) as u8;
+        let mut port_map = vec![[Attachment::None; PORTS]; 2];
+        port_map[0][trunk as usize] = Attachment::Hub { hub: 1, in_port: trunk };
+        port_map[1][trunk as usize] = Attachment::Hub { hub: 0, in_port: trunk };
+        let mut cab_port = Vec::with_capacity(n);
+        for i in 0..n {
+            let hub = (i % 2) as u16; // interleave for even split
+            let slot = (i / 2) as u8;
+            port_map[hub as usize][slot as usize] = Attachment::Cab(i as u16);
+            cab_port.push((hub, slot));
+        }
+        Topology { hubs: 2, cab_port, port_map }
+    }
+
+    /// A linear chain of HUBs with `per_hub` CABs on each — exercises
+    /// multi-hop source routes of arbitrary length.
+    pub fn chain(hubs: usize, per_hub: usize) -> Topology {
+        assert!(hubs >= 1);
+        assert!(per_hub <= PORTS - 2, "need two trunk ports per inner HUB");
+        let left = (PORTS - 2) as u8;
+        let right = (PORTS - 1) as u8;
+        let mut port_map = vec![[Attachment::None; PORTS]; hubs];
+        for h in 0..hubs {
+            if h + 1 < hubs {
+                port_map[h][right as usize] =
+                    Attachment::Hub { hub: (h + 1) as u16, in_port: left };
+            }
+            if h > 0 {
+                port_map[h][left as usize] =
+                    Attachment::Hub { hub: (h - 1) as u16, in_port: right };
+            }
+        }
+        let mut cab_port = Vec::new();
+        for h in 0..hubs {
+            for s in 0..per_hub {
+                let cab = cab_port.len() as u16;
+                port_map[h][s] = Attachment::Cab(cab);
+                cab_port.push((h as u16, s as u8));
+            }
+        }
+        Topology { hubs, cab_port, port_map }
+    }
+
+    pub fn cabs(&self) -> usize {
+        self.cab_port.len()
+    }
+
+    /// Compute the source route from `src` to `dst`: one output-port
+    /// byte per HUB traversed. Returns `None` when unreachable.
+    pub fn route(&self, src: u16, dst: u16) -> Option<Route> {
+        if src == dst {
+            return Some(Route::empty());
+        }
+        let (start_hub, _) = *self.cab_port.get(src as usize)?;
+        let (dst_hub, dst_port) = *self.cab_port.get(dst as usize)?;
+        // BFS over hubs
+        let mut prev: HashMap<u16, (u16, u8)> = HashMap::new(); // hub -> (from hub, out_port taken)
+        let mut q = VecDeque::new();
+        q.push_back(start_hub);
+        prev.insert(start_hub, (start_hub, 0));
+        while let Some(h) = q.pop_front() {
+            if h == dst_hub {
+                break;
+            }
+            for (port, att) in self.port_map[h as usize].iter().enumerate() {
+                if let Attachment::Hub { hub, .. } = att {
+                    if !prev.contains_key(hub) {
+                        prev.insert(*hub, (h, port as u8));
+                        q.push_back(*hub);
+                    }
+                }
+            }
+        }
+        if !prev.contains_key(&dst_hub) {
+            return None;
+        }
+        // reconstruct hub path ports
+        let mut ports_rev = vec![dst_port];
+        let mut h = dst_hub;
+        while h != start_hub {
+            let (ph, out) = prev[&h];
+            ports_rev.push(out);
+            h = ph;
+        }
+        ports_rev.reverse();
+        Some(Route::new(ports_rev))
+    }
+
+    /// Routes from `src` to every other CAB.
+    pub fn routes_from(&self, src: u16) -> HashMap<u16, Route> {
+        (0..self.cabs() as u16)
+            .filter(|&d| d != src)
+            .filter_map(|d| self.route(src, d).map(|r| (d, r)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_hub_routes_are_one_hop() {
+        let t = Topology::single_hub(4);
+        let r = t.route(0, 3).unwrap();
+        assert_eq!(r.hops(), &[3]);
+        let r = t.route(2, 1).unwrap();
+        assert_eq!(r.hops(), &[1]);
+        assert!(t.route(0, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn two_hub_routes() {
+        let t = Topology::two_hubs(26);
+        assert_eq!(t.cabs(), 26);
+        // cab 0 on hub 0 port 0; cab 1 on hub 1 port 0
+        let r = t.route(0, 1).unwrap();
+        assert_eq!(r.hops().len(), 2);
+        assert_eq!(r.hops()[0], 15); // trunk port
+        assert_eq!(r.hops()[1], 0); // cab 1's port on hub 1
+        // same-hub pair stays one hop
+        let r = t.route(0, 2).unwrap();
+        assert_eq!(r.hops().len(), 1);
+    }
+
+    #[test]
+    fn chain_routes_scale_with_distance() {
+        let t = Topology::chain(4, 3);
+        assert_eq!(t.cabs(), 12);
+        // cab 0 (hub 0) to cab 11 (hub 3): 3 trunk hops + final port
+        let r = t.route(0, 11).unwrap();
+        assert_eq!(r.hops().len(), 4);
+        // reverse direction
+        let r = t.route(11, 0).unwrap();
+        assert_eq!(r.hops().len(), 4);
+        // neighbours on the same hub
+        let r = t.route(0, 1).unwrap();
+        assert_eq!(r.hops().len(), 1);
+    }
+
+    #[test]
+    fn routes_from_covers_everyone() {
+        let t = Topology::two_hubs(10);
+        let routes = t.routes_from(3);
+        assert_eq!(routes.len(), 9);
+        assert!(!routes.contains_key(&3));
+    }
+
+    #[test]
+    #[should_panic(expected = "16x16")]
+    fn oversubscribed_single_hub_panics() {
+        Topology::single_hub(17);
+    }
+}

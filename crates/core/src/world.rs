@@ -1,0 +1,254 @@
+//! The world: every HUB, CAB and host wired together on one event
+//! queue.
+//!
+//! Execution model: CABs and hosts are burst-atomic state machines
+//! (one burst per event); frames move between them through the HUB
+//! model with cut-through timing. This module owns the glue — effect
+//! routing, kick scheduling, fault injection — and the public
+//! [`World::run_until`] / [`World::run_for`] drivers used by tests,
+//! examples and the benchmark harness.
+
+use nectar_cab::{Cab, CabEffect, StepStatus};
+use nectar_host::{Host, HostEffect, HostStepStatus};
+use nectar_hub::{Hub, HubDecision};
+use nectar_sim::{Pcg32, Scheduler, SimDuration, SimTime, Trace};
+use nectar_wire::datalink::Frame;
+
+use crate::config::Config;
+use crate::topology::{Attachment, Topology};
+
+/// The event queue specialized to this world.
+pub type Sim = Scheduler<World>;
+
+/// Global frame counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetStats {
+    pub frames_launched: u64,
+    pub frames_lost_injected: u64,
+    pub frames_corrupted_injected: u64,
+    pub frames_hub_dropped: u64,
+}
+
+/// The complete simulated Nectar installation.
+pub struct World {
+    pub config: Config,
+    pub topo: Topology,
+    pub hubs: Vec<Hub>,
+    pub cabs: Vec<Cab>,
+    /// Host `i` is attached to CAB `i` (the paper's systems were
+    /// one-to-one).
+    pub hosts: Vec<Host>,
+    pub trace: Trace,
+    pub stats: NetStats,
+    /// Ethernet receive queues for the §6.3 comparison interface,
+    /// registered by [`crate::netdev::eth_port`].
+    pub eth_ports: Vec<Option<crate::netdev::EthPort>>,
+    fault_rng: Pcg32,
+}
+
+impl World {
+    /// Build a world over a topology. One host per CAB.
+    pub fn new(config: Config, topo: Topology) -> (World, Sim) {
+        let n = topo.cabs();
+        let mut cabs = Vec::with_capacity(n);
+        for i in 0..n as u16 {
+            let mut cab = Cab::new(
+                i,
+                config.cab_costs,
+                config.link,
+                config.tcp,
+                config.mtu,
+                config.seed ^ (i as u64) << 17,
+            );
+            for (dst, route) in topo.routes_from(i) {
+                cab.set_route(dst, route);
+            }
+            cab.proto.ip_in_thread = config.ip_in_thread;
+            cabs.push(cab);
+        }
+        let hosts =
+            (0..n as u16).map(|i| Host::new(i, i, config.host_costs)).collect();
+        let hubs = (0..topo.hubs as u16).map(|h| Hub::new(h, config.hub)).collect();
+        let world = World {
+            fault_rng: Pcg32::new(config.seed, 0xfau64),
+            trace: if config.trace { Trace::enabled() } else { Trace::new() },
+            config,
+            topo,
+            hubs,
+            cabs,
+            hosts,
+            stats: NetStats::default(),
+            eth_ports: (0..n).map(|_| None).collect(),
+        };
+        let mut sim = Sim::new();
+        // boot every CAB and host (threads initialize, then idle)
+        for i in 0..n {
+            sim.immediately(move |w, s| kick_cab(w, s, i));
+            sim.immediately(move |w, s| kick_host(w, s, i));
+        }
+        (world, sim)
+    }
+
+    /// Convenience single-HUB constructor.
+    pub fn single_hub(config: Config, hosts: usize) -> (World, Sim) {
+        World::new(config, Topology::single_hub(hosts))
+    }
+
+    /// Run until the queue drains or `deadline` passes.
+    pub fn run_until(&mut self, sim: &mut Sim, deadline: SimTime) {
+        sim.run_until(self, deadline);
+    }
+
+    /// Run for a span of simulated time from `sim.now()`.
+    pub fn run_for(&mut self, sim: &mut Sim, d: SimDuration) {
+        let deadline = sim.now() + d;
+        self.run_until(sim, deadline);
+    }
+}
+
+/// Run one CAB burst and route its effects; self-reschedules while the
+/// CAB reports more work.
+pub fn kick_cab(w: &mut World, sim: &mut Sim, i: usize) {
+    let now = sim.now();
+    let (fx, status) = {
+        let trace = &mut w.trace;
+        w.cabs[i].step(now, trace)
+    };
+    let burst_end = match status {
+        StepStatus::Ran { next } => next,
+        _ => now,
+    };
+    route_cab_effects(w, sim, i, fx, burst_end);
+    match status {
+        StepStatus::Ran { next } => {
+            sim.at(next, move |w, s| kick_cab(w, s, i));
+        }
+        StepStatus::Idle { next: Some(next) } => {
+            let at = next.max(now + SimDuration::from_nanos(1));
+            sim.at(at, move |w, s| kick_cab(w, s, i));
+        }
+        StepStatus::Idle { next: None } => {}
+    }
+}
+
+/// Run one host burst against its CAB's shared memory and route the
+/// effects.
+pub fn kick_host(w: &mut World, sim: &mut Sim, i: usize) {
+    let now = sim.now();
+    let cab_id = w.hosts[i].cab_id as usize;
+    let (fx, status) = {
+        let (hosts, cabs, trace) = (&mut w.hosts, &mut w.cabs, &mut w.trace);
+        hosts[i].step(now, &mut cabs[cab_id].shared, trace)
+    };
+    // side effects (doorbell writes) become visible when the burst's
+    // stores have actually crossed the bus: at burst end
+    let burst_end = match status {
+        HostStepStatus::Ran { next } => next,
+        _ => now,
+    };
+    let doorbell = w.config.doorbell_latency;
+    for e in fx {
+        match e {
+            HostEffect::InterruptCab => {
+                sim.at(burst_end + doorbell, move |w, s| {
+                    let t = s.now();
+                    w.cabs[cab_id].host_interrupt(t);
+                    kick_cab(w, s, cab_id);
+                });
+            }
+            HostEffect::EthTransmit { dst_host, packet, first_byte } => {
+                // the 10 Mbit/s comparison interface: direct host link
+                let prop = SimDuration::from_micros(5);
+                let at = first_byte + prop;
+                sim.at(at.max(now), move |w, s| {
+                    crate::netdev::eth_deliver(w, s, dst_host as usize, packet);
+                });
+            }
+        }
+    }
+    match status {
+        HostStepStatus::Ran { next } => {
+            sim.at(next, move |w, s| kick_host(w, s, i));
+        }
+        HostStepStatus::Idle { next: Some(next) } => {
+            let at = next.max(now + SimDuration::from_nanos(1));
+            sim.at(at, move |w, s| kick_host(w, s, i));
+        }
+        HostStepStatus::Idle { next: None } => {}
+    }
+}
+
+fn route_cab_effects(
+    w: &mut World,
+    sim: &mut Sim,
+    i: usize,
+    fx: Vec<CabEffect>,
+    burst_end: nectar_sim::SimTime,
+) {
+    for e in fx {
+        match e {
+            CabEffect::Transmit { mut frame, first_byte } => {
+                w.stats.frames_launched += 1;
+                // fault injection where the frame enters the network
+                if w.fault_rng.chance(w.config.faults.loss) {
+                    w.stats.frames_lost_injected += 1;
+                    continue;
+                }
+                if w.config.faults.corrupt > 0.0 && w.fault_rng.chance(w.config.faults.corrupt)
+                {
+                    let bit = w.fault_rng.range(0, frame.wire_len() * 8);
+                    frame.corrupt_bit(bit);
+                    w.stats.frames_corrupted_injected += 1;
+                }
+                let (hub, port) = w.topo.cab_port[i];
+                let prop = w.config.link.fiber_propagation;
+                let at = first_byte + prop;
+                sim.at(at, move |w, s| {
+                    hub_frame_arrival(w, s, hub as usize, port, frame);
+                });
+            }
+            CabEffect::InterruptHost => {
+                // host index == cab index in this world
+                let host = i;
+                sim.at(burst_end + w.config.doorbell_latency, move |w, s| {
+                    let t = s.now();
+                    w.hosts[host].cab_interrupt(t);
+                    kick_host(w, s, host);
+                });
+            }
+        }
+    }
+}
+
+fn hub_frame_arrival(w: &mut World, sim: &mut Sim, hub: usize, in_port: u8, mut frame: Frame) {
+    let now = sim.now();
+    let ser =
+        SimDuration::serialization(frame.wire_len(), w.config.link.fiber_bits_per_sec);
+    match w.hubs[hub].frame_arrival(now, in_port, &mut frame, ser) {
+        HubDecision::Forward { out_port, first_byte_out } => {
+            let prop = w.config.link.fiber_propagation;
+            let at = first_byte_out + prop;
+            match w.topo.port_map[hub][out_port as usize] {
+                Attachment::Cab(c) => {
+                    let c = c as usize;
+                    sim.at(at, move |w, s| {
+                        let t = s.now();
+                        w.cabs[c].deliver_frame(t, frame);
+                        kick_cab(w, s, c);
+                    });
+                }
+                Attachment::Hub { hub: h2, in_port: p2 } => {
+                    sim.at(at, move |w, s| {
+                        hub_frame_arrival(w, s, h2 as usize, p2, frame);
+                    });
+                }
+                Attachment::None => {
+                    w.stats.frames_hub_dropped += 1;
+                }
+            }
+        }
+        HubDecision::Drop(_) => {
+            w.stats.frames_hub_dropped += 1;
+        }
+    }
+}

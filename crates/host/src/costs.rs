@@ -1,0 +1,96 @@
+//! Host-side cost model (a Sun 4 workstation on a VME backplane).
+//!
+//! §6.1 of the paper: "each read or write over the VME bus takes about
+//! 1 µsec" — the constant that dominates the host–CAB interface and
+//! ultimately caps host-to-host throughput near 30 Mbit/s (Figure 8:
+//! "the slow VME bus … about 30 Mbit/sec"; 32 bits per µs = 32 Mbit/s
+//! of raw PIO bandwidth).
+
+use nectar_sim::SimDuration;
+
+/// Timing constants for the host CPU, the VME interface, and the CAB
+/// device driver.
+#[derive(Clone, Copy, Debug)]
+pub struct HostCostModel {
+    /// One 32-bit programmed-I/O access across the VME bus — *paper*:
+    /// ~1 µs.
+    pub vme_word: SimDuration,
+    /// Host process context switch (SunOS on a Sun 4).
+    pub proc_switch: SimDuration,
+    /// System call entry/exit (the blocking Wait path pays this; the
+    /// polling path exists precisely to avoid it, §3.2).
+    pub syscall: SimDuration,
+    /// Servicing the VME interrupt from the CAB (driver interrupt
+    /// handler + wakeup).
+    pub interrupt_service: SimDuration,
+    /// One iteration of a poll loop (load, compare, branch) excluding
+    /// the VME read itself.
+    pub poll_iteration: SimDuration,
+    /// Host-side CPU portion of mailbox Begin_Put in shared-memory
+    /// mode (pointer chasing over VME is charged separately as words).
+    pub mbox_begin_put_words: u32,
+    pub mbox_end_put_words: u32,
+    pub mbox_begin_get_words: u32,
+    pub mbox_end_get_words: u32,
+    /// Local (host-memory) copy cost per 32-bit word, for building
+    /// messages before they cross the bus.
+    pub local_copy_word: SimDuration,
+    /// Host CPU time to compose/consume a small message (application
+    /// level work in Figure 6's "create and read" 20 %).
+    pub msg_setup: SimDuration,
+}
+
+impl Default for HostCostModel {
+    fn default() -> Self {
+        HostCostModel {
+            vme_word: SimDuration::from_micros(1), // paper
+            proc_switch: SimDuration::from_micros(100),
+            syscall: SimDuration::from_micros(40),
+            interrupt_service: SimDuration::from_micros(80),
+            poll_iteration: SimDuration::from_nanos(500),
+            // Figure 6 anchors: 18 µs begin_put, 20 µs end_get on the
+            // host side — mostly VME words
+            mbox_begin_put_words: 14,
+            mbox_end_put_words: 5,
+            mbox_begin_get_words: 8,
+            mbox_end_get_words: 18,
+            local_copy_word: SimDuration::from_nanos(120),
+            msg_setup: SimDuration::from_micros(20),
+        }
+    }
+}
+
+impl HostCostModel {
+    /// Time to move `n` payload bytes across the VME bus by PIO.
+    pub fn vme_bytes(&self, n: usize) -> SimDuration {
+        self.vme_word * (n as u64).div_ceil(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_pinned_vme_word() {
+        let c = HostCostModel::default();
+        assert_eq!(c.vme_word, SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn vme_transfer_rate_is_about_32_mbit() {
+        let c = HostCostModel::default();
+        // 1 MB over VME PIO: 250k words = 250 ms → 32 Mbit/s
+        let t = c.vme_bytes(1_000_000);
+        let mbps = 8.0 / t.as_secs_f64();
+        assert!((30.0..34.0).contains(&mbps), "mbps={mbps}");
+    }
+
+    #[test]
+    fn vme_bytes_rounds_up() {
+        let c = HostCostModel::default();
+        assert_eq!(c.vme_bytes(1), c.vme_word);
+        assert_eq!(c.vme_bytes(5), c.vme_word * 2);
+        assert_eq!(c.vme_bytes(0), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,216 @@
+//! The host machine: process scheduler and CAB device driver.
+//!
+//! The host mirrors the CAB's burst-atomic execution: one
+//! [`Host::step`] call runs one burst — the driver's interrupt service
+//! routine or one process burst — against the mmap'ed CAB memory, and
+//! reports when it next has work. The core crate interleaves host and
+//! CAB bursts on the global event queue.
+
+use nectar_cab::shared::{CabShared, HostCondId, SigEntry};
+use nectar_sim::{SimDuration, SimTime, Trace};
+
+use crate::costs::HostCostModel;
+use crate::process::{HostCx, HostEffect, HostProcess, HostStep, ProcId};
+
+/// Result of one host step (same contract as the CAB's).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HostStepStatus {
+    Ran { next: SimTime },
+    Idle { next: Option<SimTime> },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ProcState {
+    Runnable,
+    Blocked(HostCondId),
+    Sleeping(SimTime),
+    Done,
+}
+
+struct ProcSlot {
+    body: Option<Box<dyn HostProcess>>,
+    state: ProcState,
+}
+
+/// Host counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HostStats {
+    pub proc_switches: u64,
+    pub cab_interrupts: u64,
+    pub vme_words: u64,
+}
+
+/// One host workstation attached to a CAB over VME.
+pub struct Host {
+    pub id: u16,
+    /// The CAB this host's memory mapping points at.
+    pub cab_id: u16,
+    pub costs: HostCostModel,
+    procs: Vec<ProcSlot>,
+    last_proc: Option<ProcId>,
+    rr_next: usize,
+    cursor: SimTime,
+    pending_intr: Vec<SimTime>,
+    pub stats: HostStats,
+}
+
+impl Host {
+    pub fn new(id: u16, cab_id: u16, costs: HostCostModel) -> Host {
+        Host {
+            id,
+            cab_id,
+            costs,
+            procs: Vec::new(),
+            last_proc: None,
+            rr_next: 0,
+            cursor: SimTime::ZERO,
+            pending_intr: Vec::new(),
+            stats: HostStats::default(),
+        }
+    }
+
+    /// Start a process.
+    pub fn spawn(&mut self, p: Box<dyn HostProcess>) -> ProcId {
+        self.procs.push(ProcSlot { body: Some(p), state: ProcState::Runnable });
+        (self.procs.len() - 1) as ProcId
+    }
+
+    pub fn is_done(&self, p: ProcId) -> bool {
+        self.procs[p as usize].state == ProcState::Done
+    }
+
+    /// The CAB raised the VME interrupt towards this host.
+    pub fn cab_interrupt(&mut self, now: SimTime) {
+        self.pending_intr.push(now);
+    }
+
+    /// Earliest instant this host has work, absent new input.
+    pub fn next_work(&self, after: SimTime) -> Option<SimTime> {
+        let after = after.max(self.cursor);
+        let mut next: Option<SimTime> = None;
+        let mut consider = |t: SimTime| {
+            next = Some(match next {
+                None => t,
+                Some(n) => n.min(t),
+            });
+        };
+        for &t in &self.pending_intr {
+            consider(t.max(after));
+        }
+        for p in &self.procs {
+            match p.state {
+                ProcState::Runnable => consider(after),
+                ProcState::Sleeping(d) => consider(d.max(after)),
+                _ => {}
+            }
+        }
+        next
+    }
+
+    /// Execute one burst at (or after) `now` against the mapped CAB
+    /// memory.
+    pub fn step(
+        &mut self,
+        now: SimTime,
+        shared: &mut CabShared,
+        trace: &mut Trace,
+    ) -> (Vec<HostEffect>, HostStepStatus) {
+        let t = self.cursor.max(now);
+        // wake sleepers
+        for p in &mut self.procs {
+            if let ProcState::Sleeping(d) = p.state {
+                if d <= t {
+                    p.state = ProcState::Runnable;
+                }
+            }
+        }
+        let mut fx = Vec::new();
+
+        // 1. driver interrupt service: drain the host signal queue
+        if let Some(idx) = self
+            .pending_intr
+            .iter()
+            .enumerate()
+            .filter(|(_, &at)| at <= t)
+            .map(|(i, _)| i)
+            .next()
+        {
+            self.pending_intr.remove(idx);
+            self.stats.cab_interrupts += 1;
+            let mut charged = self.costs.interrupt_service;
+            while let Some(entry) = shared.host_sigq.pop_front() {
+                charged += self.costs.vme_word * 2;
+                if let SigEntry::HostCondSignalled(hc) = entry {
+                    for p in &mut self.procs {
+                        if p.state == ProcState::Blocked(hc) {
+                            p.state = ProcState::Runnable;
+                        }
+                    }
+                }
+            }
+            self.cursor = t + charged;
+            return (fx, HostStepStatus::Ran { next: self.cursor });
+        }
+
+        // 2. processes (round robin; single CPU)
+        let n = self.procs.len();
+        let mut picked = None;
+        for off in 0..n {
+            let pid = (self.rr_next + off) % n;
+            if self.procs[pid].state == ProcState::Runnable {
+                picked = Some(pid);
+                break;
+            }
+        }
+        if let Some(pid) = picked {
+            self.rr_next = (pid + 1) % n.max(1);
+            let switch = self.last_proc != Some(pid as ProcId);
+            let mut body = self.procs[pid].body.take().expect("process in flight");
+            let mut cx = HostCx {
+                host_id: self.id,
+                cab_id: self.cab_id,
+                t0: t,
+                charged: SimDuration::ZERO,
+                costs: &self.costs,
+                shared,
+                fx: &mut fx,
+                trace,
+                vme_words: 0,
+                doorbell: false,
+            };
+            if switch {
+                cx.charge(cx.costs.proc_switch);
+                self.stats.proc_switches += 1;
+            }
+            let step = body.run(&mut cx);
+            let mut charged = cx.charged();
+            if charged == SimDuration::ZERO && step == HostStep::Yield {
+                charged = SimDuration::from_micros(1);
+            }
+            let doorbell = cx.doorbell;
+            self.stats.vme_words += cx.vme_words;
+            self.procs[pid].body = Some(body);
+            self.procs[pid].state = match step {
+                HostStep::Yield => ProcState::Runnable,
+                HostStep::Block(hc) => ProcState::Blocked(hc),
+                HostStep::Sleep(d) => ProcState::Sleeping(d),
+                HostStep::Done => ProcState::Done,
+            };
+            self.last_proc = Some(pid as ProcId);
+            if doorbell {
+                fx.push(HostEffect::InterruptCab);
+            }
+            self.cursor = t + charged;
+            return (fx, HostStepStatus::Ran { next: self.cursor });
+        }
+
+        // 3. idle
+        (fx, HostStepStatus::Idle { next: self.next_work(t) })
+    }
+}
+
+impl std::fmt::Debug for Host {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Host").field("id", &self.id).field("stats", &self.stats).finish()
+    }
+}

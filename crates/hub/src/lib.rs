@@ -1,0 +1,29 @@
+//! The Nectar HUB: a 16×16 crossbar switch with a command controller.
+//!
+//! §2.1 of the paper: "A HUB consists of a crossbar switch, a set of I/O
+//! ports, and a controller. The controller implements commands that the
+//! CABs use to set up both packet-switching and circuit-switching
+//! connections over the network. … The HUB command set includes support
+//! for multi-hop connections and low-level flow control. … the HUBs are
+//! 16 × 16 crossbars. The hardware latency to set up a connection and
+//! transfer the first byte of a packet through a single HUB is 700
+//! nanoseconds."
+//!
+//! The model is cut-through, as the 700 ns figure implies: a frame's
+//! first byte exits 700 ns after it arrives (plus any wait for the
+//! output port), and the tail follows at line rate. Timing is therefore
+//! tracked per frame as a *first-byte time*; serialization happens once,
+//! at the transmitting CAB, and every stage just shifts the first-byte
+//! time.
+//!
+//! The HUB is a passive state machine: `frame_arrival` returns a
+//! decision (forward / drop) with the computed departure time, and the
+//! core crate's wiring turns that into the next event. No event queue
+//! appears here, which keeps the component unit-testable in isolation.
+
+pub mod crossbar;
+
+pub use crossbar::{DropReason, Hub, HubCommand, HubConfig, HubDecision, HubReply, HubStats};
+
+/// Number of I/O ports on a Nectar HUB (16×16 crossbar).
+pub const PORTS: usize = 16;

@@ -1,0 +1,251 @@
+//! The event queue: a deterministic scheduler of timestamped closures.
+//!
+//! Every state change in the simulated Nectar system — a frame finishing
+//! serialization onto a fiber, a CAB thread's execution burst completing,
+//! a host process waking from a device-driver sleep, a TCP retransmission
+//! timer firing — is an event. Events are closures over the world type
+//! `W` (defined by the `nectar` core crate), ordered by `(time, sequence
+//! number)`; the sequence number makes simultaneous events fire in the
+//! order they were scheduled, which keeps every run bit-for-bit
+//! reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A scheduled event: a one-shot closure over the world.
+pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Scheduler<W>)>;
+
+struct Entry<W> {
+    at: SimTime,
+    seq: u64,
+    f: EventFn<W>,
+}
+
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Entry<W> {}
+
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<W> Ord for Entry<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The simulation scheduler: virtual clock plus pending-event heap.
+///
+/// `W` is the simulated world; the scheduler never inspects it, it only
+/// hands it to event closures. This keeps the kernel reusable by every
+/// crate in the workspace (component unit tests use small ad-hoc worlds).
+pub struct Scheduler<W> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Entry<W>>,
+    executed: u64,
+}
+
+impl<W> Default for Scheduler<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Scheduler<W> {
+    pub fn new() -> Self {
+        Scheduler { now: SimTime::ZERO, seq: 0, heap: BinaryHeap::new(), executed: 0 }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far (for diagnostics and runaway
+    /// detection in tests).
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedule `f` at absolute time `at`. Scheduling in the past is a
+    /// logic error somewhere in a cost model; we clamp to `now` rather
+    /// than panic so that a mis-calibrated model degrades into "runs
+    /// immediately" instead of aborting a long experiment, but debug
+    /// builds assert.
+    pub fn at(&mut self, at: SimTime, f: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static) {
+        debug_assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, f: Box::new(f) });
+    }
+
+    /// Schedule `f` after a relative delay.
+    pub fn after(&mut self, delay: SimDuration, f: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static) {
+        self.at(self.now + delay, f);
+    }
+
+    /// Schedule `f` to run at the current instant, after all events already
+    /// queued for this instant.
+    pub fn immediately(&mut self, f: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static) {
+        self.at(self.now, f);
+    }
+
+    /// Execute the next event, if any. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        match self.heap.pop() {
+            None => false,
+            Some(Entry { at, f, .. }) => {
+                debug_assert!(at >= self.now);
+                self.now = at;
+                self.executed += 1;
+                f(world, self);
+                true
+            }
+        }
+    }
+
+    /// Run until the event queue drains.
+    pub fn run(&mut self, world: &mut W) {
+        while self.step(world) {}
+    }
+
+    /// Run until the event queue drains or the clock passes `deadline`,
+    /// whichever comes first. Events scheduled exactly at `deadline` run.
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) {
+        while let Some(entry) = self.heap.peek() {
+            if entry.at > deadline {
+                break;
+            }
+            self.step(world);
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Run at most `max_events` events (a guard for tests that want to
+    /// detect event storms / livelock).
+    pub fn run_capped(&mut self, world: &mut W, max_events: u64) -> bool {
+        for _ in 0..max_events {
+            if !self.step(world) {
+                return true;
+            }
+        }
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Log(Vec<(u64, u32)>);
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut s: Scheduler<Log> = Scheduler::new();
+        let mut w = Log::default();
+        s.after(SimDuration::from_micros(30), |w, s| w.0.push((s.now().as_micros(), 3)));
+        s.after(SimDuration::from_micros(10), |w, s| w.0.push((s.now().as_micros(), 1)));
+        s.after(SimDuration::from_micros(20), |w, s| w.0.push((s.now().as_micros(), 2)));
+        s.run(&mut w);
+        assert_eq!(w.0, vec![(10, 1), (20, 2), (30, 3)]);
+        assert_eq!(s.executed(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_scheduling_order() {
+        let mut s: Scheduler<Log> = Scheduler::new();
+        let mut w = Log::default();
+        for i in 0..100u32 {
+            s.at(SimTime::from_nanos(500), move |w, _| w.0.push((0, i)));
+        }
+        s.run(&mut w);
+        let order: Vec<u32> = w.0.iter().map(|&(_, i)| i).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut s: Scheduler<Log> = Scheduler::new();
+        let mut w = Log::default();
+        s.after(SimDuration::from_micros(1), |w, s| {
+            w.0.push((s.now().as_micros(), 1));
+            s.after(SimDuration::from_micros(5), |w, s| {
+                w.0.push((s.now().as_micros(), 2));
+            });
+        });
+        s.run(&mut w);
+        assert_eq!(w.0, vec![(1, 1), (6, 2)]);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_and_advances_clock() {
+        let mut s: Scheduler<Log> = Scheduler::new();
+        let mut w = Log::default();
+        s.after(SimDuration::from_micros(10), |w, _| w.0.push((10, 0)));
+        s.after(SimDuration::from_micros(50), |w, _| w.0.push((50, 0)));
+        s.run_until(&mut w, SimTime::from_nanos(20_000));
+        assert_eq!(w.0, vec![(10, 0)]);
+        assert_eq!(s.now(), SimTime::from_nanos(20_000));
+        assert_eq!(s.pending(), 1);
+        // the rest still runs afterwards
+        s.run(&mut w);
+        assert_eq!(w.0.len(), 2);
+    }
+
+    #[test]
+    fn run_until_includes_deadline_events() {
+        let mut s: Scheduler<Log> = Scheduler::new();
+        let mut w = Log::default();
+        s.at(SimTime::from_nanos(20_000), |w, _| w.0.push((20, 0)));
+        s.run_until(&mut w, SimTime::from_nanos(20_000));
+        assert_eq!(w.0, vec![(20, 0)]);
+    }
+
+    #[test]
+    fn run_capped_detects_storms() {
+        let mut s: Scheduler<Log> = Scheduler::new();
+        let mut w = Log::default();
+        // A self-perpetuating event chain.
+        fn storm(w: &mut Log, s: &mut Scheduler<Log>) {
+            w.0.push((s.now().as_micros(), 0));
+            s.after(SimDuration::from_nanos(1), storm);
+        }
+        s.immediately(storm);
+        assert!(!s.run_capped(&mut w, 1000));
+        assert_eq!(w.0.len(), 1000);
+    }
+
+    #[test]
+    fn immediately_runs_after_already_queued_same_instant_events() {
+        let mut s: Scheduler<Log> = Scheduler::new();
+        let mut w = Log::default();
+        s.at(SimTime::ZERO, |w, s| {
+            w.0.push((0, 1));
+            s.immediately(|w, _| w.0.push((0, 3)));
+        });
+        s.at(SimTime::ZERO, |w, _| w.0.push((0, 2)));
+        s.run(&mut w);
+        assert_eq!(w.0, vec![(0, 1), (0, 2), (0, 3)]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Deterministic random numbers for the simulation.
+//!
+//! The simulator needs randomness in exactly three places — fault
+//! injection on fiber links, randomized workload generation, and TCP's
+//! initial sequence numbers — and all three must replay identically from
+//! a seed so that failing property tests can be reproduced. We use PCG32
+//! (O'Neill 2014): tiny, fast, and statistically solid, with independent
+//! streams so each component can fork its own generator.
+
+/// A PCG32 (XSH-RR) generator: 64-bit state, 64-bit stream selector.
+#[derive(Clone, Debug)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+impl Pcg32 {
+    /// Create a generator from a seed and stream id. Different streams
+    /// from the same seed are independent sequences.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        let mut rng = Pcg32 { state: 0, inc: (stream << 1) | 1 };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        rng.next_u32();
+        rng
+    }
+
+    /// Create from a seed on the default stream.
+    pub fn seeded(seed: u64) -> Self {
+        Self::new(seed, 0xda3e39cb94b95bdb)
+    }
+
+    /// Fork a child generator for an independent purpose. The child's
+    /// stream is derived from the parent's next output, so forking is
+    /// itself deterministic.
+    pub fn fork(&mut self, salt: u64) -> Pcg32 {
+        let seed = self.next_u64();
+        Pcg32::new(seed ^ salt, salt.wrapping_mul(0x9e3779b97f4a7c15) | 1)
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        (self.next_u32() as u64) << 32 | self.next_u32() as u64
+    }
+
+    /// Uniform integer in `[0, bound)`. Uses Lemire's method with
+    /// rejection to avoid modulo bias. `bound` must be nonzero.
+    pub fn below(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "below(0)");
+        // threshold = 2^32 mod bound
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u32();
+            let m = r as u64 * bound as u64;
+            if (m as u32) >= threshold {
+                return (m >> 32) as u32;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)` (usize convenience for indexing).
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        let span = (hi - lo) as u64;
+        if span <= u32::MAX as u64 {
+            lo + self.below(span as u32) as usize
+        } else {
+            lo + (self.next_u64() % span) as usize
+        }
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0,1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        (self.next_u32() as f64) < p * (u32::MAX as f64 + 1.0)
+    }
+
+    /// Uniform float in [0, 1).
+    pub fn f64(&mut self) -> f64 {
+        // 53 random bits, the full precision of an f64 mantissa.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Exponentially distributed value with the given mean (for Poisson
+    /// arrival processes in workload generators).
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        let u = loop {
+            let u = self.f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -mean * u.ln()
+    }
+
+    /// Fisher-Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.range(0, i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_replay() {
+        let mut a = Pcg32::seeded(42);
+        let mut b = Pcg32::seeded(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Pcg32::seeded(1);
+        let mut b = Pcg32::seeded(2);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut a = Pcg32::new(7, 1);
+        let mut b = Pcg32::new(7, 2);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = Pcg32::seeded(3);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.below(7);
+            assert!(v < 7);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn range_bounds() {
+        let mut rng = Pcg32::seeded(4);
+        for _ in 0..1000 {
+            let v = rng.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes_and_rough_frequency() {
+        let mut rng = Pcg32::seeded(5);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Pcg32::seeded(6);
+        for _ in 0..1000 {
+            let v = rng.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn exp_has_roughly_right_mean() {
+        let mut rng = Pcg32::seeded(7);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| rng.exp(5.0)).sum();
+        let mean = total / n as f64;
+        assert!((4.7..5.3).contains(&mean), "mean={mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Pcg32::seeded(8);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fork_children_are_independent_of_parent() {
+        let mut parent = Pcg32::seeded(9);
+        let mut child = parent.fork(1);
+        let same = (0..64).filter(|_| parent.next_u32() == child.next_u32()).count();
+        assert!(same < 4);
+    }
+}

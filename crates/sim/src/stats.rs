@@ -1,0 +1,215 @@
+//! Measurement primitives used by the benchmark harness.
+//!
+//! The paper reports medians/representative latencies (Table 1), a stage
+//! breakdown (Figure 6) and throughput series (Figures 7 and 8). These
+//! types collect exactly that: counters, latency histograms with
+//! percentiles, and byte-rate meters that convert to the paper's unit
+//! (Mbit/s).
+
+use crate::time::{SimDuration, SimTime};
+
+/// A plain monotonically increasing counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A latency histogram storing exact samples.
+///
+/// Experiments in this workspace collect at most a few hundred thousand
+/// samples, so we keep them all: exact percentiles beat bucketing error,
+/// and sorting once at report time is cheap.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d.as_nanos());
+        self.sorted = false;
+    }
+
+    pub fn record_nanos(&mut self, ns: u64) {
+        self.samples.push(ns);
+        self.sorted = false;
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The p-th percentile (0.0 ..= 1.0) using nearest-rank. Returns zero
+    /// on an empty histogram.
+    pub fn percentile(&mut self, p: f64) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        self.ensure_sorted();
+        let rank = ((p.clamp(0.0, 1.0)) * (self.samples.len() - 1) as f64).round() as usize;
+        SimDuration::from_nanos(self.samples[rank])
+    }
+
+    pub fn median(&mut self) -> SimDuration {
+        self.percentile(0.5)
+    }
+
+    pub fn min(&mut self) -> SimDuration {
+        self.percentile(0.0)
+    }
+
+    pub fn max(&mut self) -> SimDuration {
+        self.percentile(1.0)
+    }
+
+    pub fn mean(&self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: u128 = self.samples.iter().map(|&s| s as u128).sum();
+        SimDuration::from_nanos((total / self.samples.len() as u128) as u64)
+    }
+}
+
+/// Measures achieved throughput over a window of simulated time.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RateMeter {
+    bytes: u64,
+    started: Option<SimTime>,
+    last: Option<SimTime>,
+}
+
+impl RateMeter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` payload bytes delivered at time `now`. The first call
+    /// starts the measurement window.
+    pub fn record(&mut self, now: SimTime, n: usize) {
+        if self.started.is_none() {
+            self.started = Some(now);
+        }
+        self.last = Some(now);
+        self.bytes += n as u64;
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Throughput in Mbit/s (the paper's unit) over the window from first
+    /// record to `end`.
+    pub fn mbits_per_sec(&self, end: SimTime) -> f64 {
+        match self.started {
+            None => 0.0,
+            Some(start) => {
+                let secs = (end - start).as_secs_f64();
+                if secs <= 0.0 {
+                    0.0
+                } else {
+                    self.bytes as f64 * 8.0 / 1e6 / secs
+                }
+            }
+        }
+    }
+
+    /// Throughput over the window from first to last recorded delivery.
+    pub fn mbits_per_sec_to_last(&self) -> f64 {
+        match self.last {
+            None => 0.0,
+            Some(last) => self.mbits_per_sec(last),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::default();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = Histogram::new();
+        for us in [5u64, 1, 9, 3, 7] {
+            h.record(SimDuration::from_micros(us));
+        }
+        assert_eq!(h.median(), SimDuration::from_micros(5));
+        assert_eq!(h.min(), SimDuration::from_micros(1));
+        assert_eq!(h.max(), SimDuration::from_micros(9));
+        assert_eq!(h.mean(), SimDuration::from_micros(5));
+        assert_eq!(h.len(), 5);
+    }
+
+    #[test]
+    fn histogram_empty_is_zero() {
+        let mut h = Histogram::new();
+        assert_eq!(h.median(), SimDuration::ZERO);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn histogram_interleaved_record_and_query() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_micros(10));
+        assert_eq!(h.median(), SimDuration::from_micros(10));
+        h.record(SimDuration::from_micros(2));
+        assert_eq!(h.min(), SimDuration::from_micros(2));
+    }
+
+    #[test]
+    fn rate_meter_computes_mbps() {
+        let mut m = RateMeter::new();
+        m.record(SimTime::ZERO, 0);
+        // 1 MB over 1 second = 8 Mbit/s
+        m.record(SimTime::ZERO + SimDuration::from_secs(1), 1_000_000);
+        let mbps = m.mbits_per_sec(SimTime::ZERO + SimDuration::from_secs(1));
+        assert!((mbps - 8.0).abs() < 1e-9, "mbps={mbps}");
+        assert!((m.mbits_per_sec_to_last() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_meter_empty_and_zero_window() {
+        let m = RateMeter::new();
+        assert_eq!(m.mbits_per_sec(SimTime::ZERO), 0.0);
+        let mut m = RateMeter::new();
+        m.record(SimTime::ZERO, 100);
+        assert_eq!(m.mbits_per_sec(SimTime::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! The ICMP responder.
+//!
+//! §4.1: "ICMP is implemented as a mailbox upcall" — it is small enough
+//! to run as a side effect of the IP input mailbox being written. This
+//! engine implements exactly that scope: answer echo requests, surface
+//! received echo replies and errors to the caller, and build the error
+//! messages IP needs (protocol/port unreachable, reassembly time
+//! exceeded).
+
+use std::net::Ipv4Addr;
+
+use nectar_wire::icmp::{IcmpMessage, UnreachableCode};
+use nectar_wire::ipv4::HEADER_LEN;
+use nectar_wire::WireError;
+
+/// What the ICMP upcall decided about an incoming ICMP datagram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IcmpInput {
+    /// Send this reply back to `dst` (echo request handling).
+    Reply { dst: Ipv4Addr, message: IcmpMessage },
+    /// An echo reply for a ping we (or a host application) issued.
+    EchoReply { src: Ipv4Addr, ident: u16, seq: u16, payload: Vec<u8> },
+    /// An error message arrived; the quoted original lets transports
+    /// map it back to a connection (not needed on a healthy LAN, but
+    /// surfaced for completeness).
+    Error { src: Ipv4Addr, message: IcmpMessage },
+    /// Unparseable; dropped.
+    Bad(WireError),
+}
+
+/// Counters for the upcall.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IcmpStats {
+    pub echo_requests: u64,
+    pub echo_replies: u64,
+    pub errors_in: u64,
+    pub errors_out: u64,
+    pub bad: u64,
+}
+
+/// The ICMP engine: stateless except for counters.
+#[derive(Debug, Default)]
+pub struct IcmpEngine {
+    stats: IcmpStats,
+}
+
+impl IcmpEngine {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn stats(&self) -> &IcmpStats {
+        &self.stats
+    }
+
+    /// Process an ICMP datagram delivered by IP from `src`.
+    pub fn input(&mut self, src: Ipv4Addr, data: &[u8]) -> IcmpInput {
+        match IcmpMessage::parse(data) {
+            Err(e) => {
+                self.stats.bad += 1;
+                IcmpInput::Bad(e)
+            }
+            Ok(msg) => match msg {
+                IcmpMessage::EchoRequest { .. } => {
+                    self.stats.echo_requests += 1;
+                    let reply = msg.echo_reply_for().expect("echo request has a reply");
+                    IcmpInput::Reply { dst: src, message: reply }
+                }
+                IcmpMessage::EchoReply { ident, seq, payload } => {
+                    self.stats.echo_replies += 1;
+                    IcmpInput::EchoReply { src, ident, seq, payload }
+                }
+                other => {
+                    self.stats.errors_in += 1;
+                    IcmpInput::Error { src, message: other }
+                }
+            },
+        }
+    }
+
+    /// Build a Destination Unreachable quoting the offending packet
+    /// (IP header + first 8 payload bytes, per RFC 792).
+    pub fn unreachable_for(&mut self, offending_packet: &[u8], code: UnreachableCode) -> IcmpMessage {
+        self.stats.errors_out += 1;
+        let quote_len = (HEADER_LEN + 8).min(offending_packet.len());
+        IcmpMessage::DestUnreachable { code, original: offending_packet[..quote_len].to_vec() }
+    }
+
+    /// Build a reassembly Time Exceeded from the quote captured by the
+    /// IP endpoint.
+    pub fn time_exceeded_for(&mut self, quote: Vec<u8>) -> IcmpMessage {
+        self.stats.errors_out += 1;
+        IcmpMessage::TimeExceeded { original: quote }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, last)
+    }
+
+    #[test]
+    fn echo_request_generates_reply() {
+        let mut eng = IcmpEngine::new();
+        let req = IcmpMessage::EchoRequest { ident: 5, seq: 1, payload: b"abc".to_vec() };
+        match eng.input(a(3), &req.build()) {
+            IcmpInput::Reply { dst, message } => {
+                assert_eq!(dst, a(3));
+                match message {
+                    IcmpMessage::EchoReply { ident, seq, payload } => {
+                        assert_eq!((ident, seq), (5, 1));
+                        assert_eq!(payload, b"abc");
+                    }
+                    other => panic!("unexpected: {other:?}"),
+                }
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(eng.stats().echo_requests, 1);
+    }
+
+    #[test]
+    fn echo_reply_surfaced() {
+        let mut eng = IcmpEngine::new();
+        let rep = IcmpMessage::EchoReply { ident: 9, seq: 2, payload: vec![7; 4] };
+        match eng.input(a(4), &rep.build()) {
+            IcmpInput::EchoReply { src, ident, seq, payload } => {
+                assert_eq!(src, a(4));
+                assert_eq!((ident, seq), (9, 2));
+                assert_eq!(payload, vec![7; 4]);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_surfaced_and_bad_dropped() {
+        let mut eng = IcmpEngine::new();
+        let err = IcmpMessage::DestUnreachable {
+            code: UnreachableCode::Port,
+            original: vec![0; 28],
+        };
+        assert!(matches!(eng.input(a(1), &err.build()), IcmpInput::Error { .. }));
+        assert!(matches!(eng.input(a(1), &[1, 2, 3]), IcmpInput::Bad(WireError::Truncated)));
+        assert_eq!(eng.stats().errors_in, 1);
+        assert_eq!(eng.stats().bad, 1);
+    }
+
+    #[test]
+    fn unreachable_quotes_original() {
+        let mut eng = IcmpEngine::new();
+        let packet: Vec<u8> = (0..40u8).collect();
+        let msg = eng.unreachable_for(&packet, UnreachableCode::Protocol);
+        match msg {
+            IcmpMessage::DestUnreachable { code, original } => {
+                assert_eq!(code, UnreachableCode::Protocol);
+                assert_eq!(original, packet[..28].to_vec());
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        // short packets quoted in full
+        let msg = eng.unreachable_for(&packet[..10], UnreachableCode::Port);
+        match msg {
+            IcmpMessage::DestUnreachable { original, .. } => assert_eq!(original.len(), 10),
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(eng.stats().errors_out, 2);
+    }
+}

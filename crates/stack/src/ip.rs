@@ -1,0 +1,494 @@
+//! The IPv4 endpoint: output with fragmentation, input with reassembly.
+//!
+//! §4.1 of the paper: "IP input processing is performed at interrupt
+//! time. … IP uses this opportunity to perform a sanity check of the IP
+//! header (including computation of the IP header checksum). … the IP
+//! input handler queues packets for reassembly if they are fragments of
+//! a larger datagram. The handler transfers complete datagrams to the
+//! input mailbox of the appropriate higher-level protocol."
+//!
+//! The send interface mirrors `IP_Output`: "higher protocols are
+//! expected to call IP_Output with a header template, a reference to
+//! the data they wish to send" — here [`IpEndpoint::output`] takes the
+//! template fields and returns the packets (possibly fragmented to the
+//! MTU) ready for the datalink layer.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use nectar_sim::{SimDuration, SimTime};
+use nectar_wire::ipv4::{IpProtocol, Ipv4Header, HEADER_LEN};
+use nectar_wire::WireError;
+
+/// Default time a partially reassembled datagram may wait for its
+/// missing fragments (RFC 791 suggests 15 s; BSD used 30 s half-life —
+/// we keep it short because simulated experiments run for seconds).
+pub const DEFAULT_REASSEMBLY_TIMEOUT: SimDuration = SimDuration::from_secs(5);
+
+/// Outcome of feeding one received IP packet to the endpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IpInput {
+    /// A complete datagram for a higher protocol: header (of the first
+    /// fragment, with fragmentation fields cleared) plus full payload.
+    Delivered { header: Ipv4Header, payload: Vec<u8> },
+    /// A fragment was absorbed; the datagram is still incomplete.
+    FragmentHeld,
+    /// The packet was not for this endpoint (wrong destination); the
+    /// caller may forward or drop. Nectar CABs do not route IP, so the
+    /// CAB drops and counts these.
+    NotForUs,
+    /// Parse or checksum failure; dropped.
+    Bad(WireError),
+}
+
+/// A reassembly context that timed out, for ICMP Time Exceeded
+/// generation (only if fragment zero arrived, per RFC 792).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReassemblyExpiry {
+    pub src: Ipv4Addr,
+    /// IP header + first 8 payload bytes of fragment zero, if we have
+    /// them (the ICMP error quotes these).
+    pub original: Option<Vec<u8>>,
+}
+
+#[derive(Clone, Debug)]
+struct Reassembly {
+    /// Received fragment ranges as (offset, bytes).
+    fragments: Vec<(usize, Vec<u8>)>,
+    /// Total length once the last fragment (more_frags = false) arrives.
+    total_len: Option<usize>,
+    /// Header of fragment zero (carried into the delivered datagram).
+    first_header: Option<Ipv4Header>,
+    /// IP header + 8 payload bytes of fragment zero for ICMP errors.
+    quote: Option<Vec<u8>>,
+    deadline: SimTime,
+}
+
+impl Reassembly {
+    fn new(deadline: SimTime) -> Self {
+        Reassembly {
+            fragments: Vec::new(),
+            total_len: None,
+            first_header: None,
+            quote: None,
+            deadline,
+        }
+    }
+
+    /// True when every byte of [0, total_len) is covered.
+    fn complete(&self) -> Option<usize> {
+        let total = self.total_len?;
+        self.first_header?;
+        let mut covered = 0usize;
+        // fragments kept sorted by offset with no overlaps (trimmed on
+        // insert)
+        for &(off, ref data) in &self.fragments {
+            if off > covered {
+                return None; // hole
+            }
+            covered = covered.max(off + data.len());
+        }
+        if covered >= total {
+            Some(total)
+        } else {
+            None
+        }
+    }
+
+    fn insert(&mut self, offset: usize, mut data: Vec<u8>) {
+        // Trim against existing fragments: keep earlier data (first
+        // arrival wins, as in BSD).
+        let mut off = offset;
+        for &(eoff, ref edata) in &self.fragments {
+            let eend = eoff + edata.len();
+            if off >= eoff && off < eend {
+                let overlap = eend - off;
+                if overlap >= data.len() {
+                    return; // fully duplicate
+                }
+                data.drain(..overlap);
+                off = eend;
+            }
+        }
+        // Trim the tail if it overlaps a later fragment's head.
+        if let Some(&(noff, _)) = self.fragments.iter().find(|&&(eoff, _)| eoff >= off) {
+            if off + data.len() > noff {
+                data.truncate(noff - off);
+            }
+        }
+        if data.is_empty() {
+            return;
+        }
+        let at = self.fragments.partition_point(|&(eoff, _)| eoff < off);
+        self.fragments.insert(at, (off, data));
+    }
+
+    fn assemble(&self, total: usize) -> Vec<u8> {
+        let mut out = vec![0u8; total];
+        for &(off, ref data) in &self.fragments {
+            let end = (off + data.len()).min(total);
+            if off < total {
+                out[off..end].copy_from_slice(&data[..end - off]);
+            }
+        }
+        out
+    }
+}
+
+/// Per-endpoint counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IpStats {
+    pub delivered: u64,
+    pub fragments_in: u64,
+    pub fragmented_out: u64,
+    pub packets_out: u64,
+    pub bad: u64,
+    pub not_for_us: u64,
+    pub reassembly_expired: u64,
+}
+
+/// One host's IPv4 endpoint.
+#[derive(Debug)]
+pub struct IpEndpoint {
+    addr: Ipv4Addr,
+    next_ident: u16,
+    reassembly: HashMap<(Ipv4Addr, u16, u8), Reassembly>,
+    reassembly_timeout: SimDuration,
+    stats: IpStats,
+}
+
+impl IpEndpoint {
+    pub fn new(addr: Ipv4Addr) -> Self {
+        IpEndpoint {
+            addr,
+            next_ident: 1,
+            reassembly: HashMap::new(),
+            reassembly_timeout: DEFAULT_REASSEMBLY_TIMEOUT,
+            stats: IpStats::default(),
+        }
+    }
+
+    pub fn addr(&self) -> Ipv4Addr {
+        self.addr
+    }
+
+    pub fn stats(&self) -> &IpStats {
+        &self.stats
+    }
+
+    pub fn set_reassembly_timeout(&mut self, t: SimDuration) {
+        self.reassembly_timeout = t;
+    }
+
+    /// IP_Output: wrap `payload` for `dst`, fragmenting to `mtu` (the
+    /// datalink payload limit) if needed. Returns complete IP packets.
+    pub fn output(
+        &mut self,
+        dst: Ipv4Addr,
+        protocol: IpProtocol,
+        payload: &[u8],
+        mtu: usize,
+    ) -> Vec<Vec<u8>> {
+        assert!(mtu > HEADER_LEN, "MTU must exceed the IP header");
+        let ident = self.next_ident;
+        self.next_ident = self.next_ident.wrapping_add(1).max(1);
+
+        let max_data = mtu - HEADER_LEN;
+        if payload.len() <= max_data {
+            let mut h = Ipv4Header::new(self.addr, dst, protocol, payload.len());
+            h.ident = ident;
+            self.stats.packets_out += 1;
+            return vec![h.build_packet(payload)];
+        }
+
+        // Fragment: every non-final fragment's data length must be a
+        // multiple of 8.
+        let frag_data = max_data & !7;
+        assert!(frag_data > 0, "MTU too small to fragment");
+        let mut packets = Vec::new();
+        let mut offset = 0usize;
+        while offset < payload.len() {
+            let end = (offset + frag_data).min(payload.len());
+            let chunk = &payload[offset..end];
+            let mut h = Ipv4Header::new(self.addr, dst, protocol, chunk.len());
+            h.ident = ident;
+            h.frag_offset = offset as u16;
+            h.more_frags = end < payload.len();
+            packets.push(h.build_packet(chunk));
+            offset = end;
+        }
+        self.stats.packets_out += packets.len() as u64;
+        self.stats.fragmented_out += 1;
+        packets
+    }
+
+    /// IP input processing: validate, absorb fragments, deliver complete
+    /// datagrams.
+    pub fn input(&mut self, now: SimTime, packet: &[u8]) -> IpInput {
+        let header = match Ipv4Header::parse(packet) {
+            Ok(h) => h,
+            Err(e) => {
+                self.stats.bad += 1;
+                return IpInput::Bad(e);
+            }
+        };
+        if header.dst != self.addr {
+            self.stats.not_for_us += 1;
+            return IpInput::NotForUs;
+        }
+        let payload = &packet[HEADER_LEN..header.total_len as usize];
+
+        if !header.more_frags && header.frag_offset == 0 {
+            // The common, unfragmented case.
+            self.stats.delivered += 1;
+            return IpInput::Delivered { header, payload: payload.to_vec() };
+        }
+
+        self.stats.fragments_in += 1;
+        let key = (header.src, header.ident, header.protocol.0);
+        let deadline = now + self.reassembly_timeout;
+        let entry = self.reassembly.entry(key).or_insert_with(|| Reassembly::new(deadline));
+        entry.insert(header.frag_offset as usize, payload.to_vec());
+        if header.frag_offset == 0 {
+            let mut h = header;
+            h.more_frags = false;
+            h.frag_offset = 0;
+            entry.first_header = Some(h);
+            let quote_len = (HEADER_LEN + 8).min(packet.len());
+            entry.quote = Some(packet[..quote_len].to_vec());
+        }
+        if !header.more_frags {
+            entry.total_len = Some(header.frag_offset as usize + payload.len());
+        }
+        if let Some(total) = entry.complete() {
+            let entry = self.reassembly.remove(&key).expect("entry exists");
+            let payload = entry.assemble(total);
+            let mut h = entry.first_header.expect("checked by complete()");
+            h.total_len = (HEADER_LEN + total) as u16;
+            self.stats.delivered += 1;
+            IpInput::Delivered { header: h, payload }
+        } else {
+            IpInput::FragmentHeld
+        }
+    }
+
+    /// Expire overdue reassembly contexts. Returns expiry records so the
+    /// caller can emit ICMP Time Exceeded where fragment zero arrived.
+    pub fn poll_expired(&mut self, now: SimTime) -> Vec<ReassemblyExpiry> {
+        let mut expired = Vec::new();
+        self.reassembly.retain(|&(src, _, _), entry| {
+            if now >= entry.deadline {
+                expired.push(ReassemblyExpiry { src, original: entry.quote.clone() });
+                false
+            } else {
+                true
+            }
+        });
+        // Determinism: HashMap iteration order is arbitrary; sort by src.
+        expired.sort_by_key(|e| e.src);
+        self.stats.reassembly_expired += expired.len() as u64;
+        expired
+    }
+
+    /// The next instant at which [`Self::poll_expired`] could have work.
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        self.reassembly.values().map(|r| r.deadline).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, last)
+    }
+
+    fn now() -> SimTime {
+        SimTime::from_nanos(1_000_000)
+    }
+
+    #[test]
+    fn unfragmented_roundtrip() {
+        let mut tx = IpEndpoint::new(a(1));
+        let mut rx = IpEndpoint::new(a(2));
+        let payload = b"a small datagram".to_vec();
+        let pkts = tx.output(a(2), IpProtocol::UDP, &payload, 1500);
+        assert_eq!(pkts.len(), 1);
+        match rx.input(now(), &pkts[0]) {
+            IpInput::Delivered { header, payload: p } => {
+                assert_eq!(header.src, a(1));
+                assert_eq!(header.protocol, IpProtocol::UDP);
+                assert_eq!(p, payload);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(rx.stats().delivered, 1);
+    }
+
+    #[test]
+    fn fragmentation_and_reassembly() {
+        let mut tx = IpEndpoint::new(a(1));
+        let mut rx = IpEndpoint::new(a(2));
+        let payload: Vec<u8> = (0..4000u32).map(|i| i as u8).collect();
+        let pkts = tx.output(a(2), IpProtocol::UDP, &payload, 576);
+        assert!(pkts.len() > 1);
+        // every non-final fragment's payload is a multiple of 8
+        for p in &pkts[..pkts.len() - 1] {
+            let h = Ipv4Header::parse(p).unwrap();
+            assert!(h.more_frags);
+            assert_eq!(h.payload_len() % 8, 0);
+        }
+        let mut delivered = None;
+        for p in &pkts {
+            match rx.input(now(), p) {
+                IpInput::Delivered { payload, .. } => delivered = Some(payload),
+                IpInput::FragmentHeld => {}
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+        assert_eq!(delivered.unwrap(), payload);
+        assert_eq!(tx.stats().fragmented_out, 1);
+    }
+
+    #[test]
+    fn out_of_order_reassembly() {
+        let mut tx = IpEndpoint::new(a(1));
+        let mut rx = IpEndpoint::new(a(2));
+        let payload: Vec<u8> = (0..3000u32).map(|i| (i * 7) as u8).collect();
+        let mut pkts = tx.output(a(2), IpProtocol::TCP, &payload, 576);
+        pkts.reverse();
+        let mut delivered = None;
+        for p in &pkts {
+            if let IpInput::Delivered { payload, .. } = rx.input(now(), p) {
+                delivered = Some(payload);
+            }
+        }
+        assert_eq!(delivered.unwrap(), payload);
+    }
+
+    #[test]
+    fn duplicate_fragments_harmless() {
+        let mut tx = IpEndpoint::new(a(1));
+        let mut rx = IpEndpoint::new(a(2));
+        let payload: Vec<u8> = (0..2000u32).map(|i| i as u8).collect();
+        let pkts = tx.output(a(2), IpProtocol::UDP, &payload, 576);
+        // feed everything except the last, twice
+        for p in &pkts[..pkts.len() - 1] {
+            assert_eq!(rx.input(now(), p), IpInput::FragmentHeld);
+            assert_eq!(rx.input(now(), p), IpInput::FragmentHeld);
+        }
+        match rx.input(now(), pkts.last().unwrap()) {
+            IpInput::Delivered { payload: p, .. } => assert_eq!(p, payload),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interleaved_datagrams_keep_separate_contexts() {
+        let mut tx1 = IpEndpoint::new(a(1));
+        let mut tx3 = IpEndpoint::new(a(3));
+        let mut rx = IpEndpoint::new(a(2));
+        let pay1: Vec<u8> = vec![0xAA; 1500];
+        let pay3: Vec<u8> = vec![0xBB; 1500];
+        let p1 = tx1.output(a(2), IpProtocol::UDP, &pay1, 576);
+        let p3 = tx3.output(a(2), IpProtocol::UDP, &pay3, 576);
+        let mut got = Vec::new();
+        for (x, y) in p1.iter().zip(&p3) {
+            for p in [x, y] {
+                if let IpInput::Delivered { payload, header } = rx.input(now(), p) {
+                    got.push((header.src, payload));
+                }
+            }
+        }
+        assert_eq!(got.len(), 2);
+        for (src, payload) in got {
+            if src == a(1) {
+                assert_eq!(payload, pay1);
+            } else {
+                assert_eq!(payload, pay3);
+            }
+        }
+    }
+
+    #[test]
+    fn reassembly_timeout_expires_and_quotes_fragment_zero() {
+        let mut tx = IpEndpoint::new(a(1));
+        let mut rx = IpEndpoint::new(a(2));
+        rx.set_reassembly_timeout(SimDuration::from_millis(10));
+        let payload = vec![1u8; 2000];
+        let pkts = tx.output(a(2), IpProtocol::UDP, &payload, 576);
+        // only fragment zero arrives
+        assert_eq!(rx.input(now(), &pkts[0]), IpInput::FragmentHeld);
+        assert!(rx.next_wakeup().is_some());
+        let not_yet = rx.poll_expired(now() + SimDuration::from_millis(5));
+        assert!(not_yet.is_empty());
+        let expired = rx.poll_expired(now() + SimDuration::from_millis(10));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].src, a(1));
+        let quote = expired[0].original.as_ref().unwrap();
+        assert_eq!(quote.len(), HEADER_LEN + 8);
+        assert!(rx.next_wakeup().is_none());
+        assert_eq!(rx.stats().reassembly_expired, 1);
+    }
+
+    #[test]
+    fn timeout_without_fragment_zero_has_no_quote() {
+        let mut tx = IpEndpoint::new(a(1));
+        let mut rx = IpEndpoint::new(a(2));
+        rx.set_reassembly_timeout(SimDuration::from_millis(10));
+        let pkts = tx.output(a(2), IpProtocol::UDP, &vec![1u8; 2000], 576);
+        assert_eq!(rx.input(now(), &pkts[1]), IpInput::FragmentHeld);
+        let expired = rx.poll_expired(now() + SimDuration::from_secs(1));
+        assert_eq!(expired.len(), 1);
+        assert!(expired[0].original.is_none());
+    }
+
+    #[test]
+    fn wrong_destination_and_corruption() {
+        let mut tx = IpEndpoint::new(a(1));
+        let mut rx = IpEndpoint::new(a(2));
+        let pkts = tx.output(a(9), IpProtocol::UDP, b"x", 1500);
+        assert_eq!(rx.input(now(), &pkts[0]), IpInput::NotForUs);
+        let mut bad = tx.output(a(2), IpProtocol::UDP, b"y", 1500).remove(0);
+        bad[9] ^= 0xff;
+        assert!(matches!(rx.input(now(), &bad), IpInput::Bad(WireError::BadChecksum)));
+        assert_eq!(rx.stats().bad, 1);
+        assert_eq!(rx.stats().not_for_us, 1);
+    }
+
+    #[test]
+    fn ident_increments_and_skips_zero() {
+        let mut tx = IpEndpoint::new(a(1));
+        tx.next_ident = u16::MAX;
+        let p1 = tx.output(a(2), IpProtocol::UDP, b"x", 1500);
+        let h1 = Ipv4Header::parse(&p1[0]).unwrap();
+        assert_eq!(h1.ident, u16::MAX);
+        let p2 = tx.output(a(2), IpProtocol::UDP, b"x", 1500);
+        let h2 = Ipv4Header::parse(&p2[0]).unwrap();
+        assert_eq!(h2.ident, 1); // wrapped past 0
+    }
+
+    #[test]
+    fn overlapping_fragments_first_arrival_wins() {
+        // Craft overlapping fragments by hand.
+        let mut rx = IpEndpoint::new(a(2));
+        let mk = |off: u16, more: bool, fill: u8, len: usize| {
+            let mut h = Ipv4Header::new(a(1), a(2), IpProtocol::UDP, len);
+            h.ident = 42;
+            h.frag_offset = off;
+            h.more_frags = more;
+            h.build_packet(&vec![fill; len])
+        };
+        // [0,16) arrives first with AA, then [8,24) with BB (overlap 8..16)
+        assert_eq!(rx.input(now(), &mk(0, true, 0xAA, 16)), IpInput::FragmentHeld);
+        match rx.input(now(), &mk(8, false, 0xBB, 16)) {
+            IpInput::Delivered { payload, .. } => {
+                assert_eq!(payload.len(), 24);
+                assert!(payload[..16].iter().all(|&b| b == 0xAA));
+                assert!(payload[16..].iter().all(|&b| b == 0xBB));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

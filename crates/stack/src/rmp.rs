@@ -1,0 +1,569 @@
+//! The Nectar Reliable Message Protocol (RMP).
+//!
+//! §4: "The reliable message protocol is a simple stop-and-wait
+//! protocol." Messages are addressed to mailboxes; a message larger
+//! than the datalink MTU is cut into fragments, and each fragment is
+//! individually acknowledged before the next is sent. No software
+//! checksum is computed — the CAB's hardware CRC protects the frame,
+//! which is exactly why RMP reaches ≈90 Mbit/s in Figure 7 while TCP
+//! pays for software checksumming.
+//!
+//! Stop-and-wait is viable at these speeds because the Nectar fiber
+//! RTT (< 10 µs) is tiny against the serialization time of a large
+//! fragment (655 µs for 8 KiB at 100 Mbit/s), so the link stays > 95 %
+//! utilized — the paper's measured curve shape.
+
+use std::collections::{HashMap, VecDeque};
+
+use nectar_sim::{SimDuration, SimTime};
+use nectar_wire::nectar::{RmpHeader, RmpKind};
+
+/// Sender-side tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct RmpConfig {
+    /// Largest fragment payload (bounded by the datalink MTU minus the
+    /// RMP header).
+    pub max_fragment: usize,
+    /// Retransmission timeout for an unacknowledged fragment.
+    pub rto: SimDuration,
+    /// Give up after this many retransmissions of one fragment.
+    pub max_retries: u32,
+}
+
+impl Default for RmpConfig {
+    fn default() -> Self {
+        RmpConfig {
+            max_fragment: 8 * 1024,
+            rto: SimDuration::from_millis(5),
+            max_retries: 10,
+        }
+    }
+}
+
+/// Sender-side actions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RmpSendAction {
+    /// Hand this RMP packet (header + fragment payload) to the datalink
+    /// layer for `dst_cab`.
+    Transmit { dst_cab: u16, packet: Vec<u8> },
+    /// The message with this sequence number is fully acknowledged.
+    Delivered { msg_seq: u32 },
+    /// Retries exhausted; the message (and the channel) is dead.
+    Failed { msg_seq: u32 },
+}
+
+#[derive(Debug)]
+struct InFlight {
+    msg_seq: u32,
+    frag_idx: u16,
+    offset: usize,
+    frag_len: usize,
+    total_len: usize,
+    deadline: SimTime,
+    retries: u32,
+}
+
+/// Sender statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RmpSenderStats {
+    pub fragments_sent: u64,
+    pub retransmits: u64,
+    pub messages_delivered: u64,
+    pub messages_failed: u64,
+}
+
+/// One RMP send channel: (this CAB's `src_mbox`) → (`dst_cab`,
+/// `dst_mbox`). Stop-and-wait: at most one fragment in flight.
+#[derive(Debug)]
+pub struct RmpSender {
+    dst_cab: u16,
+    dst_mbox: u16,
+    src_mbox: u16,
+    cfg: RmpConfig,
+    queue: VecDeque<(u32, Vec<u8>)>,
+    next_seq: u32,
+    current: Option<InFlight>,
+    failed: bool,
+    stats: RmpSenderStats,
+}
+
+impl RmpSender {
+    pub fn new(dst_cab: u16, dst_mbox: u16, src_mbox: u16, cfg: RmpConfig) -> Self {
+        assert!(cfg.max_fragment > 0);
+        RmpSender {
+            dst_cab,
+            dst_mbox,
+            src_mbox,
+            cfg,
+            queue: VecDeque::new(),
+            next_seq: 0,
+            current: None,
+            failed: false,
+            stats: RmpSenderStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> &RmpSenderStats {
+        &self.stats
+    }
+
+    /// True when the channel has died (a fragment exhausted retries).
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Number of unfinished messages (the in-flight message remains at
+    /// the queue front until its final fragment is acknowledged).
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Queue a message; returns its sequence number. Call
+    /// [`Self::poll`] to get the first transmission.
+    pub fn send(&mut self, message: Vec<u8>) -> u32 {
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        self.queue.push_back((seq, message));
+        seq
+    }
+
+    fn frag_packet(&self, msg: &[u8], fl: &InFlight) -> Vec<u8> {
+        let header = RmpHeader {
+            kind: RmpKind::Data,
+            last_frag: fl.offset + fl.frag_len >= fl.total_len,
+            dst_mbox: self.dst_mbox,
+            src_mbox: self.src_mbox,
+            msg_seq: fl.msg_seq,
+            frag_idx: fl.frag_idx,
+            total_len: fl.total_len as u32,
+        };
+        header.build(&msg[fl.offset..fl.offset + fl.frag_len])
+    }
+
+    /// Start the next fragment if idle; retransmit on timeout.
+    pub fn poll(&mut self, now: SimTime, out: &mut Vec<RmpSendAction>) {
+        if self.failed {
+            return;
+        }
+        match &mut self.current {
+            None => {
+                // start the next message's first fragment
+                let Some(&(msg_seq, ref msg)) = self.queue.front() else { return };
+                let total_len = msg.len();
+                let frag_len = self.cfg.max_fragment.min(total_len);
+                let fl = InFlight {
+                    msg_seq,
+                    frag_idx: 0,
+                    offset: 0,
+                    frag_len,
+                    total_len,
+                    deadline: now + self.cfg.rto,
+                    retries: 0,
+                };
+                let packet = self.frag_packet(msg, &fl);
+                self.current = Some(fl);
+                self.stats.fragments_sent += 1;
+                out.push(RmpSendAction::Transmit { dst_cab: self.dst_cab, packet });
+            }
+            Some(fl) => {
+                if now >= fl.deadline {
+                    fl.retries += 1;
+                    if fl.retries > self.cfg.max_retries {
+                        let msg_seq = fl.msg_seq;
+                        self.current = None;
+                        self.failed = true;
+                        self.stats.messages_failed += 1;
+                        out.push(RmpSendAction::Failed { msg_seq });
+                        return;
+                    }
+                    fl.deadline = now + self.cfg.rto;
+                    let msg = &self.queue.front().expect("in-flight implies queued").1;
+                    let packet = {
+                        let header = RmpHeader {
+                            kind: RmpKind::Data,
+                            last_frag: fl.offset + fl.frag_len >= fl.total_len,
+                            dst_mbox: self.dst_mbox,
+                            src_mbox: self.src_mbox,
+                            msg_seq: fl.msg_seq,
+                            frag_idx: fl.frag_idx,
+                            total_len: fl.total_len as u32,
+                        };
+                        header.build(&msg[fl.offset..fl.offset + fl.frag_len])
+                    };
+                    self.stats.fragments_sent += 1;
+                    self.stats.retransmits += 1;
+                    out.push(RmpSendAction::Transmit { dst_cab: self.dst_cab, packet });
+                }
+            }
+        }
+    }
+
+    /// Process an ACK from the receiver.
+    pub fn on_ack(&mut self, now: SimTime, ack: &RmpHeader, out: &mut Vec<RmpSendAction>) {
+        debug_assert_eq!(ack.kind, RmpKind::Ack);
+        let Some(fl) = &mut self.current else { return };
+        if ack.msg_seq != fl.msg_seq || ack.frag_idx != fl.frag_idx {
+            return; // stale ack
+        }
+        let done = fl.offset + fl.frag_len >= fl.total_len;
+        if done {
+            let msg_seq = fl.msg_seq;
+            self.current = None;
+            self.queue.pop_front();
+            self.stats.messages_delivered += 1;
+            out.push(RmpSendAction::Delivered { msg_seq });
+        } else {
+            fl.offset += fl.frag_len;
+            fl.frag_idx += 1;
+            fl.frag_len = self.cfg.max_fragment.min(fl.total_len - fl.offset);
+            fl.deadline = now + self.cfg.rto;
+            fl.retries = 0;
+            let msg = &self.queue.front().expect("in-flight implies queued").1;
+            let header = RmpHeader {
+                kind: RmpKind::Data,
+                last_frag: fl.offset + fl.frag_len >= fl.total_len,
+                dst_mbox: self.dst_mbox,
+                src_mbox: self.src_mbox,
+                msg_seq: fl.msg_seq,
+                frag_idx: fl.frag_idx,
+                total_len: fl.total_len as u32,
+            };
+            let packet = header.build(&msg[fl.offset..fl.offset + fl.frag_len]);
+            self.stats.fragments_sent += 1;
+            out.push(RmpSendAction::Transmit { dst_cab: self.dst_cab, packet });
+        }
+        // immediately start the next message if this one finished
+        self.poll(now, out);
+    }
+
+    /// Next retransmission deadline, if a fragment is in flight.
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        self.current.as_ref().map(|fl| fl.deadline)
+    }
+}
+
+/// Receiver-side actions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RmpRecvAction {
+    /// Send this ACK packet back to `dst_cab`.
+    Ack { dst_cab: u16, packet: Vec<u8> },
+    /// A complete message arrived for `dst_mbox`.
+    Deliver { dst_mbox: u16, src_cab: u16, src_mbox: u16, message: Vec<u8> },
+}
+
+#[derive(Debug, Default)]
+struct RecvChannel {
+    expected_seq: u32,
+    next_frag: u16,
+    buf: Vec<u8>,
+}
+
+/// Receiver statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RmpReceiverStats {
+    pub fragments_in: u64,
+    pub duplicates: u64,
+    pub delivered: u64,
+}
+
+/// The receive half: tracks per-channel reassembly. A channel is the
+/// (source CAB, source mailbox, destination mailbox) triple.
+#[derive(Debug, Default)]
+pub struct RmpReceiver {
+    channels: HashMap<(u16, u16, u16), RecvChannel>,
+    stats: RmpReceiverStats,
+}
+
+impl RmpReceiver {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn stats(&self) -> &RmpReceiverStats {
+        &self.stats
+    }
+
+    /// Process a Data packet from `src_cab`.
+    pub fn on_data(
+        &mut self,
+        src_cab: u16,
+        hdr: &RmpHeader,
+        payload: &[u8],
+        out: &mut Vec<RmpRecvAction>,
+    ) {
+        debug_assert_eq!(hdr.kind, RmpKind::Data);
+        self.stats.fragments_in += 1;
+        let key = (src_cab, hdr.src_mbox, hdr.dst_mbox);
+        let ch = self.channels.entry(key).or_default();
+
+        let ack = |out: &mut Vec<RmpRecvAction>| {
+            out.push(RmpRecvAction::Ack { dst_cab: src_cab, packet: hdr.ack_for().build(&[]) });
+        };
+
+        if hdr.msg_seq.wrapping_sub(ch.expected_seq) > u32::MAX / 2 {
+            // an already-delivered message: the sender missed our ack
+            self.stats.duplicates += 1;
+            ack(out);
+            return;
+        }
+        if hdr.msg_seq != ch.expected_seq {
+            // a future message cannot arrive before the current one
+            // completes under stop-and-wait; drop silently
+            return;
+        }
+        if hdr.frag_idx < ch.next_frag {
+            // duplicate fragment of the current message
+            self.stats.duplicates += 1;
+            ack(out);
+            return;
+        }
+        if hdr.frag_idx > ch.next_frag {
+            // a gap is impossible under stop-and-wait; drop
+            return;
+        }
+        ch.buf.extend_from_slice(payload);
+        ch.next_frag += 1;
+        ack(out);
+        if hdr.last_frag {
+            let message = std::mem::take(&mut ch.buf);
+            debug_assert_eq!(message.len(), hdr.total_len as usize);
+            ch.expected_seq = ch.expected_seq.wrapping_add(1);
+            ch.next_frag = 0;
+            self.stats.delivered += 1;
+            out.push(RmpRecvAction::Deliver {
+                dst_mbox: hdr.dst_mbox,
+                src_cab,
+                src_mbox: hdr.src_mbox,
+                message,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nectar_wire::nectar::RmpHeader;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1000)
+    }
+
+    fn cfg(max_fragment: usize) -> RmpConfig {
+        RmpConfig { max_fragment, rto: SimDuration::from_micros(100), max_retries: 3 }
+    }
+
+    /// Deliver a Transmit action's packet to the receiver, returning
+    /// receiver actions.
+    fn deliver(rx: &mut RmpReceiver, src_cab: u16, packet: &[u8]) -> Vec<RmpRecvAction> {
+        let (hdr, payload) = RmpHeader::parse(packet).unwrap();
+        let mut out = Vec::new();
+        rx.on_data(src_cab, &hdr, payload, &mut out);
+        out
+    }
+
+    fn ack_sender(tx: &mut RmpSender, now: SimTime, ack_packet: &[u8]) -> Vec<RmpSendAction> {
+        let (hdr, _) = RmpHeader::parse(ack_packet).unwrap();
+        let mut out = Vec::new();
+        tx.on_ack(now, &hdr, &mut out);
+        out
+    }
+
+    #[test]
+    fn single_fragment_message() {
+        let mut tx = RmpSender::new(2, 7, 3, cfg(1024));
+        let mut rx = RmpReceiver::new();
+        let seq = tx.send(b"hello rmp".to_vec());
+        assert_eq!(seq, 0);
+        let mut out = Vec::new();
+        tx.poll(t(0), &mut out);
+        let RmpSendAction::Transmit { dst_cab, packet } = &out[0] else { panic!() };
+        assert_eq!(*dst_cab, 2);
+        let racts = deliver(&mut rx, 1, packet);
+        assert_eq!(racts.len(), 2); // ack + deliver
+        let RmpRecvAction::Deliver { dst_mbox, src_cab, src_mbox, message } = &racts[1] else {
+            panic!()
+        };
+        assert_eq!((*dst_mbox, *src_cab, *src_mbox), (7, 1, 3));
+        assert_eq!(message, b"hello rmp");
+        let RmpRecvAction::Ack { packet: ackp, .. } = &racts[0] else { panic!() };
+        let sacts = ack_sender(&mut tx, t(10), ackp);
+        assert_eq!(sacts, vec![RmpSendAction::Delivered { msg_seq: 0 }]);
+        assert_eq!(tx.backlog(), 0);
+    }
+
+    #[test]
+    fn multi_fragment_stop_and_wait() {
+        let mut tx = RmpSender::new(2, 7, 3, cfg(100));
+        let mut rx = RmpReceiver::new();
+        let msg: Vec<u8> = (0..250u32).map(|i| i as u8).collect();
+        tx.send(msg.clone());
+        let mut now = t(0);
+        let mut out = Vec::new();
+        tx.poll(now, &mut out);
+        let mut delivered = None;
+        let mut hops = 0;
+        while let Some(RmpSendAction::Transmit { packet, .. }) = out.pop() {
+            hops += 1;
+            assert!(hops < 10, "too many fragments");
+            now = now + SimDuration::from_micros(10);
+            let racts = deliver(&mut rx, 1, &packet);
+            for act in racts {
+                match act {
+                    RmpRecvAction::Ack { packet, .. } => {
+                        out.extend(ack_sender(&mut tx, now, &packet));
+                    }
+                    RmpRecvAction::Deliver { message, .. } => delivered = Some(message),
+                }
+            }
+            // filter non-transmits
+            out.retain(|a| matches!(a, RmpSendAction::Transmit { .. }));
+        }
+        assert_eq!(hops, 3); // 250 bytes at 100-byte fragments
+        assert_eq!(delivered.unwrap(), msg);
+        assert_eq!(tx.stats().messages_delivered, 1);
+        // at most one fragment was in flight at any step: implied by the
+        // single-packet loop above
+    }
+
+    #[test]
+    fn lost_fragment_retransmitted() {
+        let mut tx = RmpSender::new(2, 7, 3, cfg(1024));
+        let mut rx = RmpReceiver::new();
+        tx.send(vec![9u8; 64]);
+        let mut out = Vec::new();
+        tx.poll(t(0), &mut out);
+        assert_eq!(out.len(), 1); // transmitted … and lost
+        out.clear();
+        // nothing happens before the deadline
+        tx.poll(t(50), &mut out);
+        assert!(out.is_empty());
+        // past the 100 us RTO: retransmit
+        tx.poll(t(150), &mut out);
+        let RmpSendAction::Transmit { packet, .. } = &out[0] else { panic!() };
+        let racts = deliver(&mut rx, 1, packet);
+        assert_eq!(racts.len(), 2);
+        assert_eq!(tx.stats().retransmits, 1);
+    }
+
+    #[test]
+    fn lost_ack_causes_duplicate_which_is_reacked() {
+        let mut tx = RmpSender::new(2, 7, 3, cfg(1024));
+        let mut rx = RmpReceiver::new();
+        tx.send(vec![1u8; 16]);
+        let mut out = Vec::new();
+        tx.poll(t(0), &mut out);
+        let RmpSendAction::Transmit { packet, .. } = out.remove(0) else { panic!() };
+        // receiver gets it, delivers, acks — but the ack is lost
+        let racts = deliver(&mut rx, 1, &packet);
+        assert!(matches!(racts[1], RmpRecvAction::Deliver { .. }));
+        // sender times out and retransmits the same fragment
+        tx.poll(t(200), &mut out);
+        let RmpSendAction::Transmit { packet, .. } = out.remove(0) else { panic!() };
+        let racts2 = deliver(&mut rx, 1, &packet);
+        // duplicate: re-acked, NOT redelivered
+        assert_eq!(racts2.len(), 1);
+        assert!(matches!(racts2[0], RmpRecvAction::Ack { .. }));
+        assert_eq!(rx.stats().duplicates, 1);
+        assert_eq!(rx.stats().delivered, 1);
+        // the re-ack completes the exchange
+        let RmpRecvAction::Ack { packet, .. } = &racts2[0] else { panic!() };
+        let sacts = ack_sender(&mut tx, t(210), packet);
+        assert!(sacts.contains(&RmpSendAction::Delivered { msg_seq: 0 }));
+    }
+
+    #[test]
+    fn retries_exhausted_fails_channel() {
+        let mut tx = RmpSender::new(2, 7, 3, cfg(1024));
+        tx.send(vec![0u8; 8]);
+        let mut out = Vec::new();
+        tx.poll(t(0), &mut out);
+        let mut now = t(0);
+        let mut failed = false;
+        for _ in 0..10 {
+            now = now + SimDuration::from_millis(1);
+            out.clear();
+            tx.poll(now, &mut out);
+            if out.iter().any(|a| matches!(a, RmpSendAction::Failed { .. })) {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed);
+        assert!(tx.is_failed());
+        // further polls do nothing
+        out.clear();
+        tx.poll(now + SimDuration::from_secs(1), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pipelined_messages_in_order() {
+        let mut tx = RmpSender::new(2, 7, 3, cfg(64));
+        let mut rx = RmpReceiver::new();
+        let m1: Vec<u8> = vec![1; 100];
+        let m2: Vec<u8> = vec![2; 10];
+        tx.send(m1.clone());
+        tx.send(m2.clone());
+        assert_eq!(tx.backlog(), 2);
+        let mut out = Vec::new();
+        tx.poll(t(0), &mut out);
+        let mut delivered = Vec::new();
+        let mut now = t(0);
+        let mut steps = 0;
+        while let Some(act) = out.pop() {
+            steps += 1;
+            assert!(steps < 20);
+            match act {
+                RmpSendAction::Transmit { packet, .. } => {
+                    now = now + SimDuration::from_micros(5);
+                    for ract in deliver(&mut rx, 1, &packet) {
+                        match ract {
+                            RmpRecvAction::Ack { packet, .. } => {
+                                out.extend(ack_sender(&mut tx, now, &packet))
+                            }
+                            RmpRecvAction::Deliver { message, .. } => delivered.push(message),
+                        }
+                    }
+                }
+                RmpSendAction::Delivered { .. } => {}
+                RmpSendAction::Failed { .. } => panic!("failed"),
+            }
+        }
+        assert_eq!(delivered, vec![m1, m2]);
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let mut rx = RmpReceiver::new();
+        // same mailbox indices but different source CABs
+        let h = RmpHeader {
+            kind: RmpKind::Data,
+            last_frag: true,
+            dst_mbox: 7,
+            src_mbox: 3,
+            msg_seq: 0,
+            frag_idx: 0,
+            total_len: 1,
+        };
+        let p = h.build(b"a");
+        let r1 = deliver(&mut rx, 1, &p);
+        let r2 = deliver(&mut rx, 2, &p);
+        assert!(matches!(r1[1], RmpRecvAction::Deliver { .. }));
+        assert!(matches!(r2[1], RmpRecvAction::Deliver { .. }));
+        assert_eq!(rx.stats().delivered, 2);
+    }
+
+    #[test]
+    fn empty_message_is_legal() {
+        let mut tx = RmpSender::new(2, 7, 3, cfg(1024));
+        let mut rx = RmpReceiver::new();
+        tx.send(Vec::new());
+        let mut out = Vec::new();
+        tx.poll(t(0), &mut out);
+        let RmpSendAction::Transmit { packet, .. } = &out[0] else { panic!() };
+        let racts = deliver(&mut rx, 1, packet);
+        let RmpRecvAction::Deliver { message, .. } = &racts[1] else { panic!() };
+        assert!(message.is_empty());
+    }
+}

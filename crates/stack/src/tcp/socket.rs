@@ -1,0 +1,1043 @@
+//! The per-connection TCP state machine.
+
+use std::collections::VecDeque;
+use std::net::Ipv4Addr;
+
+use nectar_sim::{SimDuration, SimTime};
+use nectar_wire::tcp::{SeqNum, TcpFlags, TcpHeader};
+
+use super::{AbortReason, TcpConfig, TcpEvent, TcpSocketStats, TcpState};
+
+/// Default MSS assumed when the peer's SYN carried no MSS option
+/// (RFC 1122 §4.2.2.6).
+const DEFAULT_PEER_MSS: u16 = 536;
+
+/// One TCP connection endpoint.
+#[derive(Debug)]
+pub struct TcpSocket {
+    cfg: TcpConfig,
+    state: TcpState,
+    local: (Ipv4Addr, u16),
+    remote: (Ipv4Addr, u16),
+
+    // --- send sequence space (RFC 793 §3.2) ---
+    iss: SeqNum,
+    snd_una: SeqNum,
+    snd_nxt: SeqNum,
+    snd_wnd: u32,
+    /// Largest window the peer has ever advertised (for sender-side
+    /// silly-window avoidance).
+    snd_wnd_max: u32,
+    snd_wl1: SeqNum,
+    snd_wl2: SeqNum,
+    snd_buf: VecDeque<u8>,
+    /// Sequence number of `snd_buf[0]`.
+    snd_buf_seq: SeqNum,
+    fin_queued: bool,
+    /// Sequence number our FIN occupies, once sent.
+    fin_seq: Option<SeqNum>,
+    peer_mss: u16,
+
+    // --- receive sequence space ---
+    irs: SeqNum,
+    rcv_nxt: SeqNum,
+    recv_buf: VecDeque<u8>,
+    /// Out-of-order segments, sorted by sequence number.
+    ooo: Vec<(SeqNum, Vec<u8>)>,
+    ooo_bytes: usize,
+    /// Sequence position of the peer's FIN, if seen but not yet in
+    /// order.
+    peer_fin: Option<SeqNum>,
+    peer_fin_processed: bool,
+    /// Window value sent in our most recent segment (receiver-side
+    /// silly-window avoidance).
+    last_adv_wnd: u32,
+    want_window_update: bool,
+
+    // --- congestion control (Tahoe) ---
+    cwnd: u32,
+    ssthresh: u32,
+    dup_acks: u32,
+
+    // --- RTT estimation (Jacobson/Karels + Karn) ---
+    srtt_ns: Option<i64>,
+    rttvar_ns: i64,
+    rto: SimDuration,
+    /// (end-sequence, send time) of the segment being timed.
+    rtt_sample: Option<(SeqNum, SimTime)>,
+    backoff: bool,
+    retries: u32,
+
+    // --- timers ---
+    rto_deadline: Option<SimTime>,
+    delack_deadline: Option<SimTime>,
+    timewait_deadline: Option<SimTime>,
+    probe_deadline: Option<SimTime>,
+    /// In-order segments received since we last sent an ACK.
+    unacked_segs: u32,
+
+    stats: TcpSocketStats,
+}
+
+impl TcpSocket {
+    fn base(
+        cfg: TcpConfig,
+        local: (Ipv4Addr, u16),
+        remote: (Ipv4Addr, u16),
+        iss: SeqNum,
+    ) -> TcpSocket {
+        TcpSocket {
+            state: TcpState::Closed,
+            local,
+            remote,
+            iss,
+            snd_una: iss,
+            snd_nxt: iss,
+            snd_wnd: 0,
+            snd_wnd_max: 0,
+            snd_wl1: SeqNum(0),
+            snd_wl2: SeqNum(0),
+            snd_buf: VecDeque::new(),
+            snd_buf_seq: iss.add(1),
+            fin_queued: false,
+            fin_seq: None,
+            peer_mss: DEFAULT_PEER_MSS,
+            irs: SeqNum(0),
+            rcv_nxt: SeqNum(0),
+            recv_buf: VecDeque::new(),
+            ooo: Vec::new(),
+            ooo_bytes: 0,
+            peer_fin: None,
+            peer_fin_processed: false,
+            last_adv_wnd: 0,
+            want_window_update: false,
+            cwnd: cfg.mss as u32 * 2,
+            ssthresh: u32::MAX / 2,
+            dup_acks: 0,
+            srtt_ns: None,
+            rttvar_ns: 0,
+            rto: cfg.rto_initial,
+            rtt_sample: None,
+            backoff: false,
+            retries: 0,
+            rto_deadline: None,
+            delack_deadline: None,
+            timewait_deadline: None,
+            probe_deadline: None,
+            unacked_segs: 0,
+            stats: TcpSocketStats::default(),
+            cfg,
+        }
+    }
+
+    /// Active open: create a socket and emit the SYN.
+    pub fn client(
+        now: SimTime,
+        cfg: TcpConfig,
+        local: (Ipv4Addr, u16),
+        remote: (Ipv4Addr, u16),
+        isn: u32,
+        ev: &mut Vec<TcpEvent>,
+    ) -> TcpSocket {
+        let mut s = TcpSocket::base(cfg, local, remote, SeqNum(isn));
+        s.state = TcpState::SynSent;
+        s.send_syn(now, false, ev);
+        s
+    }
+
+    /// Passive open: a listener accepted this SYN; emit the SYN-ACK.
+    pub fn server_from_syn(
+        now: SimTime,
+        cfg: TcpConfig,
+        local: (Ipv4Addr, u16),
+        remote: (Ipv4Addr, u16),
+        syn: &TcpHeader,
+        isn: u32,
+        ev: &mut Vec<TcpEvent>,
+    ) -> TcpSocket {
+        debug_assert!(syn.flags.contains(TcpFlags::SYN));
+        let mut s = TcpSocket::base(cfg, local, remote, SeqNum(isn));
+        s.state = TcpState::SynReceived;
+        s.irs = syn.seq;
+        s.rcv_nxt = syn.seq.add(1);
+        if let Some(mss) = syn.mss {
+            s.peer_mss = mss;
+        }
+        s.set_peer_window(syn);
+        s.send_syn(now, true, ev);
+        s
+    }
+
+    // ------------------------------------------------------------------
+    // accessors
+    // ------------------------------------------------------------------
+
+    pub fn state(&self) -> TcpState {
+        self.state
+    }
+
+    pub fn stats(&self) -> &TcpSocketStats {
+        &self.stats
+    }
+
+    pub fn local(&self) -> (Ipv4Addr, u16) {
+        self.local
+    }
+
+    pub fn remote(&self) -> (Ipv4Addr, u16) {
+        self.remote
+    }
+
+    pub fn config(&self) -> &TcpConfig {
+        &self.cfg
+    }
+
+    /// Bytes of in-order data ready for [`Self::recv`].
+    pub fn readable(&self) -> usize {
+        self.recv_buf.len()
+    }
+
+    /// Free space in the send buffer.
+    pub fn send_capacity(&self) -> usize {
+        self.cfg.send_buf - self.snd_buf.len()
+    }
+
+    /// True once the peer's FIN has been consumed and the receive
+    /// buffer fully drained: reads have hit EOF.
+    pub fn recv_finished(&self) -> bool {
+        self.peer_fin_processed && self.recv_buf.is_empty()
+    }
+
+    /// The effective segment size for this connection.
+    pub fn effective_mss(&self) -> usize {
+        self.cfg.mss.min(self.peer_mss) as usize
+    }
+
+    // ------------------------------------------------------------------
+    // application interface
+    // ------------------------------------------------------------------
+
+    /// Queue application data; returns how many bytes were accepted
+    /// (bounded by send-buffer space). Emits segments when the window
+    /// allows.
+    pub fn send(&mut self, now: SimTime, data: &[u8], ev: &mut Vec<TcpEvent>) -> usize {
+        if !matches!(self.state, TcpState::Established | TcpState::CloseWait)
+            && !matches!(self.state, TcpState::SynSent | TcpState::SynReceived)
+        {
+            return 0;
+        }
+        if self.fin_queued {
+            return 0; // sender already closed
+        }
+        let n = data.len().min(self.send_capacity());
+        self.snd_buf.extend(&data[..n]);
+        if self.state.synchronized() {
+            self.try_output(now, ev);
+        }
+        n
+    }
+
+    /// Read up to `max` bytes of in-order received data.
+    pub fn recv(&mut self, max: usize) -> Vec<u8> {
+        let n = max.min(self.recv_buf.len());
+        let out: Vec<u8> = self.recv_buf.drain(..n).collect();
+        // Receiver-side silly-window avoidance: only volunteer a window
+        // update once at least an MSS (or half the buffer) has opened.
+        let unadvertised = self.recv_window().saturating_sub(self.last_adv_wnd);
+        if unadvertised >= (self.effective_mss() as u32).min(self.cfg.recv_buf as u32 / 2)
+            && !out.is_empty()
+        {
+            self.want_window_update = true;
+        }
+        out
+    }
+
+    /// Close the send side (queue a FIN after any buffered data).
+    pub fn close(&mut self, now: SimTime, ev: &mut Vec<TcpEvent>) {
+        match self.state {
+            TcpState::Closed => {}
+            TcpState::SynSent => {
+                self.enter_closed(ev, Some(TcpEvent::Closed));
+            }
+            TcpState::SynReceived
+            | TcpState::Established
+            | TcpState::CloseWait => {
+                if !self.fin_queued {
+                    self.fin_queued = true;
+                    self.try_output(now, ev);
+                }
+            }
+            // already closing
+            _ => {}
+        }
+    }
+
+    /// Abort: RST the peer and drop to CLOSED.
+    pub fn abort(&mut self, _now: SimTime, ev: &mut Vec<TcpEvent>) {
+        if self.state.synchronized() || self.state == TcpState::SynReceived {
+            let mut h = self.header_template();
+            h.seq = self.snd_nxt;
+            h.ack = self.rcv_nxt;
+            h.flags = TcpFlags::RST | TcpFlags::ACK;
+            self.emit(h, &[], ev);
+        }
+        self.enter_closed(ev, Some(TcpEvent::Aborted(AbortReason::LocalAbort)));
+    }
+
+    // ------------------------------------------------------------------
+    // segment input
+    // ------------------------------------------------------------------
+
+    /// Standard TCP input processing (RFC 793 §3.9, "SEGMENT ARRIVES").
+    pub fn on_segment(
+        &mut self,
+        now: SimTime,
+        hdr: &TcpHeader,
+        payload: &[u8],
+        ev: &mut Vec<TcpEvent>,
+    ) {
+        self.stats.segs_in += 1;
+        match self.state {
+            TcpState::Closed => {}
+            TcpState::SynSent => self.on_segment_syn_sent(now, hdr, payload, ev),
+            _ => self.on_segment_synchronized(now, hdr, payload, ev),
+        }
+    }
+
+    fn on_segment_syn_sent(
+        &mut self,
+        now: SimTime,
+        hdr: &TcpHeader,
+        payload: &[u8],
+        ev: &mut Vec<TcpEvent>,
+    ) {
+        if hdr.flags.contains(TcpFlags::ACK) {
+            // acceptable ack: iss < ack <= snd_nxt
+            if hdr.ack.before_eq(self.iss) || hdr.ack.after(self.snd_nxt) {
+                if !hdr.flags.contains(TcpFlags::RST) {
+                    self.send_rst_for_ack(hdr.ack, ev);
+                }
+                return;
+            }
+        }
+        if hdr.flags.contains(TcpFlags::RST) {
+            if hdr.flags.contains(TcpFlags::ACK) {
+                self.enter_closed(ev, Some(TcpEvent::Aborted(AbortReason::Refused)));
+            }
+            return;
+        }
+        if !hdr.flags.contains(TcpFlags::SYN) {
+            return;
+        }
+        self.irs = hdr.seq;
+        self.rcv_nxt = hdr.seq.add(1);
+        if let Some(mss) = hdr.mss {
+            self.peer_mss = mss;
+        }
+        if hdr.flags.contains(TcpFlags::ACK) {
+            self.snd_una = hdr.ack;
+            self.retries = 0;
+            self.backoff = false;
+            self.rto_deadline = None;
+        }
+        self.set_peer_window(hdr);
+        if self.snd_una.after(self.iss) {
+            // our SYN is acknowledged
+            self.state = TcpState::Established;
+            ev.push(TcpEvent::Connected);
+            self.send_ack_now(ev);
+            if !payload.is_empty() {
+                self.process_payload(now, hdr, payload, ev);
+            }
+            self.try_output(now, ev);
+        } else {
+            // simultaneous open: SYN without ACK
+            self.state = TcpState::SynReceived;
+            self.snd_nxt = self.iss; // re-send SYN, now with ACK
+            self.send_syn(now, true, ev);
+        }
+    }
+
+    /// Length a segment occupies in sequence space.
+    fn segment_len(hdr: &TcpHeader, payload: &[u8]) -> u32 {
+        let mut n = payload.len() as u32;
+        if hdr.flags.contains(TcpFlags::SYN) {
+            n += 1;
+        }
+        if hdr.flags.contains(TcpFlags::FIN) {
+            n += 1;
+        }
+        n
+    }
+
+    fn acceptable(&self, hdr: &TcpHeader, payload: &[u8]) -> bool {
+        let seg_len = Self::segment_len(hdr, payload);
+        let wnd = self.recv_window();
+        let seq = hdr.seq;
+        if seg_len == 0 {
+            if wnd == 0 {
+                return seq == self.rcv_nxt;
+            }
+            return seq.after_eq(self.rcv_nxt) && seq.before(self.rcv_nxt.add(wnd as usize));
+        }
+        if wnd == 0 {
+            return false;
+        }
+        let seg_end = seq.add(seg_len as usize - 1);
+        let wnd_end = self.rcv_nxt.add(wnd as usize);
+        (seq.after_eq(self.rcv_nxt) && seq.before(wnd_end))
+            || (seg_end.after_eq(self.rcv_nxt) && seg_end.before(wnd_end))
+    }
+
+    fn on_segment_synchronized(
+        &mut self,
+        now: SimTime,
+        hdr: &TcpHeader,
+        payload: &[u8],
+        ev: &mut Vec<TcpEvent>,
+    ) {
+        // 1. acceptance
+        if !self.acceptable(hdr, payload) {
+            if !hdr.flags.contains(TcpFlags::RST) {
+                // old duplicate or out-of-window: re-ACK (this is how a
+                // lost ACK gets repaired)
+                self.send_ack_now(ev);
+            }
+            return;
+        }
+        // 2. RST
+        if hdr.flags.contains(TcpFlags::RST) {
+            self.enter_closed(ev, Some(TcpEvent::Aborted(AbortReason::Reset)));
+            return;
+        }
+        // 3. SYN in window: fatal in synchronized states
+        if hdr.flags.contains(TcpFlags::SYN) && hdr.seq.after_eq(self.rcv_nxt) {
+            self.send_rst_for_ack(self.snd_nxt, ev);
+            self.enter_closed(ev, Some(TcpEvent::Aborted(AbortReason::Reset)));
+            return;
+        }
+        // 4. ACK
+        if !hdr.flags.contains(TcpFlags::ACK) {
+            return;
+        }
+        if self.state == TcpState::SynReceived {
+            if hdr.ack.after_eq(self.snd_una) && hdr.ack.before_eq(self.snd_nxt) {
+                self.state = TcpState::Established;
+                self.set_peer_window(hdr);
+                ev.push(TcpEvent::Connected);
+            } else {
+                self.send_rst_for_ack(hdr.ack, ev);
+                return;
+            }
+        }
+        self.process_ack(now, hdr, payload, ev);
+        if self.state == TcpState::Closed {
+            return;
+        }
+        // 5. payload
+        if !payload.is_empty()
+            && matches!(
+                self.state,
+                TcpState::Established | TcpState::FinWait1 | TcpState::FinWait2
+            )
+        {
+            self.process_payload(now, hdr, payload, ev);
+        }
+        // 6. FIN
+        if hdr.flags.contains(TcpFlags::FIN) {
+            let was_processed = self.peer_fin_processed;
+            let fin_pos = hdr.seq.add(payload.len());
+            if self.peer_fin.is_none() {
+                self.peer_fin = Some(fin_pos);
+            }
+            self.maybe_process_peer_fin(now, ev);
+            // A *retransmitted* FIN reaching TIME-WAIT: re-ack and
+            // restart 2MSL (RFC 793 p.73). A FIN processed just now was
+            // already acked by maybe_process_peer_fin.
+            if was_processed && self.state == TcpState::TimeWait {
+                self.timewait_deadline = Some(now + self.cfg.msl * 2);
+                self.send_ack_now(ev);
+            }
+        }
+        // 7. output + ack policy
+        self.try_output(now, ev);
+        self.flush_ack_policy(now, ev);
+    }
+
+    fn process_ack(&mut self, now: SimTime, hdr: &TcpHeader, payload: &[u8], ev: &mut Vec<TcpEvent>) {
+        let ack = hdr.ack;
+        if ack.after(self.snd_nxt) {
+            // ack for data we never sent
+            self.send_ack_now(ev);
+            return;
+        }
+        if ack.after(self.snd_una) {
+            // --- new data acknowledged ---
+            let old_una = self.snd_una;
+            self.snd_una = ack;
+            self.retries = 0;
+            self.dup_acks = 0;
+            // Karn's rule: only sample if this segment was not
+            // retransmitted.
+            if let Some((end_seq, sent_at)) = self.rtt_sample {
+                if ack.after_eq(end_seq) {
+                    if !self.backoff {
+                        self.update_rtt(now.saturating_since(sent_at));
+                    }
+                    self.rtt_sample = None;
+                }
+            }
+            self.backoff = false;
+            // congestion window growth
+            let mss = self.effective_mss() as u32;
+            if self.cwnd < self.ssthresh {
+                self.cwnd = self.cwnd.saturating_add(mss);
+            } else {
+                self.cwnd = self.cwnd.saturating_add((mss * mss / self.cwnd).max(1));
+            }
+            // release acknowledged bytes from the send buffer
+            let data_acked = self.snd_una.since(self.snd_buf_seq).clamp(0, self.snd_buf.len() as i32);
+            if data_acked > 0 {
+                self.snd_buf.drain(..data_acked as usize);
+                self.snd_buf_seq = self.snd_buf_seq.add(data_acked as usize);
+            }
+            let _ = old_una;
+            // our FIN acknowledged?
+            if let Some(fin_seq) = self.fin_seq {
+                if self.snd_una.after(fin_seq) {
+                    match self.state {
+                        TcpState::FinWait1 => self.state = TcpState::FinWait2,
+                        TcpState::Closing => self.enter_time_wait(now, ev),
+                        TcpState::LastAck => {
+                            self.enter_closed(ev, Some(TcpEvent::Closed));
+                            return;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            // retransmission timer
+            if self.snd_nxt.after(self.snd_una) || self.fin_unacked() {
+                self.rto_deadline = Some(now + self.rto);
+            } else {
+                self.rto_deadline = None;
+            }
+        } else if ack == self.snd_una
+            && payload.is_empty()
+            && !hdr.flags.contains(TcpFlags::FIN)
+            && self.snd_nxt.after(self.snd_una)
+            && hdr.window as u32 == self.snd_wnd
+        {
+            // --- duplicate ACK ---
+            self.dup_acks += 1;
+            self.stats.dup_acks_in += 1;
+            if self.dup_acks == 3 {
+                self.fast_retransmit(now, ev);
+            }
+        }
+        // window update (RFC 793 update rule)
+        if self.snd_wl1.before(hdr.seq)
+            || (self.snd_wl1 == hdr.seq && self.snd_wl2.before_eq(ack))
+        {
+            let was_zero = self.snd_wnd == 0;
+            self.set_peer_window(hdr);
+            self.snd_wl1 = hdr.seq;
+            self.snd_wl2 = ack;
+            if was_zero && self.snd_wnd > 0 {
+                self.probe_deadline = None;
+            }
+        }
+    }
+
+    fn fin_unacked(&self) -> bool {
+        matches!(self.fin_seq, Some(s) if self.snd_una.before_eq(s))
+    }
+
+    fn fast_retransmit(&mut self, now: SimTime, ev: &mut Vec<TcpEvent>) {
+        self.stats.fast_retransmits += 1;
+        let mss = self.effective_mss() as u32;
+        let flight = self.snd_nxt.since(self.snd_una).max(0) as u32;
+        self.ssthresh = (flight / 2).max(2 * mss);
+        // Tahoe: drop to one segment and slow-start again.
+        self.cwnd = mss;
+        self.dup_acks = 0;
+        self.retransmit_one(now, ev);
+        self.rto_deadline = Some(now + self.rto);
+    }
+
+    fn process_payload(
+        &mut self,
+        now: SimTime,
+        hdr: &TcpHeader,
+        payload: &[u8],
+        ev: &mut Vec<TcpEvent>,
+    ) {
+        let mut seq = hdr.seq;
+        let mut data = payload;
+        // trim the part we already have
+        let behind = self.rcv_nxt.since(seq);
+        if behind > 0 {
+            if behind as usize >= data.len() {
+                // entirely duplicate; make sure the peer gets an ACK
+                self.unacked_segs += 1;
+                return;
+            }
+            data = &data[behind as usize..];
+            seq = self.rcv_nxt;
+        }
+        // trim to our window
+        let wnd = self.recv_window() as usize;
+        let offset = seq.since(self.rcv_nxt).max(0) as usize;
+        if offset >= wnd {
+            return; // nothing fits
+        }
+        let fit = (wnd - offset).min(data.len());
+        let data = &data[..fit];
+        if data.is_empty() {
+            return;
+        }
+        if seq == self.rcv_nxt {
+            self.recv_buf.extend(data);
+            self.rcv_nxt = self.rcv_nxt.add(data.len());
+            self.stats.bytes_in += data.len() as u64;
+            self.drain_ooo();
+            self.unacked_segs += 1;
+            ev.push(TcpEvent::DataAvailable);
+            self.maybe_process_peer_fin(now, ev);
+        } else {
+            // out of order: hold (bounded) and dup-ACK immediately so
+            // the sender's fast retransmit can kick in
+            if self.ooo_bytes + data.len() <= self.cfg.recv_buf {
+                self.insert_ooo(seq, data.to_vec());
+            }
+            self.send_ack_now(ev);
+        }
+    }
+
+    fn insert_ooo(&mut self, seq: SeqNum, data: Vec<u8>) {
+        // exact-duplicate suppression is enough: overlaps are resolved
+        // in drain_ooo by trimming against rcv_nxt
+        if self.ooo.iter().any(|&(s, ref d)| s == seq && d.len() >= data.len()) {
+            return;
+        }
+        self.ooo_bytes += data.len();
+        let at = self.ooo.partition_point(|&(s, _)| s.before(seq));
+        self.ooo.insert(at, (seq, data));
+    }
+
+    fn drain_ooo(&mut self) {
+        loop {
+            let mut advanced = false;
+            let mut i = 0;
+            while i < self.ooo.len() {
+                let (seq, ref data) = self.ooo[i];
+                let end = seq.add(data.len());
+                if end.before_eq(self.rcv_nxt) {
+                    // fully stale
+                    self.ooo_bytes -= data.len();
+                    self.ooo.remove(i);
+                    continue;
+                }
+                if seq.before_eq(self.rcv_nxt) {
+                    let skip = self.rcv_nxt.since(seq).max(0) as usize;
+                    let (_, data) = self.ooo.remove(i);
+                    self.ooo_bytes -= data.len();
+                    let fresh = &data[skip..];
+                    self.recv_buf.extend(fresh);
+                    self.stats.bytes_in += fresh.len() as u64;
+                    self.rcv_nxt = self.rcv_nxt.add(fresh.len());
+                    advanced = true;
+                    continue;
+                }
+                i += 1;
+            }
+            if !advanced {
+                break;
+            }
+        }
+    }
+
+    fn maybe_process_peer_fin(&mut self, now: SimTime, ev: &mut Vec<TcpEvent>) {
+        let Some(fin_pos) = self.peer_fin else { return };
+        if self.peer_fin_processed || fin_pos != self.rcv_nxt {
+            return;
+        }
+        self.rcv_nxt = self.rcv_nxt.add(1);
+        self.peer_fin_processed = true;
+        ev.push(TcpEvent::PeerClosed);
+        match self.state {
+            TcpState::SynReceived | TcpState::Established => self.state = TcpState::CloseWait,
+            TcpState::FinWait1 => {
+                // our FIN not yet acked (otherwise we'd be in FIN-WAIT-2)
+                self.state = TcpState::Closing;
+            }
+            TcpState::FinWait2 => self.enter_time_wait(now, ev),
+            _ => {}
+        }
+        self.send_ack_now(ev);
+    }
+
+    // ------------------------------------------------------------------
+    // output
+    // ------------------------------------------------------------------
+
+    /// Transmit whatever the send window, congestion window, Nagle and
+    /// state allow.
+    fn try_output(&mut self, now: SimTime, ev: &mut Vec<TcpEvent>) {
+        if !matches!(
+            self.state,
+            TcpState::Established
+                | TcpState::CloseWait
+                | TcpState::FinWait1
+                | TcpState::Closing
+                | TcpState::LastAck
+        ) {
+            return;
+        }
+        let mss = self.effective_mss();
+        let usable = self.snd_wnd.min(self.cwnd);
+        loop {
+            if self.fin_seq.is_some() {
+                break; // FIN sent; nothing may follow it
+            }
+            let offset = self.snd_nxt.since(self.snd_buf_seq).max(0) as usize;
+            let remaining = self.snd_buf.len().saturating_sub(offset);
+            if remaining == 0 {
+                break;
+            }
+            let in_flight = self.snd_nxt.since(self.snd_una).max(0) as u32;
+            let wnd_left = usable.saturating_sub(in_flight) as usize;
+            if wnd_left == 0 {
+                if self.snd_wnd == 0 && self.probe_deadline.is_none() {
+                    // peer closed its window: arm the persist timer
+                    self.probe_deadline = Some(now + self.rto.max(self.cfg.rto_min));
+                }
+                break;
+            }
+            let len = mss.min(remaining).min(wnd_left);
+            // Nagle: while anything is unacked, hold sub-MSS segments
+            // unless this empties the buffer and nothing is in flight.
+            if self.cfg.nagle && len < mss && in_flight > 0 {
+                break;
+            }
+            // Sender-side SWS avoidance when Nagle is off: still send
+            // only if MSS-sized, at least half the peer's max window,
+            // or everything we have.
+            if !self.cfg.nagle
+                && len < mss
+                && (len as u32) < self.snd_wnd_max / 2
+                && len < remaining
+            {
+                break;
+            }
+            self.emit_data_segment(now, len, ev);
+        }
+        // FIN, once the buffer is drained
+        if self.fin_queued && self.fin_seq.is_none() {
+            let offset = self.snd_nxt.since(self.snd_buf_seq).max(0) as usize;
+            if offset >= self.snd_buf.len() {
+                let mut h = self.header_template();
+                h.seq = self.snd_nxt;
+                h.ack = self.rcv_nxt;
+                h.flags = TcpFlags::FIN | TcpFlags::ACK;
+                self.fin_seq = Some(self.snd_nxt);
+                self.snd_nxt = self.snd_nxt.add(1);
+                match self.state {
+                    TcpState::Established => self.state = TcpState::FinWait1,
+                    TcpState::CloseWait => self.state = TcpState::LastAck,
+                    _ => {}
+                }
+                self.emit(h, &[], ev);
+                self.note_ack_sent();
+                if self.rto_deadline.is_none() {
+                    self.rto_deadline = Some(now + self.rto);
+                }
+            }
+        }
+    }
+
+    fn emit_data_segment(&mut self, now: SimTime, len: usize, ev: &mut Vec<TcpEvent>) {
+        let offset = self.snd_nxt.since(self.snd_buf_seq).max(0) as usize;
+        let payload: Vec<u8> = self.snd_buf.iter().skip(offset).take(len).copied().collect();
+        let mut h = self.header_template();
+        h.seq = self.snd_nxt;
+        h.ack = self.rcv_nxt;
+        h.flags = TcpFlags::ACK;
+        if offset + len >= self.snd_buf.len() {
+            h.flags |= TcpFlags::PSH;
+        }
+        self.snd_nxt = self.snd_nxt.add(len);
+        self.stats.bytes_out += len as u64;
+        // time this segment if nothing else is being timed (Karn)
+        if self.rtt_sample.is_none() && !self.backoff {
+            self.rtt_sample = Some((self.snd_nxt, now));
+        }
+        self.emit(h, &payload, ev);
+        self.note_ack_sent();
+        if self.rto_deadline.is_none() {
+            self.rto_deadline = Some(now + self.rto);
+        }
+    }
+
+    /// Retransmit a single segment starting at `snd_una`.
+    fn retransmit_one(&mut self, now: SimTime, ev: &mut Vec<TcpEvent>) {
+        self.stats.retransmits += 1;
+        match self.state {
+            TcpState::SynSent => {
+                self.snd_nxt = self.iss;
+                self.send_syn(now, false, ev);
+                return;
+            }
+            TcpState::SynReceived => {
+                self.snd_nxt = self.iss;
+                self.send_syn(now, true, ev);
+                return;
+            }
+            _ => {}
+        }
+        let offset = self.snd_una.since(self.snd_buf_seq).max(0) as usize;
+        let remaining = self.snd_buf.len().saturating_sub(offset);
+        // Never retransmit bytes beyond snd_nxt: they were never sent,
+        // and sending them here without advancing snd_nxt would make the
+        // peer's ACKs look like acks of unsent data.
+        let outstanding = self.snd_nxt.since(self.snd_una).max(0) as usize;
+        let remaining = remaining.min(outstanding);
+        if remaining > 0 {
+            let len = self.effective_mss().min(remaining);
+            let payload: Vec<u8> = self.snd_buf.iter().skip(offset).take(len).copied().collect();
+            let mut h = self.header_template();
+            h.seq = self.snd_una;
+            h.ack = self.rcv_nxt;
+            h.flags = TcpFlags::ACK | TcpFlags::PSH;
+            self.emit(h, &payload, ev);
+            self.note_ack_sent();
+        } else if self.fin_unacked() {
+            let mut h = self.header_template();
+            h.seq = self.fin_seq.expect("fin_unacked checked");
+            h.ack = self.rcv_nxt;
+            h.flags = TcpFlags::FIN | TcpFlags::ACK;
+            self.emit(h, &[], ev);
+            self.note_ack_sent();
+        }
+        // Karn: retransmitted data must not be timed
+        self.rtt_sample = None;
+    }
+
+    // ------------------------------------------------------------------
+    // timers
+    // ------------------------------------------------------------------
+
+    /// Fire any due timers and transmit pending output.
+    pub fn poll(&mut self, now: SimTime, ev: &mut Vec<TcpEvent>) {
+        if self.state == TcpState::Closed {
+            return;
+        }
+        if let Some(t) = self.timewait_deadline {
+            if now >= t {
+                self.enter_closed(ev, Some(TcpEvent::Closed));
+                return;
+            }
+        }
+        if let Some(t) = self.rto_deadline {
+            if now >= t {
+                self.on_rto(now, ev);
+                if self.state == TcpState::Closed {
+                    return;
+                }
+            }
+        }
+        if let Some(t) = self.probe_deadline {
+            if now >= t {
+                self.send_window_probe(now, ev);
+            }
+        }
+        if let Some(t) = self.delack_deadline {
+            if now >= t {
+                self.send_ack_now(ev);
+            }
+        }
+        if self.want_window_update {
+            self.want_window_update = false;
+            self.send_ack_now(ev);
+        }
+        self.try_output(now, ev);
+    }
+
+    /// The earliest time a timer could fire.
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        [
+            self.rto_deadline,
+            self.delack_deadline,
+            self.timewait_deadline,
+            self.probe_deadline,
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+    }
+
+    fn on_rto(&mut self, now: SimTime, ev: &mut Vec<TcpEvent>) {
+        self.stats.timeouts += 1;
+        self.retries += 1;
+        if self.retries > self.cfg.max_retries {
+            self.enter_closed(ev, Some(TcpEvent::Aborted(AbortReason::TooManyRetries)));
+            return;
+        }
+        // exponential backoff, Karn phase
+        self.rto = (self.rto * 2).min(self.cfg.rto_max);
+        self.backoff = true;
+        self.rtt_sample = None;
+        // Tahoe response to loss
+        let mss = self.effective_mss() as u32;
+        let flight = self.snd_nxt.since(self.snd_una).max(0) as u32;
+        self.ssthresh = (flight / 2).max(2 * mss);
+        self.cwnd = mss;
+        self.dup_acks = 0;
+        self.retransmit_one(now, ev);
+        self.rto_deadline = Some(now + self.rto);
+    }
+
+    fn send_window_probe(&mut self, now: SimTime, ev: &mut Vec<TcpEvent>) {
+        let offset = self.snd_nxt.since(self.snd_buf_seq).max(0) as usize;
+        if self.snd_wnd > 0 || offset >= self.snd_buf.len() {
+            self.probe_deadline = None;
+            return;
+        }
+        self.stats.zero_window_probes += 1;
+        // send one byte beyond the closed window
+        let payload = [self.snd_buf[offset]];
+        let mut h = self.header_template();
+        h.seq = self.snd_nxt;
+        h.ack = self.rcv_nxt;
+        h.flags = TcpFlags::ACK | TcpFlags::PSH;
+        self.snd_nxt = self.snd_nxt.add(1);
+        self.stats.bytes_out += 1;
+        self.emit(h, &payload, ev);
+        self.note_ack_sent();
+        // persist backoff
+        self.rto = (self.rto * 2).min(self.cfg.rto_max);
+        self.probe_deadline = Some(now + self.rto);
+        if self.rto_deadline.is_none() {
+            self.rto_deadline = Some(now + self.rto);
+        }
+    }
+
+    fn update_rtt(&mut self, sample: SimDuration) {
+        let r = sample.as_nanos() as i64;
+        match self.srtt_ns {
+            None => {
+                self.srtt_ns = Some(r);
+                self.rttvar_ns = r / 2;
+            }
+            Some(srtt) => {
+                let err = r - srtt;
+                self.srtt_ns = Some(srtt + err / 8);
+                self.rttvar_ns += (err.abs() - self.rttvar_ns) / 4;
+            }
+        }
+        let rto_ns = self.srtt_ns.unwrap_or(0) + 4 * self.rttvar_ns;
+        self.rto = SimDuration::from_nanos(rto_ns.max(0) as u64)
+            .max(self.cfg.rto_min)
+            .min(self.cfg.rto_max);
+    }
+
+    // ------------------------------------------------------------------
+    // segment construction
+    // ------------------------------------------------------------------
+
+    fn header_template(&self) -> TcpHeader {
+        let mut h = TcpHeader::new(self.local.1, self.remote.1);
+        h.window = self.recv_window().min(u16::MAX as u32) as u16;
+        h
+    }
+
+    /// Current receive window (free buffer space), before the u16 clamp.
+    fn recv_window(&self) -> u32 {
+        (self.cfg.recv_buf - self.recv_buf.len()) as u32
+    }
+
+    fn set_peer_window(&mut self, hdr: &TcpHeader) {
+        self.snd_wnd = hdr.window as u32;
+        self.snd_wnd_max = self.snd_wnd_max.max(self.snd_wnd);
+    }
+
+    fn send_syn(&mut self, now: SimTime, with_ack: bool, ev: &mut Vec<TcpEvent>) {
+        let mut h = self.header_template();
+        h.seq = self.iss;
+        h.flags = TcpFlags::SYN;
+        if with_ack {
+            h.flags |= TcpFlags::ACK;
+            h.ack = self.rcv_nxt;
+        }
+        h.mss = Some(self.cfg.mss);
+        self.snd_nxt = self.iss.add(1);
+        self.emit(h, &[], ev);
+        if with_ack {
+            self.note_ack_sent();
+        }
+        if self.rto_deadline.is_none() {
+            self.rto_deadline = Some(now + self.rto);
+        }
+    }
+
+    fn send_ack_now(&mut self, ev: &mut Vec<TcpEvent>) {
+        let mut h = self.header_template();
+        h.seq = self.snd_nxt;
+        h.ack = self.rcv_nxt;
+        h.flags = TcpFlags::ACK;
+        self.emit(h, &[], ev);
+        self.note_ack_sent();
+    }
+
+    fn note_ack_sent(&mut self) {
+        self.unacked_segs = 0;
+        self.delack_deadline = None;
+        self.want_window_update = false;
+    }
+
+    /// ACK policy after receiving in-order data: BSD acks every second
+    /// segment, or after the delayed-ACK timer.
+    fn flush_ack_policy(&mut self, now: SimTime, ev: &mut Vec<TcpEvent>) {
+        if self.unacked_segs == 0 {
+            return;
+        }
+        if !self.cfg.delayed_ack || self.unacked_segs >= 2 {
+            self.send_ack_now(ev);
+        } else if self.delack_deadline.is_none() {
+            self.delack_deadline = Some(now + self.cfg.delack_timeout);
+        }
+    }
+
+    fn send_rst_for_ack(&mut self, seq: SeqNum, ev: &mut Vec<TcpEvent>) {
+        let mut h = TcpHeader::new(self.local.1, self.remote.1);
+        h.seq = seq;
+        h.flags = TcpFlags::RST;
+        self.emit(h, &[], ev);
+    }
+
+    fn emit(&mut self, header: TcpHeader, payload: &[u8], ev: &mut Vec<TcpEvent>) {
+        self.stats.segs_out += 1;
+        self.last_adv_wnd = header.window as u32;
+        let segment = header.build(self.local.0, self.remote.0, payload, self.cfg.compute_checksum);
+        ev.push(TcpEvent::Transmit { dst: self.remote.0, segment });
+    }
+
+    fn enter_time_wait(&mut self, now: SimTime, _ev: &mut Vec<TcpEvent>) {
+        self.state = TcpState::TimeWait;
+        self.timewait_deadline = Some(now + self.cfg.msl * 2);
+        self.rto_deadline = None;
+        self.delack_deadline = None;
+        self.probe_deadline = None;
+    }
+
+    fn enter_closed(&mut self, ev: &mut Vec<TcpEvent>, event: Option<TcpEvent>) {
+        self.state = TcpState::Closed;
+        self.rto_deadline = None;
+        self.delack_deadline = None;
+        self.timewait_deadline = None;
+        self.probe_deadline = None;
+        if let Some(e) = event {
+            ev.push(e);
+        }
+    }
+}

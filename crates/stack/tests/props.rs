@@ -1,0 +1,214 @@
+//! Property-based tests on the protocol engines: the invariants that
+//! must hold for *any* payload, any MTU, and any pattern of loss,
+//! reordering and duplication the network can throw at them.
+
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+
+use nectar_sim::{Pcg32, SimDuration, SimTime};
+use nectar_stack::ip::{IpEndpoint, IpInput};
+use nectar_stack::rmp::{RmpConfig, RmpReceiver, RmpRecvAction, RmpSendAction, RmpSender};
+use nectar_wire::ipv4::IpProtocol;
+use nectar_wire::nectar::RmpHeader;
+
+fn a(last: u8) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 0, last)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// IP fragmentation followed by reassembly is the identity, for any
+    /// payload and any legal MTU, in any arrival order.
+    #[test]
+    fn ip_fragment_reassemble_identity(
+        payload in proptest::collection::vec(any::<u8>(), 0..6000),
+        mtu in 64usize..2000,
+        shuffle_seed in any::<u64>(),
+    ) {
+        let mut tx = IpEndpoint::new(a(1));
+        let mut rx = IpEndpoint::new(a(2));
+        let mut pkts = tx.output(a(2), IpProtocol::UDP, &payload, mtu);
+        let mut rng = Pcg32::seeded(shuffle_seed);
+        rng.shuffle(&mut pkts);
+        let mut delivered = None;
+        for p in &pkts {
+            match rx.input(SimTime::ZERO, p) {
+                IpInput::Delivered { payload, .. } => delivered = Some(payload),
+                IpInput::FragmentHeld => {}
+                other => prop_assert!(false, "unexpected: {other:?}"),
+            }
+        }
+        prop_assert_eq!(delivered.expect("datagram must complete"), payload);
+    }
+
+    /// RMP delivers every message exactly once, in order, under random
+    /// loss of both data and ack packets.
+    #[test]
+    fn rmp_reliable_exactly_once_under_loss(
+        messages in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..700), 1..6),
+        loss_seed in any::<u64>(),
+        loss in 0.0f64..0.4,
+    ) {
+        let cfg = RmpConfig {
+            max_fragment: 256,
+            rto: SimDuration::from_micros(100),
+            max_retries: 200,
+        };
+        let mut tx = RmpSender::new(2, 7, 3, cfg);
+        let mut rx = RmpReceiver::new();
+        let mut rng = Pcg32::seeded(loss_seed);
+        for m in &messages {
+            tx.send(m.clone());
+        }
+        let mut now = SimTime::ZERO;
+        let mut delivered: Vec<Vec<u8>> = Vec::new();
+        let mut guard = 0;
+        while delivered.len() < messages.len() {
+            guard += 1;
+            prop_assert!(guard < 100_000, "livelock");
+            let mut acts = Vec::new();
+            tx.poll(now, &mut acts);
+            let mut acks: Vec<Vec<u8>> = Vec::new();
+            for act in acts {
+                if let RmpSendAction::Transmit { packet, .. } = act {
+                    if rng.chance(loss) { continue; }
+                    let (hdr, payload) = RmpHeader::parse(&packet).unwrap();
+                    let mut racts = Vec::new();
+                    rx.on_data(1, &hdr, payload, &mut racts);
+                    for ract in racts {
+                        match ract {
+                            RmpRecvAction::Ack { packet, .. } => acks.push(packet),
+                            RmpRecvAction::Deliver { message, .. } => delivered.push(message),
+                        }
+                    }
+                }
+            }
+            for ackp in acks {
+                if rng.chance(loss) { continue; }
+                let (hdr, _) = RmpHeader::parse(&ackp).unwrap();
+                let mut sacts = Vec::new();
+                tx.on_ack(now, &hdr, &mut sacts);
+                // follow-up transmissions: loop around
+                for act in sacts {
+                    if let RmpSendAction::Transmit { packet, .. } = act {
+                        if rng.chance(loss) { continue; }
+                        let (hdr, payload) = RmpHeader::parse(&packet).unwrap();
+                        let mut racts = Vec::new();
+                        rx.on_data(1, &hdr, payload, &mut racts);
+                        for ract in racts {
+                            match ract {
+                                RmpRecvAction::Ack { .. } => { /* next round */ }
+                                RmpRecvAction::Deliver { message, .. } => delivered.push(message),
+                            }
+                        }
+                    }
+                }
+            }
+            now = now + SimDuration::from_micros(150);
+        }
+        prop_assert_eq!(delivered, messages);
+    }
+
+    /// TCP delivers an intact, in-order byte stream under combined
+    /// random loss and reordering.
+    #[test]
+    fn tcp_stream_integrity_under_impairment(
+        len in 1usize..40_000,
+        fill_seed in any::<u64>(),
+        net_seed in any::<u64>(),
+        loss in 0.0f64..0.10,
+        reorder in 0.0f64..0.15,
+    ) {
+        use nectar_stack::tcp::{TcpConfig, TcpStack, TcpStackEvent};
+        use nectar_wire::ipv4::Ipv4Header;
+
+        let mut fill = Pcg32::seeded(fill_seed);
+        let data: Vec<u8> = (0..len).map(|_| fill.next_u32() as u8).collect();
+
+        let cfg = TcpConfig::default();
+        let mut sa = TcpStack::new(a(1), cfg, 1);
+        let mut sb = TcpStack::new(a(2), cfg, 2);
+        sb.listen(80);
+        let mut rng = Pcg32::seeded(net_seed);
+        let mut now = SimTime::ZERO;
+        let latency = SimDuration::from_micros(40);
+        // (arrival, tiebreak, to_a, segment)
+        let mut wire: Vec<(SimTime, u64, bool, Vec<u8>)> = Vec::new();
+        let mut seqno = 0u64;
+        let mut b_conn = None;
+        let mut received: Vec<u8> = Vec::new();
+        let (a_id, evs) = sa.connect(now, (a(2), 80), None);
+        let mut pending = vec![(true, evs)];
+        let mut offset = 0usize;
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            prop_assert!(guard < 1_000_000, "livelock at {}/{}", received.len(), len);
+            for (from_a, evs) in pending.drain(..) {
+                for ev in evs {
+                    match ev {
+                        TcpStackEvent::Transmit { segment, .. } => {
+                            if rng.chance(loss) { continue; }
+                            let mut arrive = now + latency;
+                            if rng.chance(reorder) { arrive = arrive + latency * 4; }
+                            seqno += 1;
+                            wire.push((arrive, seqno, !from_a, segment));
+                        }
+                        TcpStackEvent::Incoming { id, .. } => b_conn = Some(id),
+                        _ => {}
+                    }
+                }
+            }
+            // pump application: write on A, read on B
+            if offset < data.len() {
+                let (n, evs) = sa.send(now, a_id, &data[offset..]);
+                offset += n;
+                pending.push((true, evs));
+            }
+            if let Some(bid) = b_conn {
+                let got = sb.recv(bid, usize::MAX);
+                if !got.is_empty() {
+                    received.extend(got);
+                    pending.push((false, sb.poll(now)));
+                }
+            }
+            if received.len() >= len {
+                break;
+            }
+            // advance to the next event
+            let next_pkt = wire.iter().map(|&(t, s, _, _)| (t, s)).min();
+            let next_tmr = [sa.next_wakeup(), sb.next_wakeup()].into_iter().flatten().min();
+            let next = match (next_pkt, next_tmr) {
+                (Some((tp, _)), Some(tt)) => tp.min(tt),
+                (Some((tp, _)), None) => tp,
+                (None, Some(tt)) => tt,
+                (None, None) => {
+                    // nothing scheduled but app still has data: nudge time
+                    now = now + SimDuration::from_micros(100);
+                    continue;
+                }
+            };
+            now = next.max(now);
+            let mut due: Vec<(SimTime, u64, bool, Vec<u8>)> = Vec::new();
+            wire.retain_mut(|e| {
+                if e.0 <= now {
+                    due.push((e.0, e.1, e.2, std::mem::take(&mut e.3)));
+                    false
+                } else { true }
+            });
+            due.sort_by_key(|&(t, s, _, _)| (t, s));
+            for (_, _, to_a, seg) in due {
+                let (src, dst) = if to_a { (a(2), a(1)) } else { (a(1), a(2)) };
+                let ip = Ipv4Header::new(src, dst, nectar_wire::ipv4::IpProtocol::TCP, seg.len());
+                let evs = if to_a { sa.on_packet(now, &ip, &seg) } else { sb.on_packet(now, &ip, &seg) };
+                pending.push((to_a, evs));
+            }
+            pending.push((true, sa.poll(now)));
+            pending.push((false, sb.poll(now)));
+        }
+        prop_assert_eq!(received, data);
+    }
+}

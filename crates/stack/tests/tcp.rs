@@ -1,0 +1,641 @@
+//! Behavioural tests for the TCP implementation: two `TcpStack`s joined
+//! by a virtual link with configurable latency, loss, reordering and
+//! corruption. This is the crate-level proving ground for §4.2 of the
+//! paper before TCP is embedded into the CAB runtime.
+
+use std::net::Ipv4Addr;
+
+use nectar_sim::{Pcg32, SimDuration, SimTime};
+use nectar_stack::tcp::{
+    AbortReason, SocketId, TcpConfig, TcpEvent, TcpStack, TcpStackEvent, TcpState,
+};
+use nectar_wire::ipv4::{IpProtocol, Ipv4Header};
+
+const ADDR_A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const ADDR_B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+/// A two-node network shuttling TCP segments with impairments.
+struct Net {
+    a: TcpStack,
+    b: TcpStack,
+    now: SimTime,
+    /// (arrival time, tiebreak, destination, segment bytes)
+    inflight: Vec<(SimTime, u64, Ipv4Addr, Vec<u8>)>,
+    latency: SimDuration,
+    loss: f64,
+    reorder: f64,
+    corrupt: f64,
+    rng: Pcg32,
+    seq: u64,
+    log_a: Vec<(SocketId, TcpEvent)>,
+    log_b: Vec<(SocketId, TcpEvent)>,
+    incoming_b: Vec<SocketId>,
+}
+
+impl Net {
+    fn new(cfg: TcpConfig) -> Net {
+        Net {
+            a: TcpStack::new(ADDR_A, cfg, 1),
+            b: TcpStack::new(ADDR_B, cfg, 2),
+            now: SimTime::ZERO,
+            inflight: Vec::new(),
+            latency: SimDuration::from_micros(50),
+            loss: 0.0,
+            reorder: 0.0,
+            corrupt: 0.0,
+            rng: Pcg32::seeded(99),
+            seq: 0,
+            log_a: Vec::new(),
+            log_b: Vec::new(),
+            incoming_b: Vec::new(),
+        }
+    }
+
+    fn absorb(&mut self, from_a: bool, evs: Vec<TcpStackEvent>) {
+        for ev in evs {
+            match ev {
+                TcpStackEvent::Transmit { dst, segment } => {
+                    if self.rng.chance(self.loss) {
+                        continue;
+                    }
+                    let mut segment = segment;
+                    if self.rng.chance(self.corrupt) && !segment.is_empty() {
+                        let i = self.rng.range(0, segment.len());
+                        segment[i] ^= 0x55;
+                    }
+                    let mut arrival = self.now + self.latency;
+                    if self.rng.chance(self.reorder) {
+                        arrival = arrival + self.latency * 3;
+                    }
+                    self.seq += 1;
+                    self.inflight.push((arrival, self.seq, dst, segment));
+                }
+                TcpStackEvent::Incoming { id, .. } => {
+                    assert!(!from_a, "only B listens in these tests");
+                    self.incoming_b.push(id);
+                }
+                TcpStackEvent::Socket { id, event } => {
+                    if from_a {
+                        self.log_a.push((id, event));
+                    } else {
+                        self.log_b.push((id, event));
+                    }
+                }
+                TcpStackEvent::Dropped => {}
+            }
+        }
+    }
+
+    /// Run the network until quiescent (no packets, no timers) or until
+    /// `deadline`.
+    fn run(&mut self, deadline: SimDuration) {
+        let deadline = SimTime::ZERO + deadline;
+        loop {
+            let next_pkt = self.inflight.iter().map(|&(t, s, _, _)| (t, s)).min();
+            let next_timer = [self.a.next_wakeup(), self.b.next_wakeup()]
+                .into_iter()
+                .flatten()
+                .min();
+            let next = match (next_pkt, next_timer) {
+                (Some((tp, _)), Some(tt)) => tp.min(tt),
+                (Some((tp, _)), None) => tp,
+                (None, Some(tt)) => tt,
+                (None, None) => break,
+            };
+            if next > deadline {
+                break;
+            }
+            self.now = next.max(self.now);
+            // deliver every packet due now (stable order by tiebreak)
+            let mut due: Vec<(SimTime, u64, Ipv4Addr, Vec<u8>)> = Vec::new();
+            self.inflight.retain_mut(|e| {
+                if e.0 <= next {
+                    due.push((e.0, e.1, e.2, std::mem::take(&mut e.3)));
+                    false
+                } else {
+                    true
+                }
+            });
+            due.sort_by_key(|&(t, s, _, _)| (t, s));
+            for (_, _, dst, segment) in due {
+                let (src, to_a) = if dst == ADDR_A { (ADDR_B, true) } else { (ADDR_A, false) };
+                let ip = Ipv4Header::new(src, dst, IpProtocol::TCP, segment.len());
+                let evs = if to_a {
+                    self.a.on_packet(self.now, &ip, &segment)
+                } else {
+                    self.b.on_packet(self.now, &ip, &segment)
+                };
+                self.absorb(to_a, evs);
+            }
+            let evs = self.a.poll(self.now);
+            self.absorb(true, evs);
+            let evs = self.b.poll(self.now);
+            self.absorb(false, evs);
+        }
+    }
+
+    /// Standard setup: B listens on 80, A connects. Returns (a_id, b_id).
+    fn establish(&mut self) -> (SocketId, SocketId) {
+        self.b.listen(80);
+        let (a_id, evs) = self.a.connect(self.now, (ADDR_B, 80), None);
+        self.absorb(true, evs);
+        self.run(SimDuration::from_secs(5));
+        let b_id = *self.incoming_b.first().expect("B accepted a connection");
+        assert!(self.log_a.iter().any(|(id, e)| *id == a_id && *e == TcpEvent::Connected));
+        assert!(self.log_b.iter().any(|(id, e)| *id == b_id && *e == TcpEvent::Connected));
+        (a_id, b_id)
+    }
+
+    fn send_all(&mut self, on_a: bool, id: SocketId, data: &[u8]) {
+        // Push data into the socket, draining the receiver as we go so
+        // the window keeps opening. Bounded by wall-clock iterations.
+        let mut offset = 0;
+        let mut spins = 0;
+        while offset < data.len() {
+            let (n, evs) = if on_a {
+                self.a.send(self.now, id, &data[offset..])
+            } else {
+                self.b.send(self.now, id, &data[offset..])
+            };
+            self.absorb(on_a, evs);
+            offset += n;
+            self.run(SimDuration::from_secs(30));
+            spins += 1;
+            assert!(spins < 10_000, "send_all made no progress");
+        }
+    }
+
+    fn drain(&mut self, on_a: bool, id: SocketId) -> Vec<u8> {
+        let stack = if on_a { &mut self.a } else { &mut self.b };
+        stack.recv(id, usize::MAX)
+    }
+}
+
+/// Receive continuously into `sink` while running the net. Used for
+/// transfers larger than the receive buffer.
+fn transfer(net: &mut Net, from_a: bool, src_id: SocketId, dst_id: SocketId, data: &[u8]) -> Vec<u8> {
+    let mut sink = Vec::new();
+    let mut offset = 0;
+    let mut spins = 0;
+    while sink.len() < data.len() {
+        if offset < data.len() {
+            let (n, evs) = if from_a {
+                net.a.send(net.now, src_id, &data[offset..])
+            } else {
+                net.b.send(net.now, src_id, &data[offset..])
+            };
+            net.absorb(from_a, evs);
+            offset += n;
+        }
+        net.run(SimDuration::from_secs(120));
+        let got = if from_a { net.b.recv(dst_id, usize::MAX) } else { net.a.recv(dst_id, usize::MAX) };
+        // receiving opens the window; poll to emit the window update
+        let evs = if from_a { net.b.poll(net.now) } else { net.a.poll(net.now) };
+        net.absorb(!from_a, evs);
+        sink.extend(got);
+        spins += 1;
+        assert!(spins < 50_000, "transfer stalled at {}/{} bytes", sink.len(), data.len());
+    }
+    sink
+}
+
+fn pattern(n: usize) -> Vec<u8> {
+    (0..n).map(|i| (i * 31 + i / 251) as u8).collect()
+}
+
+#[test]
+fn three_way_handshake() {
+    let mut net = Net::new(TcpConfig::default());
+    let (a_id, b_id) = net.establish();
+    assert_eq!(net.a.socket(a_id).unwrap().state(), TcpState::Established);
+    assert_eq!(net.b.socket(b_id).unwrap().state(), TcpState::Established);
+    // exactly 3 segments: SYN, SYN-ACK, ACK
+    assert_eq!(net.a.socket(a_id).unwrap().stats().segs_out, 2);
+    assert_eq!(net.b.socket(b_id).unwrap().stats().segs_out, 1);
+}
+
+#[test]
+fn small_data_both_directions() {
+    let mut net = Net::new(TcpConfig::default());
+    let (a_id, b_id) = net.establish();
+    net.send_all(true, a_id, b"hello from A");
+    assert_eq!(net.drain(false, b_id), b"hello from A");
+    net.send_all(false, b_id, b"hello from B");
+    assert_eq!(net.drain(true, a_id), b"hello from B");
+}
+
+#[test]
+fn bulk_transfer_integrity() {
+    let mut net = Net::new(TcpConfig::default());
+    let (a_id, b_id) = net.establish();
+    let data = pattern(200_000);
+    let got = transfer(&mut net, true, a_id, b_id, &data);
+    assert_eq!(got, data);
+}
+
+#[test]
+fn bulk_transfer_with_loss() {
+    let mut net = Net::new(TcpConfig::default());
+    let (a_id, b_id) = net.establish();
+    net.loss = 0.02;
+    let data = pattern(100_000);
+    let got = transfer(&mut net, true, a_id, b_id, &data);
+    assert_eq!(got, data);
+    let st = net.a.socket(a_id).unwrap().stats();
+    assert!(st.retransmits > 0, "loss must have caused retransmissions");
+}
+
+#[test]
+fn bulk_transfer_with_reordering() {
+    let mut net = Net::new(TcpConfig::default());
+    let (a_id, b_id) = net.establish();
+    net.reorder = 0.1;
+    let data = pattern(100_000);
+    let got = transfer(&mut net, true, a_id, b_id, &data);
+    assert_eq!(got, data);
+}
+
+#[test]
+fn corruption_is_caught_by_checksum_and_recovered() {
+    let mut net = Net::new(TcpConfig::default());
+    let (a_id, b_id) = net.establish();
+    net.corrupt = 0.02;
+    let data = pattern(50_000);
+    let got = transfer(&mut net, true, a_id, b_id, &data);
+    assert_eq!(got, data);
+}
+
+#[test]
+fn checksum_off_mode_interoperates() {
+    let cfg = TcpConfig { compute_checksum: false, ..Default::default() };
+    let mut net = Net::new(cfg);
+    let (a_id, b_id) = net.establish();
+    let data = pattern(50_000);
+    let got = transfer(&mut net, true, a_id, b_id, &data);
+    assert_eq!(got, data);
+}
+
+#[test]
+fn fast_retransmit_fires_on_isolated_loss() {
+    let mut net = Net::new(TcpConfig { nagle: false, ..Default::default() });
+    let (a_id, b_id) = net.establish();
+    // Lose exactly one data segment by hand: send enough data that the
+    // window keeps several segments in flight, dropping via high loss
+    // for a brief window.
+    net.loss = 0.15;
+    let data = pattern(150_000);
+    let got = transfer(&mut net, true, a_id, b_id, &data);
+    assert_eq!(got, data);
+    let st = net.a.socket(a_id).unwrap().stats();
+    assert!(
+        st.fast_retransmits > 0 || st.timeouts > 0,
+        "recovery must have used fast retransmit or RTO"
+    );
+}
+
+#[test]
+fn active_close_full_sequence() {
+    let mut net = Net::new(TcpConfig::default());
+    let (a_id, b_id) = net.establish();
+    net.send_all(true, a_id, b"last words");
+    let evs = net.a.close(net.now, a_id);
+    net.absorb(true, evs);
+    net.run(SimDuration::from_secs(1));
+    // B saw FIN
+    assert!(net.log_b.iter().any(|(id, e)| *id == b_id && *e == TcpEvent::PeerClosed));
+    assert_eq!(net.b.socket(b_id).unwrap().state(), TcpState::CloseWait);
+    assert_eq!(net.a.socket(a_id).unwrap().state(), TcpState::FinWait2);
+    // B finishes
+    let evs = net.b.close(net.now, b_id);
+    net.absorb(false, evs);
+    net.run(SimDuration::from_secs(1));
+    // A should be in TIME-WAIT, B closed
+    assert_eq!(net.b.socket(b_id).unwrap().state(), TcpState::Closed);
+    assert_eq!(net.a.socket(a_id).unwrap().state(), TcpState::TimeWait);
+    // data survived the close
+    assert_eq!(net.drain(false, b_id), b"last words");
+    // 2MSL later A is closed too
+    net.run(SimDuration::from_secs(10));
+    assert_eq!(net.a.socket(a_id).unwrap().state(), TcpState::Closed);
+    assert!(net.log_a.iter().any(|(id, e)| *id == a_id && *e == TcpEvent::Closed));
+}
+
+#[test]
+fn simultaneous_close_reaches_closed() {
+    let mut net = Net::new(TcpConfig::default());
+    let (a_id, b_id) = net.establish();
+    let evs = net.a.close(net.now, a_id);
+    net.absorb(true, evs);
+    let evs = net.b.close(net.now, b_id);
+    net.absorb(false, evs);
+    net.run(SimDuration::from_secs(10));
+    assert_eq!(net.a.socket(a_id).unwrap().state(), TcpState::Closed);
+    assert_eq!(net.b.socket(b_id).unwrap().state(), TcpState::Closed);
+}
+
+#[test]
+fn close_with_pending_data_flushes_first() {
+    let mut net = Net::new(TcpConfig::default());
+    let (a_id, b_id) = net.establish();
+    let data = pattern(5000);
+    let (n, evs) = net.a.send(net.now, a_id, &data);
+    assert_eq!(n, 5000);
+    net.absorb(true, evs);
+    // close immediately: FIN must come after all the data
+    let evs = net.a.close(net.now, a_id);
+    net.absorb(true, evs);
+    net.run(SimDuration::from_secs(5));
+    assert_eq!(net.drain(false, b_id), data);
+    assert!(net.log_b.iter().any(|(id, e)| *id == b_id && *e == TcpEvent::PeerClosed));
+}
+
+#[test]
+fn connect_to_closed_port_is_refused() {
+    let mut net = Net::new(TcpConfig::default());
+    // nobody listens on 81
+    let (a_id, evs) = net.a.connect(net.now, (ADDR_B, 81), None);
+    net.absorb(true, evs);
+    net.run(SimDuration::from_secs(2));
+    assert!(net
+        .log_a
+        .iter()
+        .any(|(id, e)| *id == a_id && *e == TcpEvent::Aborted(AbortReason::Refused)));
+    assert_eq!(net.a.socket(a_id).unwrap().state(), TcpState::Closed);
+}
+
+#[test]
+fn syn_retransmits_through_loss() {
+    let mut net = Net::new(TcpConfig::default());
+    net.b.listen(80);
+    net.loss = 0.7; // brutal, but retries should eventually get through
+    let (a_id, evs) = net.a.connect(net.now, (ADDR_B, 80), None);
+    net.absorb(true, evs);
+    net.run(SimDuration::from_secs(300));
+    net.loss = 0.0;
+    net.run(SimDuration::from_secs(300));
+    let st = net.a.socket(a_id).unwrap();
+    assert!(
+        st.state() == TcpState::Established
+            || net.log_a.iter().any(|(id, e)| *id == a_id && matches!(e, TcpEvent::Aborted(_))),
+        "socket must either connect or give up, state={:?}",
+        st.state()
+    );
+}
+
+#[test]
+fn abort_sends_rst_and_peer_aborts() {
+    let mut net = Net::new(TcpConfig::default());
+    let (a_id, b_id) = net.establish();
+    let evs = net.a.abort(net.now, a_id);
+    net.absorb(true, evs);
+    net.run(SimDuration::from_secs(1));
+    assert!(net
+        .log_a
+        .iter()
+        .any(|(id, e)| *id == a_id && *e == TcpEvent::Aborted(AbortReason::LocalAbort)));
+    assert!(net
+        .log_b
+        .iter()
+        .any(|(id, e)| *id == b_id && *e == TcpEvent::Aborted(AbortReason::Reset)));
+}
+
+#[test]
+fn zero_window_then_probe_reopens() {
+    // Tiny receive buffer on B; A fills it; B's application reads late.
+    let cfg = TcpConfig { recv_buf: 2048, nagle: false, ..Default::default() };
+    let mut net = Net::new(cfg);
+    let (a_id, b_id) = net.establish();
+    let data = pattern(6000);
+    let (_, evs) = net.a.send(net.now, a_id, &data[..4096]);
+    net.absorb(true, evs);
+    net.run(SimDuration::from_secs(2));
+    // B's buffer (2048) is full; A must have stalled with zero window
+    let readable = net.b.socket(b_id).unwrap().readable();
+    assert_eq!(readable, 2048, "receiver buffer should be full");
+    // application finally reads; window update lets the rest flow
+    let got1 = net.b.recv(b_id, usize::MAX);
+    let evs = net.b.poll(net.now);
+    net.absorb(false, evs);
+    net.run(SimDuration::from_secs(5));
+    let got2 = net.b.recv(b_id, usize::MAX);
+    let evs = net.b.poll(net.now);
+    net.absorb(false, evs);
+    net.run(SimDuration::from_secs(5));
+    let got3 = net.b.recv(b_id, usize::MAX);
+    let mut all = got1;
+    all.extend(got2);
+    all.extend(got3);
+    assert_eq!(all, data[..4096].to_vec());
+}
+
+#[test]
+fn mss_negotiation_limits_segments() {
+    let cfg_a = TcpConfig { mss: 4016, ..Default::default() };
+    let mut net = Net::new(cfg_a);
+    // B advertises a smaller MSS
+    net.b = TcpStack::new(ADDR_B, TcpConfig { mss: 512, ..Default::default() }, 2);
+    let (a_id, b_id) = net.establish();
+    assert_eq!(net.a.socket(a_id).unwrap().effective_mss(), 512);
+    assert_eq!(net.b.socket(b_id).unwrap().effective_mss(), 512);
+    let data = pattern(10_000);
+    let got = transfer(&mut net, true, a_id, b_id, &data);
+    assert_eq!(got, data);
+    // 10 000 bytes at 512-byte segments needs at least 20 data segments
+    assert!(net.a.socket(a_id).unwrap().stats().segs_out >= 20);
+}
+
+#[test]
+fn nagle_coalesces_small_writes() {
+    let mut on = Net::new(TcpConfig { nagle: true, delayed_ack: false, ..Default::default() });
+    let (a_on, b_on) = on.establish();
+    for _ in 0..50 {
+        let (_, evs) = on.a.send(on.now, a_on, b"x");
+        on.absorb(true, evs);
+    }
+    on.run(SimDuration::from_secs(5));
+    let nagle_segs = on.a.socket(a_on).unwrap().stats().segs_out;
+    assert_eq!(on.drain(false, b_on), vec![b'x'; 50]);
+
+    let mut off = Net::new(TcpConfig { nagle: false, delayed_ack: false, ..Default::default() });
+    let (a_off, b_off) = off.establish();
+    for _ in 0..50 {
+        let (_, evs) = off.a.send(off.now, a_off, b"x");
+        off.absorb(true, evs);
+    }
+    off.run(SimDuration::from_secs(5));
+    let no_nagle_segs = off.a.socket(a_off).unwrap().stats().segs_out;
+    assert_eq!(off.drain(false, b_off), vec![b'x'; 50]);
+    assert!(
+        nagle_segs < no_nagle_segs,
+        "nagle={nagle_segs} vs no-nagle={no_nagle_segs}"
+    );
+}
+
+#[test]
+fn delayed_ack_reduces_pure_acks() {
+    let run = |delayed: bool| {
+        let mut net = Net::new(TcpConfig { delayed_ack: delayed, ..Default::default() });
+        let (a_id, b_id) = net.establish();
+        let data = pattern(60_000);
+        let got = transfer(&mut net, true, a_id, b_id, &data);
+        assert_eq!(got, data);
+        net.b.socket(b_id).unwrap().stats().segs_out
+    };
+    let with = run(true);
+    let without = run(false);
+    assert!(with <= without, "delayed-ack acks={with} vs immediate={without}");
+}
+
+#[test]
+fn listener_ignores_stray_non_syn() {
+    let mut net = Net::new(TcpConfig::default());
+    net.b.listen(80);
+    // a stray ACK to the listening port elicits RST, not a socket
+    let mut hdr = nectar_wire::tcp::TcpHeader::new(5555, 80);
+    hdr.flags = nectar_wire::tcp::TcpFlags::ACK;
+    hdr.seq = nectar_wire::tcp::SeqNum(100);
+    hdr.ack = nectar_wire::tcp::SeqNum(200);
+    let seg = hdr.build(ADDR_A, ADDR_B, &[], true);
+    let ip = Ipv4Header::new(ADDR_A, ADDR_B, IpProtocol::TCP, seg.len());
+    let evs = net.b.on_packet(net.now, &ip, &seg);
+    assert!(matches!(evs[0], TcpStackEvent::Transmit { .. }));
+    assert_eq!(net.b.socket_count(), 0);
+}
+
+#[test]
+fn concurrent_connections_are_isolated() {
+    let mut net = Net::new(TcpConfig::default());
+    net.b.listen(80);
+    net.b.listen(81);
+    let (a1, evs) = net.a.connect(net.now, (ADDR_B, 80), None);
+    net.absorb(true, evs);
+    let (a2, evs) = net.a.connect(net.now, (ADDR_B, 81), None);
+    net.absorb(true, evs);
+    net.run(SimDuration::from_secs(2));
+    assert_eq!(net.incoming_b.len(), 2);
+    let b1 = net.incoming_b[0];
+    let b2 = net.incoming_b[1];
+    net.send_all(true, a1, b"to port 80");
+    net.send_all(true, a2, b"to port 81");
+    let d1 = net.drain(false, b1);
+    let d2 = net.drain(false, b2);
+    assert!(
+        (d1 == b"to port 80" && d2 == b"to port 81")
+            || (d1 == b"to port 81" && d2 == b"to port 80")
+    );
+}
+
+#[test]
+fn recv_finished_signals_eof() {
+    let mut net = Net::new(TcpConfig::default());
+    let (a_id, b_id) = net.establish();
+    net.send_all(true, a_id, b"bye");
+    let evs = net.a.close(net.now, a_id);
+    net.absorb(true, evs);
+    net.run(SimDuration::from_secs(1));
+    assert!(!net.b.socket(b_id).unwrap().recv_finished());
+    assert_eq!(net.drain(false, b_id), b"bye");
+    assert!(net.b.socket(b_id).unwrap().recv_finished());
+}
+
+#[test]
+fn simultaneous_open_both_sides_establish() {
+    // Both ends send SYNs to each other's fixed ports at once; both
+    // must pass through SYN-RECEIVED and establish (RFC 793 fig. 8).
+    let mut net = Net::new(TcpConfig::default());
+    // allow A to accept B's SYN too
+    net.a.listen(90);
+    net.b.listen(91);
+    let (a_id, evs) = net.a.connect(net.now, (ADDR_B, 91), Some(90));
+    net.absorb(true, evs);
+    let (b_id, evs) = net.b.connect(net.now, (ADDR_A, 90), Some(91));
+    // B's socket occupies the (91, A, 90) tuple, so A's SYN routes to
+    // it rather than the listener — true simultaneous open.
+    net.absorb(false, evs);
+    net.run(SimDuration::from_secs(5));
+    assert_eq!(net.a.socket(a_id).unwrap().state(), TcpState::Established);
+    assert_eq!(net.b.socket(b_id).unwrap().state(), TcpState::Established);
+    // data flows
+    net.send_all(true, a_id, b"simultaneous");
+    assert_eq!(net.drain(false, b_id), b"simultaneous");
+}
+
+#[test]
+fn stray_rst_outside_window_is_ignored() {
+    let mut net = Net::new(TcpConfig::default());
+    let (a_id, _b_id) = net.establish();
+    // forge a RST far outside A's receive window
+    let mut hdr = nectar_wire::tcp::TcpHeader::new(80, net.a.socket(a_id).unwrap().local().1);
+    hdr.flags = nectar_wire::tcp::TcpFlags::RST;
+    hdr.seq = nectar_wire::tcp::SeqNum(0xdead_0000); // almost surely out of window
+    let seg = hdr.build(ADDR_B, ADDR_A, &[], true);
+    let ip = Ipv4Header::new(ADDR_B, ADDR_A, IpProtocol::TCP, seg.len());
+    let evs = net.a.on_packet(net.now, &ip, &seg);
+    net.absorb(true, evs);
+    net.run(SimDuration::from_secs(1));
+    // blind reset must not kill the connection
+    assert_eq!(net.a.socket(a_id).unwrap().state(), TcpState::Established);
+}
+
+#[test]
+fn time_wait_reacks_retransmitted_fin() {
+    let mut net = Net::new(TcpConfig::default());
+    let (a_id, b_id) = net.establish();
+    let evs = net.a.close(net.now, a_id);
+    net.absorb(true, evs);
+    net.run(SimDuration::from_secs(1));
+    let evs = net.b.close(net.now, b_id);
+    net.absorb(false, evs);
+    net.run(SimDuration::from_secs(1));
+    assert_eq!(net.a.socket(a_id).unwrap().state(), TcpState::TimeWait);
+    // after 2MSL with no further traffic, A closes cleanly (the
+    // duplicate-FIN re-ACK path is covered by the socket unit tests;
+    // here we pin the TIME-WAIT expiry end state)
+    net.run(SimDuration::from_secs(10));
+    assert_eq!(net.a.socket(a_id).unwrap().state(), TcpState::Closed);
+}
+
+#[test]
+fn send_after_close_is_rejected() {
+    let mut net = Net::new(TcpConfig::default());
+    let (a_id, _b_id) = net.establish();
+    let evs = net.a.close(net.now, a_id);
+    net.absorb(true, evs);
+    let (n, evs) = net.a.send(net.now, a_id, b"too late");
+    net.absorb(true, evs);
+    assert_eq!(n, 0, "writes after close must be refused");
+    net.run(SimDuration::from_secs(1));
+}
+
+#[test]
+fn half_close_allows_reverse_data() {
+    // A closes its send side; B can still send data to A.
+    let mut net = Net::new(TcpConfig::default());
+    let (a_id, b_id) = net.establish();
+    let evs = net.a.close(net.now, a_id);
+    net.absorb(true, evs);
+    net.run(SimDuration::from_secs(1));
+    assert_eq!(net.b.socket(b_id).unwrap().state(), TcpState::CloseWait);
+    net.send_all(false, b_id, b"reverse stream still works");
+    assert_eq!(net.drain(true, a_id), b"reverse stream still works");
+    // then B finishes and everything closes
+    let evs = net.b.close(net.now, b_id);
+    net.absorb(false, evs);
+    net.run(SimDuration::from_secs(10));
+    assert_eq!(net.a.socket(a_id).unwrap().state(), TcpState::Closed);
+    assert_eq!(net.b.socket(b_id).unwrap().state(), TcpState::Closed);
+}
+
+#[test]
+fn listener_can_unlisten() {
+    let mut net = Net::new(TcpConfig::default());
+    net.b.listen(80);
+    assert!(net.b.unlisten(80));
+    let (a_id, evs) = net.a.connect(net.now, (ADDR_B, 80), None);
+    net.absorb(true, evs);
+    net.run(SimDuration::from_secs(2));
+    assert!(net
+        .log_a
+        .iter()
+        .any(|(id, e)| *id == a_id && *e == TcpEvent::Aborted(AbortReason::Refused)));
+}

@@ -1,0 +1,234 @@
+//! Checksums: the RFC 1071 Internet checksum and CRC-32.
+//!
+//! The performance story of Figure 7 in the paper hinges on exactly this
+//! distinction: the Nectar-specific protocols rely on the CAB's
+//! *hardware* CRC ("Cyclic Redundancy Checksums for incoming and
+//! outgoing data are computed by hardware"), while TCP must compute its
+//! checksum in *software* on the 16.5 MHz SPARC — "the performance
+//! difference between TCP/IP and RMP is mostly due to the cost of doing
+//! TCP checksums in software". Both algorithms are implemented here for
+//! real; the simulator charges CPU time for the software one only.
+
+/// Incremental one's-complement sum, RFC 1071 style.
+///
+/// Feed it the pseudo-header and payload in any chunking; odd-length
+/// chunks are handled by tracking byte parity so results are identical
+/// to a single-pass sum.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChecksumAccum {
+    sum: u64,
+    /// True when an odd number of bytes have been consumed so far, i.e.
+    /// the next byte is a low-order byte.
+    odd: bool,
+}
+
+impl ChecksumAccum {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a chunk of bytes.
+    pub fn write(&mut self, data: &[u8]) {
+        let mut i = 0;
+        if self.odd && !data.is_empty() {
+            self.sum += data[0] as u64;
+            self.odd = false;
+            i = 1;
+        }
+        while i + 1 < data.len() {
+            self.sum += u16::from_be_bytes([data[i], data[i + 1]]) as u64;
+            i += 2;
+        }
+        if i < data.len() {
+            self.sum += (data[i] as u64) << 8;
+            self.odd = true;
+        }
+        // A u64 accumulator absorbs 2^48 half-words before it could
+        // overflow, far beyond any packet; fold between chunks anyway to
+        // keep the invariant local.
+        if self.sum > 0x3fff_ffff {
+            self.fold();
+        }
+    }
+
+    /// Add a big-endian u16 directly (pseudo-header fields). Must be
+    /// called on an even byte boundary.
+    pub fn write_u16(&mut self, v: u16) {
+        debug_assert!(!self.odd, "write_u16 on odd boundary");
+        self.sum += v as u64;
+    }
+
+    /// Add a big-endian u32 directly (pseudo-header addresses).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_u16((v >> 16) as u16);
+        self.write_u16(v as u16);
+    }
+
+    fn fold(&mut self) {
+        while self.sum >> 16 != 0 {
+            self.sum = (self.sum & 0xffff) + (self.sum >> 16);
+        }
+    }
+
+    /// Finish: fold and complement. An all-zero result is returned as
+    /// 0xffff per UDP convention (0 means "no checksum").
+    pub fn finish(mut self) -> u16 {
+        self.fold();
+        let c = !(self.sum as u16);
+        if c == 0 {
+            0xffff
+        } else {
+            c
+        }
+    }
+
+    /// Finish without the zero-avoidance substitution (IP/TCP/ICMP use
+    /// the plain complement).
+    pub fn finish_raw(mut self) -> u16 {
+        self.fold();
+        !(self.sum as u16)
+    }
+}
+
+/// One-shot Internet checksum of a byte slice.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut acc = ChecksumAccum::new();
+    acc.write(data);
+    acc.finish_raw()
+}
+
+/// Verify a buffer that *includes* its checksum field: the sum over the
+/// whole buffer must be 0xffff (i.e. folds to zero after complement).
+pub fn internet_checksum_valid(data: &[u8]) -> bool {
+    internet_checksum(data) == 0
+}
+
+const CRC32_POLY: u32 = 0xedb8_8320; // IEEE 802.3, reflected
+
+fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { CRC32_POLY ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE 802.3) over a byte slice — the frame check the CAB
+/// hardware computed on the fly for incoming and outgoing fiber data.
+pub fn crc32(data: &[u8]) -> u32 {
+    // The table is tiny; rebuild-on-call would be wasteful in the frame
+    // hot path, so memoize it.
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(crc32_table);
+    let mut c = 0xffff_ffffu32;
+    for &b in data {
+        c = table[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // The classic worked example: 00 01 f2 03 f4 f5 f6 f7 sums to
+        // ddf2 before complement.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        let mut acc = ChecksumAccum::new();
+        acc.write(&data);
+        acc.fold();
+        assert_eq!(acc.sum, 0xddf2);
+        assert_eq!(internet_checksum(&data), !0xddf2u16);
+    }
+
+    #[test]
+    fn chunking_is_irrelevant() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1001).collect();
+        let whole = internet_checksum(&data);
+        for split in [1usize, 2, 3, 7, 500, 999] {
+            let mut acc = ChecksumAccum::new();
+            acc.write(&data[..split]);
+            acc.write(&data[split..]);
+            assert_eq!(acc.finish_raw(), whole, "split at {split}");
+        }
+        // three-way odd splits
+        let mut acc = ChecksumAccum::new();
+        acc.write(&data[..3]);
+        acc.write(&data[3..8]);
+        acc.write(&data[8..]);
+        assert_eq!(acc.finish_raw(), whole);
+    }
+
+    #[test]
+    fn verify_roundtrip() {
+        let mut packet = vec![0u8; 20];
+        for (i, b) in packet.iter_mut().enumerate() {
+            *b = i as u8 * 7;
+        }
+        // zero checksum field at offset 10, compute, insert, verify
+        packet[10] = 0;
+        packet[11] = 0;
+        let c = internet_checksum(&packet);
+        packet[10..12].copy_from_slice(&c.to_be_bytes());
+        assert!(internet_checksum_valid(&packet));
+        packet[3] ^= 0x40;
+        assert!(!internet_checksum_valid(&packet));
+    }
+
+    #[test]
+    fn empty_checksum() {
+        assert_eq!(internet_checksum(&[]), 0xffff);
+    }
+
+    #[test]
+    fn u16_u32_writers_match_bytes() {
+        let mut a = ChecksumAccum::new();
+        a.write_u32(0x0a00_0001);
+        a.write_u16(0x0006);
+        let mut b = ChecksumAccum::new();
+        b.write(&[0x0a, 0x00, 0x00, 0x01, 0x00, 0x06]);
+        assert_eq!(a.finish_raw(), b.finish_raw());
+    }
+
+    #[test]
+    fn accumulator_no_overflow_on_large_input() {
+        // 16 MiB of 0xff would overflow a naive u32 accumulator.
+        let data = vec![0xffu8; 1 << 24];
+        let mut acc = ChecksumAccum::new();
+        acc.write(&data);
+        // all-ones data: each word is 0xffff; folded sum stays 0xffff;
+        // complement is 0.
+        assert_eq!(acc.finish_raw(), 0);
+    }
+
+    #[test]
+    fn crc32_known_answers() {
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414f_a339);
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let data: Vec<u8> = (0..64u8).collect();
+        let good = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut bad = data.clone();
+                bad[byte] ^= 1 << bit;
+                assert_ne!(crc32(&bad), good, "undetected flip at {byte}.{bit}");
+            }
+        }
+    }
+}

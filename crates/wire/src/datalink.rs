@@ -1,0 +1,334 @@
+//! The Nectar datalink frame.
+//!
+//! On-wire layout (all multi-byte fields big-endian):
+//!
+//! ```text
+//! 0            route_len (R)            number of source-route hops
+//! 1            route_pos                index of next hop byte; each HUB
+//!                                       advances this as it forwards
+//! 2 .. 2+R     route bytes              HUB output port per hop
+//! 2+R .. +12   datalink header:
+//!                dst_cab   u16          destination CAB node id
+//!                src_cab   u16          source CAB node id
+//!                proto     u8           demultiplexing key (IP, NDG, …)
+//!                flags     u8           reserved
+//!                len       u16          payload length in bytes
+//!                msg_id    u32          correlation id for tracing
+//! …            payload (len bytes)
+//! last 4       CRC-32 over header+payload (computed by CAB hardware in
+//!              the original system; `route_len`/`route_pos`/route bytes
+//!              are excluded because they mutate in flight)
+//! ```
+//!
+//! The paper's datalink layer (§4.1) reads the header, kicks off DMA
+//! into a mailbox, and issues start-of-data / end-of-data upcalls; the
+//! `msg_id` field is this reproduction's hook for the Figure 6 stage
+//! trace.
+
+use crate::route::Route;
+use crate::{checksum, get_u16, get_u32, put_u16, put_u32, WireError};
+
+/// Datalink protocol demultiplexing values (§3: transport protocols are
+/// implemented on the CAB on top of the datalink layer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum DatalinkProto {
+    /// An IPv4 datagram (the TCP/IP suite of §4).
+    Ip = 1,
+    /// Nectar datagram protocol.
+    Datagram = 2,
+    /// Nectar reliable message protocol (stop-and-wait).
+    Rmp = 3,
+    /// Nectar request-response protocol (RPC transport).
+    ReqResp = 4,
+    /// Raw frames for the network-device mode of §5.1 (host-resident
+    /// protocol stack; the CAB acts as a dumb interface).
+    Raw = 5,
+}
+
+impl DatalinkProto {
+    pub fn from_u8(v: u8) -> Result<Self, WireError> {
+        Ok(match v {
+            1 => DatalinkProto::Ip,
+            2 => DatalinkProto::Datagram,
+            3 => DatalinkProto::Rmp,
+            4 => DatalinkProto::ReqResp,
+            5 => DatalinkProto::Raw,
+            _ => return Err(WireError::BadField),
+        })
+    }
+}
+
+/// Size of the fixed datalink header.
+pub const HEADER_LEN: usize = 12;
+/// Size of the CRC-32 trailer.
+pub const CRC_LEN: usize = 4;
+/// Route prefix overhead excluding the hop bytes themselves.
+pub const ROUTE_FIXED_LEN: usize = 2;
+
+/// Parsed datalink header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DatalinkHeader {
+    pub dst_cab: u16,
+    pub src_cab: u16,
+    pub proto: DatalinkProto,
+    pub flags: u8,
+    pub payload_len: u16,
+    pub msg_id: u32,
+}
+
+/// An owned datalink frame: route prefix + header + payload + CRC.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    bytes: Vec<u8>,
+}
+
+impl Frame {
+    /// Assemble a frame. The CRC is computed over header + payload, as
+    /// the CAB hardware did for outgoing fiber data.
+    pub fn build(route: &Route, header: DatalinkHeader, payload: &[u8]) -> Frame {
+        assert!(payload.len() <= u16::MAX as usize, "payload too large for frame");
+        let r = route.len();
+        let mut bytes = Vec::with_capacity(ROUTE_FIXED_LEN + r + HEADER_LEN + payload.len() + CRC_LEN);
+        bytes.push(r as u8);
+        bytes.push(0); // route_pos
+        bytes.extend_from_slice(route.hops());
+        let h = bytes.len();
+        bytes.resize(h + HEADER_LEN, 0);
+        put_u16(&mut bytes, h, header.dst_cab);
+        put_u16(&mut bytes, h + 2, header.src_cab);
+        bytes[h + 4] = header.proto as u8;
+        bytes[h + 5] = header.flags;
+        put_u16(&mut bytes, h + 6, payload.len() as u16);
+        put_u32(&mut bytes, h + 8, header.msg_id);
+        bytes.extend_from_slice(payload);
+        let crc = checksum::crc32(&bytes[h..]);
+        bytes.extend_from_slice(&crc.to_be_bytes());
+        Frame { bytes }
+    }
+
+    /// Wrap raw received bytes without validation (validation happens in
+    /// [`Frame::parse_header`] / [`Frame::check_crc`], mirroring the
+    /// hardware which buffers first and flags CRC at end-of-packet).
+    pub fn from_bytes(bytes: Vec<u8>) -> Frame {
+        Frame { bytes }
+    }
+
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Total length on the wire, in bytes (what serialization delay is
+    /// charged on).
+    pub fn wire_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn route_len(&self) -> usize {
+        self.bytes.first().copied().unwrap_or(0) as usize
+    }
+
+    fn header_at(&self) -> usize {
+        ROUTE_FIXED_LEN + self.route_len()
+    }
+
+    /// The next hop's output port, if any hops remain. Returns an error
+    /// on malformed prefixes.
+    pub fn next_hop(&self) -> Result<Option<u8>, WireError> {
+        if self.bytes.len() < ROUTE_FIXED_LEN {
+            return Err(WireError::Truncated);
+        }
+        let rlen = self.bytes[0] as usize;
+        let rpos = self.bytes[1] as usize;
+        if self.bytes.len() < ROUTE_FIXED_LEN + rlen {
+            return Err(WireError::Truncated);
+        }
+        if rpos > rlen {
+            return Err(WireError::BadField);
+        }
+        if rpos == rlen {
+            Ok(None)
+        } else {
+            Ok(Some(self.bytes[ROUTE_FIXED_LEN + rpos]))
+        }
+    }
+
+    /// Consume one route hop (performed by each HUB as it forwards).
+    /// Returns the output port taken.
+    pub fn advance_hop(&mut self) -> Result<u8, WireError> {
+        match self.next_hop()? {
+            Some(port) => {
+                self.bytes[1] += 1;
+                Ok(port)
+            }
+            None => Err(WireError::BadField),
+        }
+    }
+
+    /// Parse and validate the datalink header (length check included).
+    pub fn parse_header(&self) -> Result<DatalinkHeader, WireError> {
+        let h = self.header_at();
+        if self.bytes.len() < h + HEADER_LEN + CRC_LEN {
+            return Err(WireError::Truncated);
+        }
+        let b = &self.bytes;
+        let payload_len = get_u16(b, h + 6);
+        if self.bytes.len() != h + HEADER_LEN + payload_len as usize + CRC_LEN {
+            return Err(WireError::BadLength);
+        }
+        Ok(DatalinkHeader {
+            dst_cab: get_u16(b, h),
+            src_cab: get_u16(b, h + 2),
+            proto: DatalinkProto::from_u8(b[h + 4])?,
+            flags: b[h + 5],
+            payload_len,
+            msg_id: get_u32(b, h + 8),
+        })
+    }
+
+    /// The transport payload carried by this frame.
+    pub fn payload(&self) -> Result<&[u8], WireError> {
+        let h = self.header_at();
+        let hdr = self.parse_header()?;
+        Ok(&self.bytes[h + HEADER_LEN..h + HEADER_LEN + hdr.payload_len as usize])
+    }
+
+    /// Verify the CRC-32 trailer over header + payload. Route bytes are
+    /// excluded because `route_pos` mutates hop by hop.
+    pub fn check_crc(&self) -> Result<(), WireError> {
+        let h = self.header_at();
+        if self.bytes.len() < h + HEADER_LEN + CRC_LEN {
+            return Err(WireError::Truncated);
+        }
+        let body = &self.bytes[h..self.bytes.len() - CRC_LEN];
+        let stored = get_u32(&self.bytes, self.bytes.len() - CRC_LEN);
+        if checksum::crc32(body) == stored {
+            Ok(())
+        } else {
+            Err(WireError::BadChecksum)
+        }
+    }
+
+    /// Flip a bit (fault-injection helper for tests and the lossy-link
+    /// model). `bit` indexes into the whole frame.
+    pub fn corrupt_bit(&mut self, bit: usize) {
+        let byte = (bit / 8) % self.bytes.len();
+        self.bytes[byte] ^= 1 << (bit % 8);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> DatalinkHeader {
+        DatalinkHeader {
+            dst_cab: 7,
+            src_cab: 3,
+            proto: DatalinkProto::Datagram,
+            flags: 0,
+            payload_len: 0, // filled by build
+            msg_id: 0xdead_beef,
+        }
+    }
+
+    #[test]
+    fn build_parse_roundtrip() {
+        let route = Route::new(vec![2, 5]);
+        let payload = b"hello nectar".to_vec();
+        let f = Frame::build(&route, header(), &payload);
+        let h = f.parse_header().unwrap();
+        assert_eq!(h.dst_cab, 7);
+        assert_eq!(h.src_cab, 3);
+        assert_eq!(h.proto, DatalinkProto::Datagram);
+        assert_eq!(h.payload_len as usize, payload.len());
+        assert_eq!(h.msg_id, 0xdead_beef);
+        assert_eq!(f.payload().unwrap(), &payload[..]);
+        f.check_crc().unwrap();
+        assert_eq!(f.wire_len(), 2 + 2 + 12 + payload.len() + 4);
+    }
+
+    #[test]
+    fn hop_consumption() {
+        let route = Route::new(vec![4, 9, 1]);
+        let mut f = Frame::build(&route, header(), b"x");
+        assert_eq!(f.next_hop().unwrap(), Some(4));
+        assert_eq!(f.advance_hop().unwrap(), 4);
+        assert_eq!(f.advance_hop().unwrap(), 9);
+        assert_eq!(f.next_hop().unwrap(), Some(1));
+        assert_eq!(f.advance_hop().unwrap(), 1);
+        assert_eq!(f.next_hop().unwrap(), None);
+        assert_eq!(f.advance_hop(), Err(WireError::BadField));
+        // CRC still valid after hops consumed (route excluded from CRC)
+        f.check_crc().unwrap();
+    }
+
+    #[test]
+    fn empty_route_and_empty_payload() {
+        let f = Frame::build(&Route::empty(), header(), &[]);
+        assert_eq!(f.next_hop().unwrap(), None);
+        assert_eq!(f.payload().unwrap(), &[] as &[u8]);
+        f.check_crc().unwrap();
+    }
+
+    #[test]
+    fn corruption_detected_by_crc() {
+        let f0 = Frame::build(&Route::new(vec![1]), header(), b"payload bytes here");
+        // flip every bit of the header+payload region in turn
+        let start = (2 + 1) * 8;
+        let end = (f0.wire_len() - 4) * 8;
+        for bit in start..end {
+            let mut f = f0.clone();
+            f.corrupt_bit(bit);
+            assert!(
+                f.check_crc().is_err() || f.parse_header().is_err(),
+                "undetected corruption at bit {bit}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_and_malformed() {
+        let f = Frame::from_bytes(vec![]);
+        assert_eq!(f.next_hop(), Err(WireError::Truncated));
+        let f = Frame::from_bytes(vec![5, 0, 1]);
+        assert_eq!(f.next_hop(), Err(WireError::Truncated));
+        assert_eq!(f.parse_header(), Err(WireError::Truncated));
+        // route_pos beyond route_len
+        let f = Frame::from_bytes(vec![1, 2, 9]);
+        assert_eq!(f.next_hop(), Err(WireError::BadField));
+        // bad length field
+        let good = Frame::build(&Route::empty(), header(), b"abc");
+        let mut bytes = good.into_bytes();
+        bytes.push(0);
+        let f = Frame::from_bytes(bytes);
+        assert_eq!(f.parse_header(), Err(WireError::BadLength));
+    }
+
+    #[test]
+    fn unknown_proto_rejected() {
+        let good = Frame::build(&Route::empty(), header(), b"abc");
+        let mut bytes = good.into_bytes();
+        bytes[2 + 4] = 99;
+        let f = Frame::from_bytes(bytes);
+        assert_eq!(f.parse_header(), Err(WireError::BadField));
+    }
+
+    #[test]
+    fn all_protos_roundtrip() {
+        for p in [
+            DatalinkProto::Ip,
+            DatalinkProto::Datagram,
+            DatalinkProto::Rmp,
+            DatalinkProto::ReqResp,
+            DatalinkProto::Raw,
+        ] {
+            assert_eq!(DatalinkProto::from_u8(p as u8).unwrap(), p);
+        }
+        assert!(DatalinkProto::from_u8(0).is_err());
+    }
+}

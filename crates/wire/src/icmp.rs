@@ -1,0 +1,183 @@
+//! ICMP messages (RFC 792): echo, destination unreachable, time exceeded.
+//!
+//! §4.1: "ICMP is implemented as a mailbox upcall" on the CAB — it is
+//! small enough to run as a side effect of writing the IP input mailbox
+//! rather than in its own thread. This module covers the message types
+//! that implementation needs: echo request/reply (ping) and the two
+//! error messages IP generates (protocol/port unreachable, reassembly
+//! time exceeded).
+
+use crate::{checksum, get_u16, put_u16, WireError};
+
+/// ICMP header length (type, code, checksum, rest-of-header).
+pub const HEADER_LEN: usize = 8;
+
+/// ICMP message kinds used in this reproduction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IcmpMessage {
+    /// Echo request (type 8) with identifier, sequence and payload.
+    EchoRequest { ident: u16, seq: u16, payload: Vec<u8> },
+    /// Echo reply (type 0).
+    EchoReply { ident: u16, seq: u16, payload: Vec<u8> },
+    /// Destination unreachable (type 3); `original` carries the IP
+    /// header + first 8 bytes of the offending datagram.
+    DestUnreachable { code: UnreachableCode, original: Vec<u8> },
+    /// Time exceeded (type 11, code 1 = fragment reassembly timeout).
+    TimeExceeded { original: Vec<u8> },
+}
+
+/// Destination-unreachable codes we generate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum UnreachableCode {
+    Net = 0,
+    Host = 1,
+    Protocol = 2,
+    Port = 3,
+}
+
+impl UnreachableCode {
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        Ok(match v {
+            0 => UnreachableCode::Net,
+            1 => UnreachableCode::Host,
+            2 => UnreachableCode::Protocol,
+            3 => UnreachableCode::Port,
+            _ => return Err(WireError::BadField),
+        })
+    }
+}
+
+impl IcmpMessage {
+    /// Serialize with checksum.
+    pub fn build(&self) -> Vec<u8> {
+        let (ty, code, rest, body): (u8, u8, [u8; 4], &[u8]) = match self {
+            IcmpMessage::EchoRequest { ident, seq, payload } => {
+                let mut rest = [0u8; 4];
+                rest[..2].copy_from_slice(&ident.to_be_bytes());
+                rest[2..].copy_from_slice(&seq.to_be_bytes());
+                (8, 0, rest, payload)
+            }
+            IcmpMessage::EchoReply { ident, seq, payload } => {
+                let mut rest = [0u8; 4];
+                rest[..2].copy_from_slice(&ident.to_be_bytes());
+                rest[2..].copy_from_slice(&seq.to_be_bytes());
+                (0, 0, rest, payload)
+            }
+            IcmpMessage::DestUnreachable { code, original } => (3, *code as u8, [0; 4], original),
+            IcmpMessage::TimeExceeded { original } => (11, 1, [0; 4], original),
+        };
+        let mut msg = vec![0u8; HEADER_LEN + body.len()];
+        msg[0] = ty;
+        msg[1] = code;
+        msg[4..8].copy_from_slice(&rest);
+        msg[HEADER_LEN..].copy_from_slice(body);
+        let c = checksum::internet_checksum(&msg);
+        put_u16(&mut msg, 2, c);
+        msg
+    }
+
+    /// Parse and validate the checksum.
+    pub fn parse(data: &[u8]) -> Result<IcmpMessage, WireError> {
+        if data.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        if !checksum::internet_checksum_valid(data) {
+            return Err(WireError::BadChecksum);
+        }
+        let body = data[HEADER_LEN..].to_vec();
+        match (data[0], data[1]) {
+            (8, 0) => Ok(IcmpMessage::EchoRequest {
+                ident: get_u16(data, 4),
+                seq: get_u16(data, 6),
+                payload: body,
+            }),
+            (0, 0) => Ok(IcmpMessage::EchoReply {
+                ident: get_u16(data, 4),
+                seq: get_u16(data, 6),
+                payload: body,
+            }),
+            (3, c) => Ok(IcmpMessage::DestUnreachable {
+                code: UnreachableCode::from_u8(c)?,
+                original: body,
+            }),
+            (11, 1) => Ok(IcmpMessage::TimeExceeded { original: body }),
+            _ => Err(WireError::BadField),
+        }
+    }
+
+    /// The reply an echo request elicits, with payload echoed back.
+    pub fn echo_reply_for(&self) -> Option<IcmpMessage> {
+        match self {
+            IcmpMessage::EchoRequest { ident, seq, payload } => Some(IcmpMessage::EchoReply {
+                ident: *ident,
+                seq: *seq,
+                payload: payload.clone(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_roundtrip() {
+        let m = IcmpMessage::EchoRequest { ident: 42, seq: 7, payload: b"ping!".to_vec() };
+        let bytes = m.build();
+        assert_eq!(IcmpMessage::parse(&bytes).unwrap(), m);
+        let reply = m.echo_reply_for().unwrap();
+        let rb = reply.build();
+        match IcmpMessage::parse(&rb).unwrap() {
+            IcmpMessage::EchoReply { ident, seq, payload } => {
+                assert_eq!((ident, seq), (42, 7));
+                assert_eq!(payload, b"ping!");
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_messages_roundtrip() {
+        let orig = vec![0x45u8; 28];
+        for m in [
+            IcmpMessage::DestUnreachable { code: UnreachableCode::Port, original: orig.clone() },
+            IcmpMessage::DestUnreachable { code: UnreachableCode::Protocol, original: orig.clone() },
+            IcmpMessage::TimeExceeded { original: orig.clone() },
+        ] {
+            let bytes = m.build();
+            assert_eq!(IcmpMessage::parse(&bytes).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut bytes =
+            IcmpMessage::EchoRequest { ident: 1, seq: 2, payload: vec![9; 16] }.build();
+        bytes[9] ^= 0x20;
+        assert_eq!(IcmpMessage::parse(&bytes), Err(WireError::BadChecksum));
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut bytes = IcmpMessage::EchoReply { ident: 0, seq: 0, payload: vec![] }.build();
+        bytes[0] = 13; // timestamp request — unsupported
+        put_u16(&mut bytes, 2, 0);
+        let c = checksum::internet_checksum(&bytes);
+        put_u16(&mut bytes, 2, c);
+        assert_eq!(IcmpMessage::parse(&bytes), Err(WireError::BadField));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(IcmpMessage::parse(&[8, 0, 0]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn only_requests_generate_replies() {
+        let reply = IcmpMessage::EchoReply { ident: 0, seq: 0, payload: vec![] };
+        assert!(reply.echo_reply_for().is_none());
+    }
+}

@@ -1,0 +1,79 @@
+//! Wire formats for the Nectar reproduction.
+//!
+//! Everything that crosses a simulated fiber, VME bus, or Ethernet in
+//! this workspace is real bytes in the formats defined here, following
+//! the smoltcp idiom: *views* over byte slices with `parse` validation
+//! and `emit` construction, plus standalone checksum implementations
+//! (Internet checksum for IP/TCP/UDP/ICMP, CRC-32 for the CAB's hardware
+//! frame check).
+//!
+//! Layers, outermost first:
+//!
+//! * [`route`] — the source-route prefix consumed by HUBs (§2.1 of the
+//!   paper: "CABs use source routing to send a message through the
+//!   network").
+//! * [`datalink`] — the Nectar datalink header and CRC-32 trailer
+//!   (computed by CAB hardware in the original system).
+//! * [`ipv4`], [`icmp`], [`udp`], [`tcp`] — the TCP/IP suite the paper
+//!   implements on the CAB (§4).
+//! * [`nectar`] — the Nectar-specific transport headers: datagram,
+//!   reliable message (RMP), and request-response (§4: "datagram,
+//!   reliable message, and request-response communication").
+//!
+//! This crate is pure: no simulation, no time, no I/O. That makes every
+//! format property-testable in isolation.
+
+pub mod checksum;
+pub mod datalink;
+pub mod icmp;
+pub mod ipv4;
+pub mod nectar;
+pub mod route;
+pub mod tcp;
+pub mod udp;
+
+pub use checksum::{crc32, internet_checksum, ChecksumAccum};
+pub use datalink::{DatalinkHeader, DatalinkProto, Frame};
+
+/// Errors from parsing any wire format in this crate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than the fixed header.
+    Truncated,
+    /// A length field disagrees with the buffer.
+    BadLength,
+    /// A checksum or CRC failed verification.
+    BadChecksum,
+    /// A version / type / magic field has an unsupported value.
+    BadField,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            WireError::Truncated => "truncated packet",
+            WireError::BadLength => "length field mismatch",
+            WireError::BadChecksum => "checksum failure",
+            WireError::BadField => "unsupported field value",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+pub(crate) fn get_u16(b: &[u8], at: usize) -> u16 {
+    u16::from_be_bytes([b[at], b[at + 1]])
+}
+
+pub(crate) fn get_u32(b: &[u8], at: usize) -> u32 {
+    u32::from_be_bytes([b[at], b[at + 1], b[at + 2], b[at + 3]])
+}
+
+pub(crate) fn put_u16(b: &mut [u8], at: usize, v: u16) {
+    b[at..at + 2].copy_from_slice(&v.to_be_bytes());
+}
+
+pub(crate) fn put_u32(b: &mut [u8], at: usize, v: u32) {
+    b[at..at + 4].copy_from_slice(&v.to_be_bytes());
+}

@@ -1,0 +1,324 @@
+//! Nectar-specific transport headers (§4 of the paper).
+//!
+//! "The Nectar-specific protocols provide datagram, reliable message,
+//! and request-response communication. The reliable message protocol is
+//! a simple stop-and-wait protocol, and the request-response protocol
+//! provides the transport mechanism for client-server RPC calls."
+//!
+//! All three address *mailboxes*: "a mailbox is a queue of messages with
+//! a network-wide address" (§3.3). A network-wide mailbox address is
+//! `(CAB node id, mailbox index)`; the CAB id travels in the datalink
+//! header, so these transport headers carry only the 16-bit indices.
+//!
+//! None of these protocols compute a software checksum — they rely on
+//! the CAB's hardware CRC (this is precisely why RMP beats TCP in
+//! Figure 7).
+
+use crate::{get_u16, get_u32, put_u16, put_u32, WireError};
+
+/// A network-wide mailbox address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MailboxAddr {
+    /// The CAB whose memory holds the mailbox.
+    pub cab: u16,
+    /// The mailbox index within that CAB's mailbox table.
+    pub index: u16,
+}
+
+impl MailboxAddr {
+    pub fn new(cab: u16, index: u16) -> Self {
+        MailboxAddr { cab, index }
+    }
+}
+
+impl std::fmt::Display for MailboxAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mb{}:{}", self.cab, self.index)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Datagram protocol (unreliable, unordered, mailbox-to-mailbox)
+// ---------------------------------------------------------------------
+
+/// Datagram header: 4 bytes.
+pub const DATAGRAM_HEADER_LEN: usize = 4;
+
+/// The Nectar datagram header. The paper's Table 1 and Figure 6 use this
+/// protocol for their latency measurements — it is the thinnest path
+/// through the system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DatagramHeader {
+    /// Destination mailbox index on the destination CAB.
+    pub dst_mbox: u16,
+    /// Source mailbox index (reply hint; 0 when unused).
+    pub src_mbox: u16,
+}
+
+impl DatagramHeader {
+    pub fn build(&self, payload: &[u8]) -> Vec<u8> {
+        let mut msg = vec![0u8; DATAGRAM_HEADER_LEN + payload.len()];
+        put_u16(&mut msg, 0, self.dst_mbox);
+        put_u16(&mut msg, 2, self.src_mbox);
+        msg[DATAGRAM_HEADER_LEN..].copy_from_slice(payload);
+        msg
+    }
+
+    pub fn parse(data: &[u8]) -> Result<(DatagramHeader, &[u8]), WireError> {
+        if data.len() < DATAGRAM_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        Ok((
+            DatagramHeader { dst_mbox: get_u16(data, 0), src_mbox: get_u16(data, 2) },
+            &data[DATAGRAM_HEADER_LEN..],
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reliable Message Protocol (RMP) — stop-and-wait
+// ---------------------------------------------------------------------
+
+/// RMP header: 16 bytes.
+pub const RMP_HEADER_LEN: usize = 16;
+
+/// RMP packet kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RmpKind {
+    /// A message fragment.
+    Data = 1,
+    /// Acknowledgment of one fragment.
+    Ack = 2,
+}
+
+/// The RMP header. A message larger than the datalink MTU is split into
+/// fragments; each fragment is individually stop-and-waited ("a simple
+/// stop-and-wait protocol"). `msg_seq` orders messages on a channel
+/// (identified by source CAB + the two mailbox indices); `frag_idx`
+/// orders fragments within a message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RmpHeader {
+    pub kind: RmpKind,
+    /// Set on the final fragment of a message.
+    pub last_frag: bool,
+    pub dst_mbox: u16,
+    pub src_mbox: u16,
+    pub msg_seq: u32,
+    pub frag_idx: u16,
+    /// Total message length in bytes (valid in Data packets).
+    pub total_len: u32,
+}
+
+impl RmpHeader {
+    pub fn build(&self, payload: &[u8]) -> Vec<u8> {
+        let mut msg = vec![0u8; RMP_HEADER_LEN + payload.len()];
+        msg[0] = self.kind as u8;
+        msg[1] = self.last_frag as u8;
+        put_u16(&mut msg, 2, self.dst_mbox);
+        put_u16(&mut msg, 4, self.src_mbox);
+        put_u32(&mut msg, 6, self.msg_seq);
+        put_u16(&mut msg, 10, self.frag_idx);
+        put_u32(&mut msg, 12, self.total_len);
+        msg[RMP_HEADER_LEN..].copy_from_slice(payload);
+        msg
+    }
+
+    pub fn parse(data: &[u8]) -> Result<(RmpHeader, &[u8]), WireError> {
+        if data.len() < RMP_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let kind = match data[0] {
+            1 => RmpKind::Data,
+            2 => RmpKind::Ack,
+            _ => return Err(WireError::BadField),
+        };
+        let last_frag = match data[1] {
+            0 => false,
+            1 => true,
+            _ => return Err(WireError::BadField),
+        };
+        Ok((
+            RmpHeader {
+                kind,
+                last_frag,
+                dst_mbox: get_u16(data, 2),
+                src_mbox: get_u16(data, 4),
+                msg_seq: get_u32(data, 6),
+                frag_idx: get_u16(data, 10),
+                total_len: get_u32(data, 12),
+            },
+            &data[RMP_HEADER_LEN..],
+        ))
+    }
+
+    /// The ACK that acknowledges this Data packet.
+    pub fn ack_for(&self) -> RmpHeader {
+        RmpHeader {
+            kind: RmpKind::Ack,
+            last_frag: self.last_frag,
+            // ack flows back: swap the mailbox roles
+            dst_mbox: self.src_mbox,
+            src_mbox: self.dst_mbox,
+            msg_seq: self.msg_seq,
+            frag_idx: self.frag_idx,
+            total_len: 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request-response protocol (RPC transport)
+// ---------------------------------------------------------------------
+
+/// Request-response header: 12 bytes.
+pub const REQRESP_HEADER_LEN: usize = 12;
+
+/// Request-response packet kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ReqRespKind {
+    Request = 1,
+    Reply = 2,
+    /// Explicit ack of a reply, releasing the server's cached reply
+    /// (sent lazily; a new request from the same client also releases).
+    ReplyAck = 3,
+}
+
+/// The request-response header. The reply to request `req_id` carries
+/// the same `req_id`; retransmitted requests are deduplicated by it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReqRespHeader {
+    pub kind: ReqRespKind,
+    /// Server mailbox (in requests) or client reply mailbox (in replies).
+    pub dst_mbox: u16,
+    /// Where the reply should go (valid in requests).
+    pub reply_mbox: u16,
+    pub req_id: u32,
+}
+
+impl ReqRespHeader {
+    pub fn build(&self, payload: &[u8]) -> Vec<u8> {
+        let mut msg = vec![0u8; REQRESP_HEADER_LEN + payload.len()];
+        msg[0] = self.kind as u8;
+        put_u16(&mut msg, 2, self.dst_mbox);
+        put_u16(&mut msg, 4, self.reply_mbox);
+        put_u32(&mut msg, 6, self.req_id);
+        msg[REQRESP_HEADER_LEN..].copy_from_slice(payload);
+        msg
+    }
+
+    pub fn parse(data: &[u8]) -> Result<(ReqRespHeader, &[u8]), WireError> {
+        if data.len() < REQRESP_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let kind = match data[0] {
+            1 => ReqRespKind::Request,
+            2 => ReqRespKind::Reply,
+            3 => ReqRespKind::ReplyAck,
+            _ => return Err(WireError::BadField),
+        };
+        Ok((
+            ReqRespHeader {
+                kind,
+                dst_mbox: get_u16(data, 2),
+                reply_mbox: get_u16(data, 4),
+                req_id: get_u32(data, 6),
+            },
+            &data[REQRESP_HEADER_LEN..],
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mailbox_addr_display_and_order() {
+        let a = MailboxAddr::new(1, 2);
+        let b = MailboxAddr::new(1, 3);
+        assert!(a < b);
+        assert_eq!(format!("{a}"), "mb1:2");
+    }
+
+    #[test]
+    fn datagram_roundtrip() {
+        let h = DatagramHeader { dst_mbox: 10, src_mbox: 20 };
+        let msg = h.build(b"dgram payload");
+        let (parsed, payload) = DatagramHeader::parse(&msg).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(payload, b"dgram payload");
+        assert_eq!(DatagramHeader::parse(&msg[..2]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn rmp_roundtrip_and_ack() {
+        let h = RmpHeader {
+            kind: RmpKind::Data,
+            last_frag: true,
+            dst_mbox: 5,
+            src_mbox: 6,
+            msg_seq: 99,
+            frag_idx: 3,
+            total_len: 30_000,
+        };
+        let msg = h.build(b"fragment bytes");
+        let (parsed, payload) = RmpHeader::parse(&msg).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(payload, b"fragment bytes");
+
+        let ack = h.ack_for();
+        assert_eq!(ack.kind, RmpKind::Ack);
+        assert_eq!(ack.dst_mbox, 6);
+        assert_eq!(ack.src_mbox, 5);
+        assert_eq!(ack.msg_seq, 99);
+        assert_eq!(ack.frag_idx, 3);
+        assert!(ack.last_frag);
+        let ack_bytes = ack.build(&[]);
+        let (ack_parsed, rest) = RmpHeader::parse(&ack_bytes).unwrap();
+        assert_eq!(ack_parsed, ack);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn rmp_rejects_bad_fields() {
+        let h = RmpHeader {
+            kind: RmpKind::Data,
+            last_frag: false,
+            dst_mbox: 1,
+            src_mbox: 2,
+            msg_seq: 1,
+            frag_idx: 0,
+            total_len: 4,
+        };
+        let mut msg = h.build(b"abcd");
+        msg[0] = 7;
+        assert_eq!(RmpHeader::parse(&msg), Err(WireError::BadField));
+        msg[0] = 1;
+        msg[1] = 2;
+        assert_eq!(RmpHeader::parse(&msg), Err(WireError::BadField));
+        assert_eq!(RmpHeader::parse(&msg[..8]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn reqresp_roundtrip() {
+        for kind in [ReqRespKind::Request, ReqRespKind::Reply, ReqRespKind::ReplyAck] {
+            let h = ReqRespHeader { kind, dst_mbox: 7, reply_mbox: 8, req_id: 0xabcd_0123 };
+            let msg = h.build(b"rpc args");
+            let (parsed, payload) = ReqRespHeader::parse(&msg).unwrap();
+            assert_eq!(parsed, h);
+            assert_eq!(payload, b"rpc args");
+        }
+        assert_eq!(ReqRespHeader::parse(&[0; 4]), Err(WireError::Truncated));
+        let bad = ReqRespHeader {
+            kind: ReqRespKind::Request,
+            dst_mbox: 0,
+            reply_mbox: 0,
+            req_id: 0,
+        };
+        let mut msg = bad.build(&[]);
+        msg[0] = 0;
+        assert_eq!(ReqRespHeader::parse(&msg), Err(WireError::BadField));
+    }
+}

@@ -1,0 +1,82 @@
+//! Source routes.
+//!
+//! §2.1: "The CABs use source routing to send a message through the
+//! network. The HUB command set includes support for multi-hop
+//! connections." A route is the ordered list of HUB output ports the
+//! frame must take; each HUB consumes (advances past) one byte. The
+//! route travels in a small prefix ahead of the datalink header — see
+//! [`crate::datalink::Frame`] for the on-wire layout.
+
+/// Maximum number of hops a route may contain. Two HUBs sufficed for the
+/// paper's 26-host system; 16 is generous for any mesh we simulate and
+/// keeps the prefix bounded.
+pub const MAX_HOPS: usize = 16;
+
+/// An ordered list of HUB output ports (0..16 for the 16×16 crossbar).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Route {
+    hops: Vec<u8>,
+}
+
+impl Route {
+    /// An empty route (frame is already at its destination port — only
+    /// meaningful in loopback tests).
+    pub fn empty() -> Self {
+        Route { hops: Vec::new() }
+    }
+
+    /// Build a route from output-port hops. Panics if the route is longer
+    /// than [`MAX_HOPS`] — routes are computed by the topology layer, so
+    /// an over-long route is a programming error, not input.
+    pub fn new(hops: impl Into<Vec<u8>>) -> Self {
+        let hops = hops.into();
+        assert!(hops.len() <= MAX_HOPS, "route exceeds MAX_HOPS");
+        Route { hops }
+    }
+
+    pub fn hops(&self) -> &[u8] {
+        &self.hops
+    }
+
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// Append a hop (used by topology route computation).
+    pub fn push(&mut self, port: u8) {
+        assert!(self.hops.len() < MAX_HOPS, "route exceeds MAX_HOPS");
+        self.hops.push(port);
+    }
+}
+
+impl From<&[u8]> for Route {
+    fn from(hops: &[u8]) -> Self {
+        Route::new(hops.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_access() {
+        let mut r = Route::empty();
+        assert!(r.is_empty());
+        r.push(3);
+        r.push(7);
+        assert_eq!(r.hops(), &[3, 7]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(Route::from(&[1u8, 2][..]).hops(), &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_HOPS")]
+    fn overlong_route_panics() {
+        Route::new(vec![0u8; MAX_HOPS + 1]);
+    }
+}

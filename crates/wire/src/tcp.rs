@@ -1,0 +1,407 @@
+//! TCP segment header (RFC 793) with the MSS option.
+//!
+//! The paper implements TCP almost entirely in CAB system threads
+//! (§4.2): the input thread "examines the TCP header, checksums the
+//! entire packet, and performs standard TCP input processing". This
+//! module provides the header format, sequence-number arithmetic, and
+//! the software checksum whose cost dominates Figure 7; the state
+//! machine lives in `nectar-stack`.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use crate::ipv4::{IpProtocol, Ipv4Header};
+use crate::{get_u16, get_u32, put_u16, put_u32, WireError};
+
+/// Length of the option-free TCP header.
+pub const HEADER_LEN: usize = 20;
+/// Length of the header with the 4-byte MSS option we emit on SYNs.
+pub const HEADER_LEN_WITH_MSS: usize = 24;
+
+/// A TCP sequence number with wrapping (modulo 2^32) comparison, per
+/// RFC 793's sequence space arithmetic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct SeqNum(pub u32);
+
+impl SeqNum {
+    pub fn add(self, n: usize) -> SeqNum {
+        SeqNum(self.0.wrapping_add(n as u32))
+    }
+
+    /// Signed distance from `other` to `self` in sequence space.
+    pub fn since(self, other: SeqNum) -> i32 {
+        self.0.wrapping_sub(other.0) as i32
+    }
+
+    /// `self < other` in wrapping order.
+    pub fn before(self, other: SeqNum) -> bool {
+        self.since(other) < 0
+    }
+
+    /// `self <= other` in wrapping order.
+    pub fn before_eq(self, other: SeqNum) -> bool {
+        self.since(other) <= 0
+    }
+
+    pub fn after(self, other: SeqNum) -> bool {
+        self.since(other) > 0
+    }
+
+    pub fn after_eq(self, other: SeqNum) -> bool {
+        self.since(other) >= 0
+    }
+
+    pub fn max(self, other: SeqNum) -> SeqNum {
+        if self.after(other) {
+            self
+        } else {
+            other
+        }
+    }
+
+    pub fn min(self, other: SeqNum) -> SeqNum {
+        if self.before(other) {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A tiny local stand-in for the `bitflags` crate: we only need
+/// contains / union / bit tests on a `u8`.
+macro_rules! bitflags_lite {
+    (
+        $(#[$meta:meta])*
+        pub struct $name:ident: $ty:ty {
+            $(const $flag:ident = $val:expr;)*
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+        pub struct $name(pub $ty);
+
+        impl $name {
+            $(pub const $flag: $name = $name($val);)*
+            pub const EMPTY: $name = $name(0);
+
+            pub fn contains(self, other: $name) -> bool {
+                self.0 & other.0 == other.0
+            }
+
+            pub fn intersects(self, other: $name) -> bool {
+                self.0 & other.0 != 0
+            }
+        }
+
+        impl std::ops::BitOr for $name {
+            type Output = $name;
+            fn bitor(self, rhs: $name) -> $name {
+                $name(self.0 | rhs.0)
+            }
+        }
+
+        impl std::ops::BitOrAssign for $name {
+            fn bitor_assign(&mut self, rhs: $name) {
+                self.0 |= rhs.0;
+            }
+        }
+    };
+}
+
+bitflags_lite! {
+    /// TCP header flags.
+    pub struct TcpFlags: u8 {
+        const FIN = 0x01;
+        const SYN = 0x02;
+        const RST = 0x04;
+        const PSH = 0x08;
+        const ACK = 0x10;
+        const URG = 0x20;
+    }
+}
+
+/// Parsed TCP header (options other than MSS are skipped, not stored).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TcpHeader {
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub seq: SeqNum,
+    pub ack: SeqNum,
+    pub flags: TcpFlags,
+    pub window: u16,
+    pub urgent: u16,
+    /// Maximum segment size from a SYN's MSS option, if present.
+    pub mss: Option<u16>,
+    /// Total header length including options (where payload starts).
+    pub header_len: usize,
+}
+
+impl TcpHeader {
+    /// A header with given ports and everything else zeroed — the usual
+    /// starting point for the state machine's emit path.
+    pub fn new(src_port: u16, dst_port: u16) -> TcpHeader {
+        TcpHeader {
+            src_port,
+            dst_port,
+            seq: SeqNum(0),
+            ack: SeqNum(0),
+            flags: TcpFlags::EMPTY,
+            window: 0,
+            urgent: 0,
+            mss: None,
+            header_len: HEADER_LEN,
+        }
+    }
+
+    /// Parse a TCP header. If `verify_checksum` is set, the segment
+    /// checksum is validated against the enclosing IP header — the
+    /// "TCP w/o checksum" mode of Figure 7 passes `false` here, exactly
+    /// as the experimental TCP variant in the paper skipped software
+    /// checksumming and relied on the hardware CRC.
+    pub fn parse(ip: &Ipv4Header, data: &[u8], verify_checksum: bool) -> Result<TcpHeader, WireError> {
+        if data.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let header_len = ((data[12] >> 4) as usize) * 4;
+        if header_len < HEADER_LEN || data.len() < header_len {
+            return Err(WireError::BadLength);
+        }
+        if verify_checksum {
+            let mut acc = ip.pseudo_header_checksum(data.len());
+            acc.write(data);
+            if acc.finish_raw() != 0 {
+                return Err(WireError::BadChecksum);
+            }
+        }
+        // scan options for MSS (kind 2, len 4)
+        let mut mss = None;
+        let mut i = HEADER_LEN;
+        while i < header_len {
+            match data[i] {
+                0 => break,           // end of options
+                1 => i += 1,          // no-op
+                2 => {
+                    if i + 4 > header_len || data[i + 1] != 4 {
+                        return Err(WireError::BadField);
+                    }
+                    mss = Some(get_u16(data, i + 2));
+                    i += 4;
+                }
+                _ => {
+                    // skip unknown option by its length byte
+                    if i + 1 >= header_len {
+                        return Err(WireError::BadField);
+                    }
+                    let l = data[i + 1] as usize;
+                    if l < 2 || i + l > header_len {
+                        return Err(WireError::BadField);
+                    }
+                    i += l;
+                }
+            }
+        }
+        Ok(TcpHeader {
+            src_port: get_u16(data, 0),
+            dst_port: get_u16(data, 2),
+            seq: SeqNum(get_u32(data, 4)),
+            ack: SeqNum(get_u32(data, 8)),
+            flags: TcpFlags(data[13] & 0x3f),
+            window: get_u16(data, 14),
+            urgent: get_u16(data, 18),
+            mss,
+            header_len,
+        })
+    }
+
+    /// Build a full TCP segment (header + payload). If `compute_checksum`
+    /// is false the checksum field is left zero (the experimental
+    /// checksum-off mode; the CAB's hardware CRC still protects the
+    /// frame).
+    pub fn build(
+        &self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        payload: &[u8],
+        compute_checksum: bool,
+    ) -> Vec<u8> {
+        let header_len = if self.mss.is_some() { HEADER_LEN_WITH_MSS } else { HEADER_LEN };
+        let total = header_len + payload.len();
+        let mut seg = vec![0u8; total];
+        put_u16(&mut seg, 0, self.src_port);
+        put_u16(&mut seg, 2, self.dst_port);
+        put_u32(&mut seg, 4, self.seq.0);
+        put_u32(&mut seg, 8, self.ack.0);
+        seg[12] = ((header_len / 4) as u8) << 4;
+        seg[13] = self.flags.0;
+        put_u16(&mut seg, 14, self.window);
+        put_u16(&mut seg, 18, self.urgent);
+        if let Some(mss) = self.mss {
+            seg[20] = 2;
+            seg[21] = 4;
+            put_u16(&mut seg, 22, mss);
+        }
+        seg[header_len..].copy_from_slice(payload);
+        if compute_checksum {
+            let ip = Ipv4Header::new(src, dst, IpProtocol::TCP, total);
+            let mut acc = ip.pseudo_header_checksum(total);
+            acc.write(&seg);
+            let c = acc.finish_raw();
+            put_u16(&mut seg, 16, c);
+        }
+        seg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs() -> (Ipv4Addr, Ipv4Addr) {
+        (Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+    }
+
+    fn ip_for(seg: &[u8]) -> Ipv4Header {
+        let (s, d) = addrs();
+        Ipv4Header::new(s, d, IpProtocol::TCP, seg.len())
+    }
+
+    fn sample_header() -> TcpHeader {
+        let mut h = TcpHeader::new(2000, 80);
+        h.seq = SeqNum(0x1000_0000);
+        h.ack = SeqNum(77);
+        h.flags = TcpFlags::ACK | TcpFlags::PSH;
+        h.window = 4096;
+        h
+    }
+
+    #[test]
+    fn seqnum_wrapping_arithmetic() {
+        let a = SeqNum(u32::MAX - 1);
+        let b = a.add(4);
+        assert_eq!(b, SeqNum(2));
+        assert!(a.before(b));
+        assert!(b.after(a));
+        assert_eq!(b.since(a), 4);
+        assert_eq!(a.since(b), -4);
+        assert!(a.before_eq(a));
+        assert!(a.after_eq(a));
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn flags_ops() {
+        let f = TcpFlags::SYN | TcpFlags::ACK;
+        assert!(f.contains(TcpFlags::SYN));
+        assert!(f.contains(TcpFlags::ACK));
+        assert!(!f.contains(TcpFlags::FIN));
+        assert!(f.intersects(TcpFlags::SYN | TcpFlags::FIN));
+        assert!(!f.intersects(TcpFlags::FIN));
+    }
+
+    #[test]
+    fn build_parse_roundtrip() {
+        let (s, d) = addrs();
+        let h = sample_header();
+        let seg = h.build(s, d, b"GET /", true);
+        let parsed = TcpHeader::parse(&ip_for(&seg), &seg, true).unwrap();
+        assert_eq!(parsed.src_port, 2000);
+        assert_eq!(parsed.dst_port, 80);
+        assert_eq!(parsed.seq, h.seq);
+        assert_eq!(parsed.ack, h.ack);
+        assert_eq!(parsed.flags, h.flags);
+        assert_eq!(parsed.window, 4096);
+        assert_eq!(parsed.mss, None);
+        assert_eq!(parsed.header_len, HEADER_LEN);
+        assert_eq!(&seg[parsed.header_len..], b"GET /");
+    }
+
+    #[test]
+    fn mss_option_roundtrip() {
+        let (s, d) = addrs();
+        let mut h = sample_header();
+        h.flags = TcpFlags::SYN;
+        h.mss = Some(4056);
+        let seg = h.build(s, d, &[], true);
+        assert_eq!(seg.len(), HEADER_LEN_WITH_MSS);
+        let parsed = TcpHeader::parse(&ip_for(&seg), &seg, true).unwrap();
+        assert_eq!(parsed.mss, Some(4056));
+        assert_eq!(parsed.header_len, HEADER_LEN_WITH_MSS);
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let (s, d) = addrs();
+        let seg0 = sample_header().build(s, d, b"data to protect", true);
+        for i in 0..seg0.len() {
+            let mut seg = seg0.clone();
+            seg[i] ^= 0x08;
+            let r = TcpHeader::parse(&ip_for(&seg), &seg, true);
+            assert!(r.is_err() || seg == seg0, "undetected corruption at byte {i}");
+        }
+    }
+
+    #[test]
+    fn checksum_off_mode_accepts_zero_field() {
+        let (s, d) = addrs();
+        let seg = sample_header().build(s, d, b"data", false);
+        assert_eq!(get_u16(&seg, 16), 0);
+        // parses fine without verification…
+        let parsed = TcpHeader::parse(&ip_for(&seg), &seg, false).unwrap();
+        assert_eq!(parsed.dst_port, 80);
+        // …but fails verification, as it must
+        assert_eq!(TcpHeader::parse(&ip_for(&seg), &seg, true), Err(WireError::BadChecksum));
+    }
+
+    #[test]
+    fn unknown_options_skipped() {
+        let (s, d) = addrs();
+        let mut h = sample_header();
+        h.mss = Some(1460);
+        let mut seg = h.build(s, d, &[], false);
+        // replace MSS option with unknown kind 77, len 4
+        seg[20] = 77;
+        let parsed = TcpHeader::parse(&ip_for(&seg), &seg, false).unwrap();
+        assert_eq!(parsed.mss, None);
+    }
+
+    #[test]
+    fn malformed_options_rejected() {
+        let (s, d) = addrs();
+        let mut h = sample_header();
+        h.mss = Some(1460);
+        let good = h.build(s, d, &[], false);
+        // MSS with wrong length byte
+        let mut seg = good.clone();
+        seg[21] = 3;
+        assert_eq!(TcpHeader::parse(&ip_for(&seg), &seg, false), Err(WireError::BadField));
+        // unknown option with length overrunning the header
+        let mut seg = good.clone();
+        seg[20] = 77;
+        seg[21] = 60;
+        assert_eq!(TcpHeader::parse(&ip_for(&seg), &seg, false), Err(WireError::BadField));
+        // unknown option with length < 2
+        let mut seg = good;
+        seg[20] = 77;
+        seg[21] = 1;
+        assert_eq!(TcpHeader::parse(&ip_for(&seg), &seg, false), Err(WireError::BadField));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let (s, d) = addrs();
+        let seg = sample_header().build(s, d, &[], false);
+        assert_eq!(TcpHeader::parse(&ip_for(&seg), &seg[..10], false), Err(WireError::Truncated));
+        // data offset claiming more header than buffer
+        let mut seg2 = seg;
+        seg2[12] = 0xf0;
+        assert_eq!(TcpHeader::parse(&ip_for(&seg2), &seg2, false), Err(WireError::BadLength));
+    }
+}

@@ -1,0 +1,95 @@
+//! Robustness properties: no parser in the wire crate may panic on
+//! arbitrary input bytes — they must return structured errors. These
+//! are the bytes a hostile or faulty peer could put on the fiber.
+
+use proptest::prelude::*;
+
+use nectar_wire::datalink::Frame;
+use nectar_wire::icmp::IcmpMessage;
+use nectar_wire::ipv4::{IpProtocol, Ipv4Header};
+use nectar_wire::nectar::{DatagramHeader, ReqRespHeader, RmpHeader};
+use nectar_wire::tcp::TcpHeader;
+use nectar_wire::udp::UdpHeader;
+
+fn bytes() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..256)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn frame_parsers_never_panic(b in bytes()) {
+        let f = Frame::from_bytes(b);
+        let _ = f.next_hop();
+        let _ = f.parse_header();
+        let _ = f.payload();
+        let _ = f.check_crc();
+    }
+
+    #[test]
+    fn ipv4_parser_never_panics(b in bytes()) {
+        let _ = Ipv4Header::parse(&b);
+    }
+
+    #[test]
+    fn tcp_parser_never_panics(b in bytes()) {
+        let ip = Ipv4Header::new(
+            std::net::Ipv4Addr::new(10, 0, 0, 1),
+            std::net::Ipv4Addr::new(10, 0, 0, 2),
+            IpProtocol::TCP,
+            b.len(),
+        );
+        let _ = TcpHeader::parse(&ip, &b, true);
+        let _ = TcpHeader::parse(&ip, &b, false);
+    }
+
+    #[test]
+    fn udp_parser_never_panics(b in bytes()) {
+        let ip = Ipv4Header::new(
+            std::net::Ipv4Addr::new(10, 0, 0, 1),
+            std::net::Ipv4Addr::new(10, 0, 0, 2),
+            IpProtocol::UDP,
+            b.len(),
+        );
+        let _ = UdpHeader::parse(&ip, &b);
+    }
+
+    #[test]
+    fn icmp_parser_never_panics(b in bytes()) {
+        let _ = IcmpMessage::parse(&b);
+    }
+
+    #[test]
+    fn nectar_transport_parsers_never_panic(b in bytes()) {
+        let _ = DatagramHeader::parse(&b);
+        let _ = RmpHeader::parse(&b);
+        let _ = ReqRespHeader::parse(&b);
+    }
+
+    /// Valid frames survive arbitrary single-bit corruption without a
+    /// parser panic, and either fail CRC/parse or (for route-prefix
+    /// bits, which the CRC deliberately excludes) still parse.
+    #[test]
+    fn corrupted_valid_frames_never_panic(
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+        bit in any::<usize>(),
+    ) {
+        use nectar_wire::datalink::{DatalinkHeader, DatalinkProto};
+        use nectar_wire::route::Route;
+        let hdr = DatalinkHeader {
+            dst_cab: 1,
+            src_cab: 0,
+            proto: DatalinkProto::Datagram,
+            flags: 0,
+            payload_len: 0,
+            msg_id: 9,
+        };
+        let mut f = Frame::build(&Route::new(vec![2, 3]), hdr, &payload);
+        f.corrupt_bit(bit);
+        let _ = f.next_hop();
+        let _ = f.parse_header();
+        let _ = f.payload();
+        let _ = f.check_crc();
+    }
+}

@@ -1,0 +1,11 @@
+//! Shared helpers for the example binaries.
+
+/// Parse a `--flag value`-style argument, falling back to a default.
+pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
