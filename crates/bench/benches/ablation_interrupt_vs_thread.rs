@@ -16,12 +16,8 @@ fn main() {
     println!("Ablation A1: IP input processing at interrupt level vs in a thread");
     println!();
     let at_interrupt = host_rtt(Config::default(), Transport::Udp, 32, 50);
-    let in_thread = host_rtt(
-        Config { ip_in_thread: true, ..Default::default() },
-        Transport::Udp,
-        32,
-        50,
-    );
+    let in_thread =
+        host_rtt(Config { ip_in_thread: true, ..Default::default() }, Transport::Udp, 32, 50);
     println!("UDP RTT, IP at interrupt level: {at_interrupt:>7.1} us");
     println!("UDP RTT, IP in thread:          {in_thread:>7.1} us");
     let delta = in_thread - at_interrupt;

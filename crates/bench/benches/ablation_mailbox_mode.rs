@@ -69,9 +69,11 @@ impl HostProcess for PutBench {
                     // RPC mode: ship Begin_Put to the CAB, wait on the
                     // sync for the handle
                     let sync = cx.sync_alloc();
-                    cx.shared
-                        .cab_sigq
-                        .push_back(SigEntry::RpcBeginPut { mbox: self.mbox, size: 64, reply: sync });
+                    cx.shared.cab_sigq.push_back(SigEntry::RpcBeginPut {
+                        mbox: self.mbox,
+                        size: 64,
+                        reply: sync,
+                    });
                     cx.vme(3);
                     cx.fx.push(nectar_host::HostEffect::InterruptCab);
                     self.state = State::WaitBeginPut { sync, registered: false };
@@ -81,7 +83,7 @@ impl HostProcess for PutBench {
             State::WaitBeginPut { sync, registered } => {
                 let _ = registered;
                 match cx.sync_poll(sync) {
-                    None => HostStep::Yield, // poll the sync (§3.2 fast path)
+                    None => HostStep::Yield,    // poll the sync (§3.2 fast path)
                     Some(0) => HostStep::Yield, // no space: retry
                     Some(v) => {
                         let idx = v - 1;

@@ -115,6 +115,9 @@ fn main() {
     let upcalled = measure(true);
     println!("client-server via thread: {threaded:>7.1} us per call");
     println!("client-server via upcall: {upcalled:>7.1} us per call");
-    println!("saved:                    {:>7.1} us   (two context switches ~= 40 us)", threaded - upcalled);
+    println!(
+        "saved:                    {:>7.1} us   (two context switches ~= 40 us)",
+        threaded - upcalled
+    );
     assert!(upcalled < threaded, "the upcall must avoid context switches");
 }

@@ -62,7 +62,8 @@ fn main() {
     println!("{:<22} {:>8} {:>12}", "stage boundary", "node", "delta (us)");
     println!("{}", "-".repeat(46));
     for (tag, node, delta) in &rows {
-        let who = if *node >= 0x1000 { format!("host{}", node - 0x1000) } else { format!("cab{node}") };
+        let who =
+            if *node >= 0x1000 { format!("host{}", node - 0x1000) } else { format!("cab{node}") };
         println!("{tag:<22} {who:>8} {delta:>12.1}");
     }
     let total = end_get.at.saturating_since(start).as_micros_f64();
@@ -79,7 +80,10 @@ fn main() {
     let wire_and_cab = total - host_deltas;
     println!("buckets (paper: ~40% host-CAB interface, ~40% CAB+wire, ~20% host msg create/read):");
     println!("  host-CAB interface : {host_iface:>6.1} us ({:>4.1}%)", 100.0 * host_iface / total);
-    println!("  CAB + wire         : {wire_and_cab:>6.1} us ({:>4.1}%)", 100.0 * wire_and_cab / total);
+    println!(
+        "  CAB + wire         : {wire_and_cab:>6.1} us ({:>4.1}%)",
+        100.0 * wire_and_cab / total
+    );
     println!("  host create/read   : {host_work:>6.1} us ({:>4.1}%)", 100.0 * host_work / total);
     println!();
     let median = rtts.borrow_mut().median().as_micros_f64();

@@ -7,7 +7,9 @@
 //! doubles with message size up to ~256 bytes.
 
 use nectar::config::Config;
-use nectar_bench::{cab_throughput, print_series, print_size_header, size_sweep, volume_for, StreamProto};
+use nectar_bench::{
+    cab_throughput, print_series, print_size_header, size_sweep, volume_for, StreamProto,
+};
 
 fn main() {
     let sizes = size_sweep();

@@ -10,7 +10,9 @@
 use nectar::config::Config;
 use nectar::netdev::{eth_port, HostStackSink, HostStackStreamer, HostWire, NETDEV_MTU};
 use nectar::world::World;
-use nectar_bench::{host_throughput, print_series, print_size_header, size_sweep, volume_for, StreamProto};
+use nectar_bench::{
+    host_throughput, print_series, print_size_header, size_sweep, volume_for, StreamProto,
+};
 use nectar_sim::{SimDuration, SimTime};
 
 fn netdev_mode_throughput() -> f64 {
@@ -19,13 +21,8 @@ fn netdev_mode_throughput() -> f64 {
     let (sink, meter, received, done) =
         HostStackSink::new(1, HostWire::CabRaw { dst_cab: 0 }, 5000, total);
     world.hosts[1].spawn(Box::new(sink));
-    let (streamer, _) = HostStackStreamer::new(
-        0,
-        HostWire::CabRaw { dst_cab: 1 },
-        5000,
-        NETDEV_MTU - 44,
-        total,
-    );
+    let (streamer, _) =
+        HostStackStreamer::new(0, HostWire::CabRaw { dst_cab: 1 }, 5000, NETDEV_MTU - 44, total);
     world.hosts[0].spawn(Box::new(streamer));
     world.run_until(&mut sim, SimTime::ZERO + SimDuration::from_secs(120));
     assert!(done.get(), "netdev sink got {}/{total}", received.get());

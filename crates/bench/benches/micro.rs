@@ -1,159 +1,160 @@
-//! Criterion micro-benchmarks of the real code on the hot paths: the
-//! software Internet checksum (Figure 7's separator), CRC-32, the TCP
-//! engine's per-segment cost, the event queue, and the CAB heap.
-//! These measure wall-clock performance of the reproduction itself,
-//! not simulated time.
+//! Micro-benchmarks of the real code on the hot paths: the software
+//! Internet checksum (Figure 7's separator), CRC-32, the TCP engine's
+//! per-segment cost, the event queue, and the CAB heap. These measure
+//! wall-clock performance of the reproduction itself, not simulated
+//! time. Self-contained harness: no external benchmarking crates, so
+//! the workspace builds fully offline.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Instant;
 
 use nectar_sim::{Pcg32, Scheduler, SimDuration, SimTime};
 use nectar_wire::{crc32, internet_checksum};
 
-fn bench_checksums(c: &mut Criterion) {
+/// Run `f` repeatedly for roughly `target_ms` of wall-clock time and
+/// print the mean time per iteration.
+fn bench<R>(name: &str, target_ms: u64, mut f: impl FnMut() -> R) {
+    // warm up and estimate a batch size
+    let t0 = Instant::now();
+    black_box(f());
+    let once = t0.elapsed().as_nanos().max(1) as u64;
+    let iters = ((target_ms * 1_000_000) / once).clamp(1, 1_000_000);
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let total = start.elapsed().as_nanos() as u64;
+    let per = total / iters;
+    println!("{name:<36} {per:>12} ns/iter  ({iters} iters)");
+}
+
+fn bench_checksums() {
     let data: Vec<u8> = (0..8192u32).map(|i| i as u8).collect();
-    let mut g = c.benchmark_group("checksum");
-    g.throughput(Throughput::Bytes(data.len() as u64));
-    g.bench_function("internet_checksum_8k", |b| {
-        b.iter(|| internet_checksum(black_box(&data)))
-    });
-    g.bench_function("crc32_8k", |b| b.iter(|| crc32(black_box(&data))));
-    g.finish();
+    bench("checksum/internet_checksum_8k", 200, || internet_checksum(black_box(&data)));
+    bench("checksum/crc32_8k", 200, || crc32(black_box(&data)));
 }
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_schedule_run_1000", |b| {
-        b.iter_batched(
-            Scheduler::<u64>::new,
-            |mut s| {
-                for i in 0..1000u64 {
-                    s.at(SimTime::from_nanos(i * 7 % 997), move |w, _| *w += i);
-                }
-                let mut world = 0u64;
-                s.run(&mut world);
-                world
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_event_queue() {
+    bench("event_queue_schedule_run_1000", 200, || {
+        let mut s = Scheduler::<u64>::new();
+        for i in 0..1000u64 {
+            s.at(SimTime::from_nanos(i * 7 % 997), move |w, _| *w += i);
+        }
+        let mut world = 0u64;
+        s.run(&mut world);
+        world
     });
 }
 
-fn bench_tcp_engine(c: &mut Criterion) {
+fn bench_tcp_engine() {
     use nectar_stack::tcp::{TcpConfig, TcpStack, TcpStackEvent};
     use nectar_wire::ipv4::{IpProtocol, Ipv4Header};
     use std::net::Ipv4Addr;
 
     let a = Ipv4Addr::new(10, 0, 0, 1);
     let bdr = Ipv4Addr::new(10, 0, 0, 2);
-    c.bench_function("tcp_bulk_transfer_64k", |b| {
-        b.iter(|| {
-            let cfg = TcpConfig::default();
-            let mut sa = TcpStack::new(a, cfg, 1);
-            let mut sb = TcpStack::new(bdr, cfg, 2);
-            sb.listen(80);
-            let mut now = SimTime::ZERO;
-            let step = SimDuration::from_micros(10);
-            let (id, evs) = sa.connect(now, (bdr, 80), None);
-            let mut inflight: Vec<(bool, Vec<u8>)> = Vec::new();
-            let absorb = |from_a: bool, evs: Vec<TcpStackEvent>, inflight: &mut Vec<(bool, Vec<u8>)>| {
+    bench("tcp_bulk_transfer_64k", 400, || {
+        let cfg = TcpConfig::default();
+        let mut sa = TcpStack::new(a, cfg, 1);
+        let mut sb = TcpStack::new(bdr, cfg, 2);
+        sb.listen(80);
+        let mut now = SimTime::ZERO;
+        let step = SimDuration::from_micros(10);
+        let (id, evs) = sa.connect(now, (bdr, 80), None);
+        let mut inflight: Vec<(bool, Vec<u8>)> = Vec::new();
+        let absorb =
+            |from_a: bool, evs: Vec<TcpStackEvent>, inflight: &mut Vec<(bool, Vec<u8>)>| {
                 for e in evs {
                     if let TcpStackEvent::Transmit { segment, .. } = e {
                         inflight.push((!from_a, segment));
                     }
                 }
             };
-            absorb(true, evs, &mut inflight);
-            let data = vec![0x42u8; 65536];
-            let mut sent = 0usize;
-            let mut received = 0usize;
-            let mut b_conn = None;
-            let mut guard = 0;
-            while received < data.len() {
-                guard += 1;
-                assert!(guard < 100_000);
-                now = now + step;
-                if sent < data.len() {
-                    let (n, evs) = sa.send(now, id, &data[sent..]);
-                    sent += n;
-                    absorb(true, evs, &mut inflight);
-                }
-                let batch: Vec<_> = inflight.drain(..).collect();
-                for (to_a, seg) in batch {
-                    let (src, dst) = if to_a { (bdr, a) } else { (a, bdr) };
-                    let ip = Ipv4Header::new(src, dst, IpProtocol::TCP, seg.len());
-                    let evs = if to_a {
-                        sa.on_packet(now, &ip, &seg)
-                    } else {
-                        let evs = sb.on_packet(now, &ip, &seg);
-                        for e in &evs {
-                            if let TcpStackEvent::Incoming { id, .. } = e {
-                                b_conn = Some(*id);
-                            }
-                        }
-                        evs
-                    };
-                    absorb(to_a, evs, &mut inflight);
-                }
-                if let Some(bid) = b_conn {
-                    received += sb.recv(bid, usize::MAX).len();
-                    absorb(false, sb.poll(now), &mut inflight);
-                }
-                absorb(true, sa.poll(now), &mut inflight);
+        absorb(true, evs, &mut inflight);
+        let data = vec![0x42u8; 65536];
+        let mut sent = 0usize;
+        let mut received = 0usize;
+        let mut b_conn = None;
+        let mut guard = 0;
+        while received < data.len() {
+            guard += 1;
+            assert!(guard < 100_000);
+            now += step;
+            if sent < data.len() {
+                let (n, evs) = sa.send(now, id, &data[sent..]);
+                sent += n;
+                absorb(true, evs, &mut inflight);
             }
-            black_box(received)
-        })
-    });
-}
-
-fn bench_heap(c: &mut Criterion) {
-    use nectar_cab::memory::Heap;
-    c.bench_function("cab_heap_alloc_free_churn", |b| {
-        b.iter_batched(
-            || Heap::new(0, 1 << 20),
-            |mut h| {
-                let mut rng = Pcg32::seeded(7);
-                let mut live = Vec::new();
-                for _ in 0..1000 {
-                    if live.len() > 32 || (rng.chance(0.4) && !live.is_empty()) {
-                        let i = rng.range(0, live.len());
-                        let a = live.swap_remove(i);
-                        h.free(a);
-                    } else if let Some(a) = h.alloc(rng.range(8, 4096)) {
-                        live.push(a);
+            let batch: Vec<_> = std::mem::take(&mut inflight);
+            for (to_a, seg) in batch {
+                let (src, dst) = if to_a { (bdr, a) } else { (a, bdr) };
+                let ip = Ipv4Header::new(src, dst, IpProtocol::TCP, seg.len());
+                let evs = if to_a {
+                    sa.on_packet(now, &ip, &seg)
+                } else {
+                    let evs = sb.on_packet(now, &ip, &seg);
+                    for e in &evs {
+                        if let TcpStackEvent::Incoming { id, .. } = e {
+                            b_conn = Some(*id);
+                        }
                     }
-                }
-                black_box(h.bytes_in_use())
-            },
-            BatchSize::SmallInput,
-        )
+                    evs
+                };
+                absorb(to_a, evs, &mut inflight);
+            }
+            if let Some(bid) = b_conn {
+                received += sb.recv(bid, usize::MAX).len();
+                absorb(false, sb.poll(now), &mut inflight);
+            }
+            absorb(true, sa.poll(now), &mut inflight);
+        }
+        received
     });
 }
 
-fn bench_full_system(c: &mut Criterion) {
+fn bench_heap() {
+    use nectar_cab::memory::Heap;
+    bench("cab_heap_alloc_free_churn", 200, || {
+        let mut h = Heap::new(0, 1 << 20);
+        let mut rng = Pcg32::seeded(7);
+        let mut live = Vec::new();
+        for _ in 0..1000 {
+            if live.len() > 32 || (rng.chance(0.4) && !live.is_empty()) {
+                let i = rng.range(0, live.len());
+                let a = live.swap_remove(i);
+                h.free(a);
+            } else if let Some(a) = h.alloc(rng.range(8, 4096)) {
+                live.push(a);
+            }
+        }
+        h.bytes_in_use()
+    });
+}
+
+fn bench_full_system() {
     use nectar::config::Config;
     use nectar::scenario::{EchoServer, Pinger, Transport};
     use nectar::world::World;
     use nectar_cab::HostOpMode;
 
-    c.bench_function("sim_datagram_pingpong_x10", |b| {
-        b.iter(|| {
-            let (mut world, mut sim) = World::single_hub(Config::default(), 2);
-            let svc = world.cabs[1].shared.create_mailbox(true, HostOpMode::SharedMemory);
-            let reply = world.cabs[0].shared.create_mailbox(true, HostOpMode::SharedMemory);
-            let (echo, _) = EchoServer::new(Transport::Datagram, svc, 0, false);
-            world.hosts[1].spawn(Box::new(echo));
-            let (ping, _, done) = Pinger::new(Transport::Datagram, (1, svc), reply, 0, 32, 10, false);
-            world.hosts[0].spawn(Box::new(ping));
-            world.run_until(&mut sim, SimTime::ZERO + SimDuration::from_secs(1));
-            assert!(done.get());
-            black_box(sim.executed())
-        })
+    bench("sim_datagram_pingpong_x10", 400, || {
+        let (mut world, mut sim) = World::single_hub(Config::default(), 2);
+        let svc = world.cabs[1].shared.create_mailbox(true, HostOpMode::SharedMemory);
+        let reply = world.cabs[0].shared.create_mailbox(true, HostOpMode::SharedMemory);
+        let (echo, _) = EchoServer::new(Transport::Datagram, svc, 0, false);
+        world.hosts[1].spawn(Box::new(echo));
+        let (ping, _, done) = Pinger::new(Transport::Datagram, (1, svc), reply, 0, 32, 10, false);
+        world.hosts[0].spawn(Box::new(ping));
+        world.run_until(&mut sim, SimTime::ZERO + SimDuration::from_secs(1));
+        assert!(done.get());
+        sim.executed()
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_checksums, bench_event_queue, bench_tcp_engine, bench_heap, bench_full_system
+fn main() {
+    bench_checksums();
+    bench_event_queue();
+    bench_tcp_engine();
+    bench_heap();
+    bench_full_system();
 }
-criterion_main!(benches);

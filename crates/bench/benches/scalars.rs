@@ -28,7 +28,8 @@ fn measure_ctx_switch() -> f64 {
         fn run(&mut self, cx: &mut Cx<'_>) -> Step {
             if self.start {
                 self.start = false;
-                let _ = cx.shared.begin_put(self.theirs, 1).map(|m| cx.shared.end_put(self.theirs, m));
+                let _ =
+                    cx.shared.begin_put(self.theirs, 1).map(|m| cx.shared.end_put(self.theirs, m));
             }
             match cx.shared.begin_get(self.mine) {
                 Ok(m) => {
@@ -37,8 +38,10 @@ fn measure_ctx_switch() -> f64 {
                     if self.rounds == 0 {
                         return Step::Done;
                     }
-                    let _ =
-                        cx.shared.begin_put(self.theirs, 1).map(|m| cx.shared.end_put(self.theirs, m));
+                    let _ = cx
+                        .shared
+                        .begin_put(self.theirs, 1)
+                        .map(|m| cx.shared.end_put(self.theirs, m));
                     Step::Yield
                 }
                 Err(nectar_cab::WouldBlock::Empty(c)) => Step::Block(c),
@@ -94,9 +97,7 @@ fn main() {
     let hs = measure_hub_setup();
     println!("HUB setup+first byte:  {hs:>8.0} ns   (paper: 700 ns)");
     let link = nectar_cab::LinkModel::default();
-    let wire_us = (link.fiber_propagation * 2
-        + HubConfig::default().setup_latency)
-        .as_micros_f64();
+    let wire_us = (link.fiber_propagation * 2 + HubConfig::default().setup_latency).as_micros_f64();
     println!("fiber+HUB latency:     {wire_us:>8.2} us   (paper: < 5 us)");
     let rpc = host_rtt(Config::default(), Transport::ReqResp, 32, 50);
     println!("RPC roundtrip:         {rpc:>8.1} us   (paper: < 500 us)");

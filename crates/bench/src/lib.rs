@@ -20,6 +20,26 @@ pub const UDP_ECHO_PORT: u16 = 7;
 /// TCP port used by throughput experiments.
 pub const TCP_PORT: u16 = 5000;
 
+/// Drop a metrics snapshot next to a figure/table result.
+///
+/// When `NECTAR_METRICS_DIR` is set, writes the world's observability
+/// snapshot to `<dir>/<tag>.json` (creating the directory); the JSON
+/// is deterministic, so re-running a bench with the same seed produces
+/// byte-identical files. Without the variable this is a no-op, so the
+/// measurement loops stay untouched.
+pub fn emit_snapshot(tag: &str, world: &World) {
+    let Ok(dir) = std::env::var("NECTAR_METRICS_DIR") else { return };
+    let dir = std::path::Path::new(&dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("metrics: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{tag}.json"));
+    if let Err(e) = std::fs::write(&path, world.metrics_json()) {
+        eprintln!("metrics: cannot write {}: {e}", path.display());
+    }
+}
+
 /// Round-trip latency between two host processes (Table 1 column 1).
 /// Returns the median RTT in microseconds.
 pub fn host_rtt(config: Config, transport: Transport, size: usize, count: u32) -> f64 {
@@ -36,6 +56,7 @@ pub fn host_rtt(config: Config, transport: Transport, size: usize, count: u32) -
     world.hosts[0].spawn(Box::new(ping));
     world.run_until(&mut sim, SimTime::ZERO + SimDuration::from_secs(60));
     assert!(done.get(), "{transport:?} host ping-pong did not finish");
+    emit_snapshot(&format!("host_rtt_{transport:?}_{size}"), &world);
     let m = rtts.borrow_mut().median().as_micros_f64();
     m
 }
@@ -53,8 +74,7 @@ pub fn cab_rtt(config: Config, transport: Transport, size: usize, count: u32) ->
     };
     if transport == Transport::Udp {
         let m = nectar_cab::reqs::udp_bind_encode(UDP_ECHO_PORT, svc);
-        let msg =
-            world.cabs[1].shared.begin_put(nectar_cab::reqs::MB_UDP_CTL, m.len()).unwrap();
+        let msg = world.cabs[1].shared.begin_put(nectar_cab::reqs::MB_UDP_CTL, m.len()).unwrap();
         world.cabs[1].shared.msg_write(&msg, 0, &m);
         world.cabs[1].shared.end_put(nectar_cab::reqs::MB_UDP_CTL, msg);
     }
@@ -62,6 +82,7 @@ pub fn cab_rtt(config: Config, transport: Transport, size: usize, count: u32) ->
     world.cabs[0].fork_app(Box::new(ping));
     world.run_until(&mut sim, SimTime::ZERO + SimDuration::from_secs(60));
     assert!(done.get(), "{transport:?} CAB ping-pong did not finish");
+    emit_snapshot(&format!("cab_rtt_{transport:?}_{size}"), &world);
     let m = rtts.borrow_mut().median().as_micros_f64();
     m
 }
@@ -91,6 +112,7 @@ pub fn cab_throughput(mut config: Config, proto: StreamProto, msg_size: usize, t
             world.cabs[0].fork_app(Box::new(streamer));
             world.run_until(&mut sim, SimTime::ZERO + SimDuration::from_secs(600));
             assert!(done.get(), "RMP sink got {}/{total} at size {msg_size}", received.get());
+            emit_snapshot(&format!("cab_throughput_{proto:?}_{msg_size}"), &world);
             let m = meter.borrow().mbits_per_sec_to_last();
             m
         }
@@ -104,6 +126,7 @@ pub fn cab_throughput(mut config: Config, proto: StreamProto, msg_size: usize, t
             world.cabs[0].fork_app(Box::new(streamer));
             world.run_until(&mut sim, SimTime::ZERO + SimDuration::from_secs(600));
             assert!(done.get(), "TCP sink got {}/{total} at size {msg_size}", received.get());
+            emit_snapshot(&format!("cab_throughput_{proto:?}_{msg_size}"), &world);
             let m = meter.borrow().mbits_per_sec_to_last();
             m
         }
@@ -126,6 +149,7 @@ pub fn host_throughput(mut config: Config, proto: StreamProto, msg_size: usize, 
             world.hosts[0].spawn(Box::new(streamer));
             world.run_until(&mut sim, SimTime::ZERO + SimDuration::from_secs(600));
             assert!(done.get(), "host RMP sink got {}/{total}", received.get());
+            emit_snapshot(&format!("host_throughput_{proto:?}_{msg_size}"), &world);
             let m = meter.borrow().mbits_per_sec_to_last();
             m
         }
@@ -133,12 +157,10 @@ pub fn host_throughput(mut config: Config, proto: StreamProto, msg_size: usize, 
             let accept = world.cabs[1].shared.create_mailbox(true, HostOpMode::SharedMemory);
             let data = world.cabs[1].shared.create_mailbox(true, HostOpMode::SharedMemory);
             // server side: listen via the control mailbox from the host
-            let listen = nectar_cab::reqs::TcpCtl::Listen { port: TCP_PORT, accept_mbox: accept }
-                .encode();
-            let msg = world.cabs[1]
-                .shared
-                .begin_put(nectar_cab::reqs::MB_TCP_CTL, listen.len())
-                .unwrap();
+            let listen =
+                nectar_cab::reqs::TcpCtl::Listen { port: TCP_PORT, accept_mbox: accept }.encode();
+            let msg =
+                world.cabs[1].shared.begin_put(nectar_cab::reqs::MB_TCP_CTL, listen.len()).unwrap();
             world.cabs[1].shared.msg_write(&msg, 0, &listen);
             world.cabs[1].shared.end_put(nectar_cab::reqs::MB_TCP_CTL, msg);
             let (sink, meter, received, done) = HostSink::new(data, Some(accept), total);
@@ -148,6 +170,7 @@ pub fn host_throughput(mut config: Config, proto: StreamProto, msg_size: usize, 
             world.hosts[0].spawn(Box::new(streamer));
             world.run_until(&mut sim, SimTime::ZERO + SimDuration::from_secs(600));
             assert!(done.get(), "host TCP sink got {}/{total}", received.get());
+            emit_snapshot(&format!("host_throughput_{proto:?}_{msg_size}"), &world);
             let m = meter.borrow().mbits_per_sec_to_last();
             m
         }

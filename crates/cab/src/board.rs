@@ -15,8 +15,8 @@ use nectar_wire::datalink::Frame;
 use crate::costs::{CostModel, LinkModel};
 use crate::proto::{init_protocols, rx_dispatch, ProtoState};
 use crate::runtime::{
-    CabEffect, CabThread, Cx, MutexTable, PendingIntr, Runtime, Step, ThreadId, Upcall,
-    PRIO_APP, PRIO_SYSTEM,
+    CabEffect, CabThread, Cx, MutexTable, PendingIntr, Runtime, Step, ThreadId, Upcall, PRIO_APP,
+    PRIO_SYSTEM,
 };
 use crate::shared::{CabShared, MboxId, SigEntry, UpcallId};
 use crate::{proto, reqs};
@@ -39,6 +39,12 @@ pub struct BoardStats {
     pub frames_crc_dropped: u64,
     pub frames_fifo_dropped: u64,
     pub host_signals: u64,
+    /// Wire bytes of frames accepted into the input FIFO.
+    pub bytes_rx: u64,
+    /// Wire bytes of frames rejected for lack of FIFO space.
+    pub bytes_fifo_dropped: u64,
+    /// High watermark of input FIFO occupancy, in bytes.
+    pub rx_fifo_high: u64,
 }
 
 struct RxSlot {
@@ -126,10 +132,15 @@ impl Cab {
         let len = frame.wire_len();
         if self.rx_fifo_bytes + len > self.net.link.fifo_bytes {
             self.stats.frames_fifo_dropped += 1;
+            self.stats.bytes_fifo_dropped += len as u64;
             return;
         }
         self.rx_fifo_bytes += len;
         self.stats.frames_rx += 1;
+        self.stats.bytes_rx += len as u64;
+        if self.rx_fifo_bytes as u64 > self.stats.rx_fifo_high {
+            self.stats.rx_fifo_high = self.rx_fifo_bytes as u64;
+        }
         let ser = SimDuration::serialization(len, self.net.link.fiber_bits_per_sec);
         let slot = self.park_frame(RxSlot { frame });
         self.rt.post_interrupt(now, PendingIntr::StartOfPacket(slot));
@@ -167,6 +178,7 @@ impl Cab {
         if let Some(intr) = self.rt.pop_due_interrupt(t) {
             let charged = self.run_interrupt(t, intr, &mut fx, trace);
             self.rt.interrupts_taken += 1;
+            self.rt.cpu_busy += charged;
             self.rt.cursor = t + charged;
             self.apply_notices(&mut fx);
             return (fx, StepStatus::Ran { next: self.rt.cursor });
@@ -181,6 +193,7 @@ impl Cab {
                 let charged = cx.charged();
                 self.rt.put_upcall_handler(uid, h);
                 self.rt.upcalls_run += 1;
+                self.rt.cpu_busy += charged;
                 self.rt.cursor = t + charged;
                 self.apply_notices(&mut fx);
                 return (fx, StepStatus::Ran { next: self.rt.cursor });
@@ -210,6 +223,7 @@ impl Cab {
                 charged
             };
             self.rt.finish_thread_burst(tid, body, step, &mut self.shared);
+            self.rt.cpu_busy += charged;
             self.rt.cursor = t + charged;
             self.apply_notices(&mut fx);
             return (fx, StepStatus::Ran { next: self.rt.cursor });
@@ -276,12 +290,12 @@ impl Cab {
                 cx.charge(cx.costs.interrupt_overhead);
                 // hardware CRC: checked at end of packet, no CPU cost
                 if frame.check_crc().is_err() {
-                    drop(cx);
+                    let _ = cx;
                     self.stats.frames_crc_dropped += 1;
                     return self.costs.interrupt_overhead;
                 }
                 let Ok(hdr) = frame.parse_header() else {
-                    drop(cx);
+                    let _ = cx;
                     self.stats.frames_crc_dropped += 1;
                     return self.costs.interrupt_overhead;
                 };
@@ -292,6 +306,10 @@ impl Cab {
             }
             PendingIntr::HostSignal => {
                 self.stats.host_signals += 1;
+                let depth = self.shared.cab_sigq.len() as u64;
+                if depth > self.shared.cab_sigq_high {
+                    self.shared.cab_sigq_high = depth;
+                }
                 let mut cx = self.cx(t, None, fx, trace);
                 cx.charge(cx.costs.interrupt_overhead);
                 while let Some(entry) = cx.shared.cab_sigq.pop_front() {
@@ -396,7 +414,7 @@ mod tests {
             match status {
                 StepStatus::Ran { next } => now = next,
                 StepStatus::Idle { next: Some(next) } if next <= now => {
-                    now = now + SimDuration::from_nanos(1)
+                    now += SimDuration::from_nanos(1)
                 }
                 StepStatus::Idle { .. } => return (fx, now),
             }
@@ -578,9 +596,11 @@ mod tests {
         let m = c.shared.handles.get(idx).unwrap();
         c.shared.mem.dma_write(m.data, b"rpc mode payload");
         let done_sync = c.shared.sync_alloc();
-        c.shared
-            .cab_sigq
-            .push_back(SigEntry::RpcEndPut { mbox: mb, msg_index: idx, reply: done_sync });
+        c.shared.cab_sigq.push_back(SigEntry::RpcEndPut {
+            mbox: mb,
+            msg_index: idx,
+            reply: done_sync,
+        });
         c.host_interrupt(t1);
         run_to_idle(&mut c, t1, &mut trace);
         let got = c.shared.begin_get(mb).unwrap();
@@ -616,8 +636,8 @@ mod tests {
         let (_, t0) = run_to_idle(&mut c, SimTime::ZERO, &mut trace);
         assert!(!got.get());
         // datagram frame addressed to that mailbox
-        let pkt = nectar_wire::nectar::DatagramHeader { dst_mbox: mb, src_mbox: 0 }
-            .build(b"wake up");
+        let pkt =
+            nectar_wire::nectar::DatagramHeader { dst_mbox: mb, src_mbox: 0 }.build(b"wake up");
         let hdr = nectar_wire::datalink::DatalinkHeader {
             dst_cab: 1,
             src_cab: 0,

@@ -124,11 +124,7 @@ impl DataMemory {
         let last = (end - 1) / PAGE_SIZE;
         for page in first..=last {
             if !self.perms[self.current_domain as usize][page].allows(access) {
-                return Err(MemFault::Protection {
-                    addr,
-                    access,
-                    domain: self.current_domain,
-                });
+                return Err(MemFault::Protection { addr, access, domain: self.current_domain });
             }
         }
         Ok(())
@@ -270,10 +266,7 @@ impl Heap {
         // live allocations disjoint from free blocks
         for (&a, &l) in &self.live {
             for &(off, flen) in &self.free {
-                assert!(
-                    a + l <= off || a >= off + flen,
-                    "live allocation overlaps free block"
-                );
+                assert!(a + l <= off || a >= off + flen, "live allocation overlaps free block");
             }
         }
         // accounting

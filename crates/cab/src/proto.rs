@@ -372,7 +372,13 @@ fn run_rr_client_actions(cx: &mut Cx<'_>, acts: Vec<RrClientAction>) {
 
 /// End-of-data processing for a received frame, per protocol. The
 /// datalink header has been parsed and the CRC verified by the board.
-pub fn rx_dispatch(cx: &mut Cx<'_>, proto: DatalinkProto, src_cab: u16, msg_id: u32, payload: &[u8]) {
+pub fn rx_dispatch(
+    cx: &mut Cx<'_>,
+    proto: DatalinkProto,
+    src_cab: u16,
+    msg_id: u32,
+    payload: &[u8],
+) {
     match proto {
         DatalinkProto::Raw => {
             // network-device mode: queue the raw frame for the host
@@ -438,8 +444,9 @@ pub fn rx_dispatch(cx: &mut Cx<'_>, proto: DatalinkProto, src_cab: u16, msg_id: 
                     for act in acts {
                         match act {
                             RrServerAction::Execute { client_cab, reply_mbox, req_id, payload } => {
-                                let msg =
-                                    reqs::rr_deliver_encode(client_cab, reply_mbox, req_id, &payload);
+                                let msg = reqs::rr_deliver_encode(
+                                    client_cab, reply_mbox, req_id, &payload,
+                                );
                                 deliver_to_mbox(cx, hdr.dst_mbox, &[], &msg);
                             }
                             RrServerAction::Transmit { dst_cab, packet } => {
@@ -517,11 +524,9 @@ impl CabThread for DatagramSendThread {
                         if req.dst_cab == cx.cab_id {
                             deliver_to_mbox(cx, req.dst_mbox, &[], payload);
                         } else {
-                            let pkt = DatagramHeader {
-                                dst_mbox: req.dst_mbox,
-                                src_mbox: req.src_mbox,
-                            }
-                            .build(payload);
+                            let pkt =
+                                DatagramHeader { dst_mbox: req.dst_mbox, src_mbox: req.src_mbox }
+                                    .build(payload);
                             cx.datalink_send(
                                 req.dst_cab,
                                 DatalinkProto::Datagram,
@@ -630,8 +635,7 @@ impl CabThread for RrThread {
                                     cx.charge(cx.costs.reqresp_proc);
                                     if dst_cab == cx.cab_id {
                                         // loopback reply
-                                        let Ok((hdr, body)) = ReqRespHeader::parse(&packet)
-                                        else {
+                                        let Ok((hdr, body)) = ReqRespHeader::parse(&packet) else {
                                             continue;
                                         };
                                         rx_dispatch(
@@ -791,10 +795,8 @@ impl CabThread for UdpThread {
                                 deliver_to_mbox(cx, token as MboxId, &[], &payload);
                             }
                             UdpInput::PortUnreachable { .. } => {
-                                let m = cx
-                                    .proto
-                                    .icmp
-                                    .unreachable_for(&packet, UnreachableCode::Port);
+                                let m =
+                                    cx.proto.icmp.unreachable_for(&packet, UnreachableCode::Port);
                                 ip_output(cx, header.src, IpProtocol::ICMP, &m.build());
                             }
                             UdpInput::Bad(_) => {}
@@ -849,9 +851,7 @@ impl TcpThread {
                     let conn = cx.proto.tcp_conns.entry(id).or_default();
                     conn.port = Some(local_port);
                 }
-                TcpStackEvent::Socket { id, event } => {
-                    Self::handle_socket_event(cx, id, event)
-                }
+                TcpStackEvent::Socket { id, event } => Self::handle_socket_event(cx, id, event),
                 TcpStackEvent::Dropped => {}
             }
         }
@@ -884,11 +884,7 @@ impl TcpThread {
                 unreachable!("Transmit is unwrapped into TcpStackEvent::Transmit by the stack")
             }
             TcpEvent::Closed | TcpEvent::Aborted(_) => {
-                let reply_sync = cx
-                    .proto
-                    .tcp_conns
-                    .get_mut(&id)
-                    .and_then(|c| c.reply_sync.take());
+                let reply_sync = cx.proto.tcp_conns.get_mut(&id).and_then(|c| c.reply_sync.take());
                 if let Some(s) = reply_sync {
                     cx.sync_write(s, 0); // open failed
                 }
@@ -926,15 +922,8 @@ impl TcpThread {
     /// Push queued send data into the socket as the buffer drains; once
     /// everything is admitted, honour any deferred close.
     fn pump_pending(cx: &mut Cx<'_>, id: SocketId) {
-        loop {
-            let Some(chunk) = cx
-                .proto
-                .tcp_conns
-                .get_mut(&id)
-                .and_then(|c| c.pending.pop_front())
-            else {
-                break;
-            };
+        while let Some(chunk) = cx.proto.tcp_conns.get_mut(&id).and_then(|c| c.pending.pop_front())
+        {
             let now = cx.now();
             let (n, events) = cx.proto.tcp.send(now, id, &chunk);
             Self::handle_events(cx, events);

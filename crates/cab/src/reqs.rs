@@ -216,9 +216,7 @@ impl TcpCtl {
             2 if b.len() >= 6 => {
                 Some(TcpCtl::Listen { port: u16be(b, 2), accept_mbox: u16be(b, 4) })
             }
-            3 if b.len() >= 6 => {
-                Some(TcpCtl::Attach { conn: u16be(b, 2), recv_mbox: u16be(b, 4) })
-            }
+            3 if b.len() >= 6 => Some(TcpCtl::Attach { conn: u16be(b, 2), recv_mbox: u16be(b, 4) }),
             4 if b.len() >= 4 => Some(TcpCtl::Close { conn: u16be(b, 2) }),
             5 if b.len() >= 4 => Some(TcpCtl::Abort { conn: u16be(b, 2) }),
             _ => None,

@@ -101,6 +101,10 @@ pub struct NetPort {
     pub link: LinkModel,
     /// Frames dropped because no route was known.
     pub no_route_drops: u64,
+    /// Frames handed to the fiber DMA.
+    pub tx_frames: u64,
+    /// Wire bytes handed to the fiber DMA.
+    pub tx_bytes: u64,
 }
 
 impl NetPort {
@@ -110,6 +114,8 @@ impl NetPort {
             tx_busy_until: SimTime::ZERO,
             link,
             no_route_drops: 0,
+            tx_frames: 0,
+            tx_bytes: 0,
         }
     }
 }
@@ -289,6 +295,8 @@ impl<'a> Cx<'a> {
         };
         let frame = Frame::build(route, header, payload);
         self.stamp("cab_datalink_tx", msg_id as u64);
+        self.net.tx_frames += 1;
+        self.net.tx_bytes += frame.wire_len() as u64;
         let ser = SimDuration::serialization(frame.wire_len(), self.net.link.fiber_bits_per_sec);
         let first_byte = self.now().max(self.net.tx_busy_until);
         self.net.tx_busy_until = first_byte + ser;
@@ -350,6 +358,9 @@ pub struct Runtime {
     pub ctx_switches: u64,
     pub interrupts_taken: u64,
     pub upcalls_run: u64,
+    /// Total CPU time charged across every burst — the serial-resource
+    /// busy-time meter (`node/<id>/cab/cpu_busy_ns`).
+    pub cpu_busy: SimDuration,
 }
 
 impl Default for Runtime {
@@ -372,6 +383,7 @@ impl Runtime {
             ctx_switches: 0,
             interrupts_taken: 0,
             upcalls_run: 0,
+            cpu_busy: SimDuration::ZERO,
         }
     }
 

@@ -110,6 +110,14 @@ pub struct Mailbox {
     pub host_mode: HostOpMode,
     /// Total messages ever enqueued (stats).
     pub delivered: u64,
+    /// Total payload bytes ever enqueued.
+    pub enq_bytes: u64,
+    /// Total messages ever dequeued via Begin_Get.
+    pub deq_msgs: u64,
+    /// Total payload bytes ever dequeued.
+    pub deq_bytes: u64,
+    /// High watermark of queue depth (messages).
+    pub depth_high: u64,
 }
 
 /// Sync state (§3.4).
@@ -264,6 +272,11 @@ pub struct CabShared {
     /// Outstanding two-phase handles for host RPC-mode operations.
     pub handles: HandleTable,
     pub notices: Notices,
+    /// High watermark of `host_sigq` depth, sampled when the host
+    /// driver drains it (the queue only grows between drains).
+    pub host_sigq_high: u64,
+    /// High watermark of `cab_sigq` depth, sampled at drain.
+    pub cab_sigq_high: u64,
     next_cond: CondId,
     next_msg_id: u32,
 }
@@ -286,6 +299,8 @@ impl CabShared {
             cab_sigq: VecDeque::new(),
             handles: HandleTable::default(),
             notices: Notices::default(),
+            host_sigq_high: 0,
+            cab_sigq_high: 0,
             next_cond: 0,
             next_msg_id: 1,
         }
@@ -333,6 +348,10 @@ impl CabShared {
             space_wanted: false,
             host_mode: mode,
             delivered: 0,
+            enq_bytes: 0,
+            deq_msgs: 0,
+            deq_bytes: 0,
+            depth_high: 0,
         });
         (self.mailboxes.len() - 1) as MboxId
     }
@@ -386,6 +405,10 @@ impl CabShared {
         let m = &mut self.mailboxes[mbox as usize];
         m.queue.push_back(msg);
         m.delivered += 1;
+        m.enq_bytes += msg.len as u64;
+        if m.queue.len() as u64 > m.depth_high {
+            m.depth_high = m.queue.len() as u64;
+        }
         let reader_cond = m.reader_cond;
         let host_cond = m.host_cond;
         let upcall = m.upcall;
@@ -402,7 +425,11 @@ impl CabShared {
     pub fn begin_get(&mut self, mbox: MboxId) -> Result<MsgRef, WouldBlock> {
         let m = &mut self.mailboxes[mbox as usize];
         match m.queue.pop_front() {
-            Some(msg) => Ok(msg),
+            Some(msg) => {
+                m.deq_msgs += 1;
+                m.deq_bytes += msg.len as u64;
+                Ok(msg)
+            }
             None => Err(WouldBlock::Empty(m.reader_cond)),
         }
     }

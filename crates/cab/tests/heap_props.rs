@@ -2,7 +2,7 @@
 //! mailbox buffer manager depends on (§3.3: "buffer space for messages
 //! is allocated from a common heap").
 
-use proptest::prelude::*;
+use nectar_sim::check;
 
 use nectar_cab::memory::{Heap, ALIGN};
 
@@ -12,24 +12,26 @@ enum Op {
     Free(usize), // index into live allocations, modulo
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (1usize..5000).prop_map(Op::Alloc),
-            (0usize..64).prop_map(Op::Free),
-        ],
-        1..200,
-    )
+fn ops(g: &mut check::Gen) -> Vec<Op> {
+    let n = g.usize_in(1, 200);
+    (0..n)
+        .map(|_| {
+            if g.rng.chance(0.5) {
+                Op::Alloc(g.usize_in(1, 5000))
+            } else {
+                Op::Free(g.usize_in(0, 64))
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// After any sequence of allocs and frees: the free list stays
-    /// sorted, coalesced and disjoint from live allocations; no bytes
-    /// leak; allocations never overlap and respect alignment.
-    #[test]
-    fn heap_invariants_hold_under_churn(ops in ops()) {
+/// After any sequence of allocs and frees: the free list stays
+/// sorted, coalesced and disjoint from live allocations; no bytes
+/// leak; allocations never overlap and respect alignment.
+#[test]
+fn heap_invariants_hold_under_churn() {
+    check::cases(128, |g| {
+        let ops = ops(g);
         let size = 64 * 1024;
         let mut h = Heap::new(0, size);
         let mut live: Vec<(u32, usize)> = Vec::new();
@@ -37,11 +39,11 @@ proptest! {
             match op {
                 Op::Alloc(n) => {
                     if let Some(addr) = h.alloc(n) {
-                        prop_assert_eq!(addr as usize % ALIGN, 0);
+                        assert_eq!(addr as usize % ALIGN, 0);
                         // no overlap with any live allocation
                         let len = h.size_of(addr).unwrap();
                         for &(a, l) in &live {
-                            prop_assert!(
+                            assert!(
                                 addr as usize + len <= a as usize
                                     || a as usize + l <= addr as usize,
                                 "overlap: new ({addr},{len}) vs live ({a},{l})"
@@ -64,14 +66,18 @@ proptest! {
             h.free(addr);
         }
         h.check_invariants();
-        prop_assert_eq!(h.bytes_free(), size);
-        prop_assert_eq!(h.bytes_in_use(), 0);
-    }
+        assert_eq!(h.bytes_free(), size);
+        assert_eq!(h.bytes_in_use(), 0);
+    });
+}
 
-    /// Writes through one allocation never corrupt another.
-    #[test]
-    fn allocations_do_not_alias(sizes in proptest::collection::vec(1usize..600, 2..30)) {
-        use nectar_cab::memory::DataMemory;
+/// Writes through one allocation never corrupt another.
+#[test]
+fn allocations_do_not_alias() {
+    use nectar_cab::memory::DataMemory;
+    check::cases(128, |g| {
+        let count = g.usize_in(2, 30);
+        let sizes: Vec<usize> = (0..count).map(|_| g.usize_in(1, 600)).collect();
         let mut mem = DataMemory::new();
         let mut h = Heap::new(65536, 64 * 1024);
         let mut allocs = Vec::new();
@@ -83,7 +89,7 @@ proptest! {
             }
         }
         for (addr, fill) in &allocs {
-            prop_assert_eq!(mem.dma_read(*addr, fill.len()), &fill[..]);
+            assert_eq!(mem.dma_read(*addr, fill.len()), &fill[..]);
         }
-    }
+    });
 }

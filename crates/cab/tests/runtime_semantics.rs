@@ -104,8 +104,7 @@ fn waking_system_thread_preempts_app_at_burst_boundary() {
         payload_len: 0,
         msg_id: 0,
     };
-    let frame =
-        nectar_wire::datalink::Frame::build(&nectar_wire::route::Route::empty(), hdr, &pkt);
+    let frame = nectar_wire::datalink::Frame::build(&nectar_wire::route::Route::empty(), hdr, &pkt);
     let mut trace = Trace::new();
     let mut now = SimTime::from_nanos(1);
     // run a few app bursts
@@ -252,8 +251,20 @@ fn mutex_mutual_exclusion_across_bursts() {
         rt.create_mutex(shared, mutexes)
     };
     let log: Log = Rc::new(RefCell::new(Vec::new()));
-    c.fork_app(Box::new(Locker { mutex: m, holding: false, rounds: 3, log: log.clone(), tag: "A" }));
-    c.fork_app(Box::new(Locker { mutex: m, holding: false, rounds: 3, log: log.clone(), tag: "B" }));
+    c.fork_app(Box::new(Locker {
+        mutex: m,
+        holding: false,
+        rounds: 3,
+        log: log.clone(),
+        tag: "A",
+    }));
+    c.fork_app(Box::new(Locker {
+        mutex: m,
+        holding: false,
+        rounds: 3,
+        log: log.clone(),
+        tag: "B",
+    }));
     run_to_idle(&mut c, SimTime::from_nanos(1));
     // critical sections never interleave: every acquire is followed by
     // its release before the next acquire

@@ -157,8 +157,7 @@ impl HostWireCx {
                             let _ = cx.put_message(MB_RAW_SEND, &m);
                         }
                         HostWire::Ethernet { dst_host, bits_per_sec, .. } => {
-                            let ser =
-                                SimDuration::serialization(packet.len() + 18, *bits_per_sec);
+                            let ser = SimDuration::serialization(packet.len() + 18, *bits_per_sec);
                             let first_byte = cx.now().max(self.eth_tx_busy);
                             self.eth_tx_busy = first_byte + ser;
                             let dst_host = *dst_host;

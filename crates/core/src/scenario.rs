@@ -47,10 +47,7 @@ fn decode_reply_addr(b: &[u8]) -> Option<(u16, u16)> {
     if b.len() < 4 {
         return None;
     }
-    Some((
-        u16::from_be_bytes([b[0], b[1]]),
-        u16::from_be_bytes([b[2], b[3]]),
-    ))
+    Some((u16::from_be_bytes([b[0], b[1]]), u16::from_be_bytes([b[2], b[3]])))
 }
 
 // ----------------------------------------------------------------------
@@ -240,7 +237,12 @@ pub struct EchoServer {
 }
 
 impl EchoServer {
-    pub fn new(transport: Transport, recv_mbox: MboxId, my_port: u16, block: bool) -> (Self, SharedCount) {
+    pub fn new(
+        transport: Transport,
+        recv_mbox: MboxId,
+        my_port: u16,
+        block: bool,
+    ) -> (Self, SharedCount) {
         let echoed: SharedCount = Rc::new(Cell::new(0));
         (
             EchoServer {
@@ -283,7 +285,8 @@ impl HostProcess for EchoServer {
             match self.transport {
                 Transport::Datagram | Transport::Rmp => {
                     if let Some((cab, mbox)) = decode_reply_addr(&bytes) {
-                        let req = SendReq { dst_cab: cab, dst_mbox: mbox, src_mbox: self.recv_mbox };
+                        let req =
+                            SendReq { dst_cab: cab, dst_mbox: mbox, src_mbox: self.recv_mbox };
                         let m = req.encode(&bytes);
                         let target = if self.transport == Transport::Datagram {
                             reqs::MB_DG_SEND
@@ -355,12 +358,14 @@ pub struct HostRmpStreamer {
 }
 
 impl HostRmpStreamer {
-    pub fn new(dst: (u16, u16), my_mbox: MboxId, msg_size: usize, total_bytes: u64) -> (Self, SharedFlag) {
+    pub fn new(
+        dst: (u16, u16),
+        my_mbox: MboxId,
+        msg_size: usize,
+        total_bytes: u64,
+    ) -> (Self, SharedFlag) {
         let done: SharedFlag = Rc::new(Cell::new(false));
-        (
-            HostRmpStreamer { dst, my_mbox, msg_size, total_bytes, sent: 0, done: done.clone() },
-            done,
-        )
+        (HostRmpStreamer { dst, my_mbox, msg_size, total_bytes, sent: 0, done: done.clone() }, done)
     }
 }
 
@@ -414,7 +419,13 @@ enum TcpStreamState {
 }
 
 impl HostTcpStreamer {
-    pub fn new(dst_cab: u16, port: u16, my_mbox: MboxId, chunk: usize, total_bytes: u64) -> (Self, SharedFlag) {
+    pub fn new(
+        dst_cab: u16,
+        port: u16,
+        my_mbox: MboxId,
+        chunk: usize,
+        total_bytes: u64,
+    ) -> (Self, SharedFlag) {
         let done: SharedFlag = Rc::new(Cell::new(false));
         (
             HostTcpStreamer {
@@ -507,7 +518,11 @@ pub struct HostSink {
 }
 
 impl HostSink {
-    pub fn new(recv_mbox: MboxId, tcp_accept: Option<MboxId>, expected: u64) -> (Self, SharedMeter, SharedCount, SharedFlag) {
+    pub fn new(
+        recv_mbox: MboxId,
+        tcp_accept: Option<MboxId>,
+        expected: u64,
+    ) -> (Self, SharedMeter, SharedCount, SharedFlag) {
         let meter: SharedMeter = Rc::new(RefCell::new(RateMeter::new()));
         let received: SharedCount = Rc::new(Cell::new(0));
         let done: SharedFlag = Rc::new(Cell::new(false));
@@ -611,16 +626,20 @@ impl CabThread for CabEcho {
                     match self.transport {
                         Transport::Datagram => {
                             if let Some((cab, mbox)) = decode_reply_addr(&bytes) {
-                                let pkt = DatagramHeader { dst_mbox: mbox, src_mbox: self.recv_mbox }
-                                    .build(&bytes);
+                                let pkt =
+                                    DatagramHeader { dst_mbox: mbox, src_mbox: self.recv_mbox }
+                                        .build(&bytes);
                                 cx.charge(cx.costs.datagram_proc);
                                 cx.datalink_send(cab, DatalinkProto::Datagram, 0, &pkt);
                             }
                         }
                         Transport::Rmp => {
                             if let Some((cab, mbox)) = decode_reply_addr(&bytes) {
-                                let req =
-                                    SendReq { dst_cab: cab, dst_mbox: mbox, src_mbox: self.recv_mbox };
+                                let req = SendReq {
+                                    dst_cab: cab,
+                                    dst_mbox: mbox,
+                                    src_mbox: self.recv_mbox,
+                                };
                                 rmp_submit(cx, req, &bytes);
                             }
                         }
@@ -629,8 +648,7 @@ impl CabThread for CabEcho {
                                 reqs::rr_deliver_decode(&bytes)
                             {
                                 let mut acts = Vec::new();
-                                let server =
-                                    cx.proto.rr_servers.entry(self.recv_mbox).or_default();
+                                let server = cx.proto.rr_servers.entry(self.recv_mbox).or_default();
                                 server.reply(
                                     client_cab,
                                     reply_mbox,
@@ -811,7 +829,12 @@ pub struct CabRmpStreamer {
 }
 
 impl CabRmpStreamer {
-    pub fn new(dst: (u16, u16), my_mbox: MboxId, msg_size: usize, total_bytes: u64) -> (Self, SharedFlag) {
+    pub fn new(
+        dst: (u16, u16),
+        my_mbox: MboxId,
+        msg_size: usize,
+        total_bytes: u64,
+    ) -> (Self, SharedFlag) {
         let done: SharedFlag = Rc::new(Cell::new(false));
         (CabRmpStreamer { dst, my_mbox, msg_size, total_bytes, sent: 0, done: done.clone() }, done)
     }

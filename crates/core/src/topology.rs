@@ -39,6 +39,7 @@ pub struct Topology {
 
 impl Topology {
     /// All `n` CABs on one HUB (n ≤ 16).
+    #[allow(clippy::needless_range_loop)]
     pub fn single_hub(n: usize) -> Topology {
         assert!(n <= PORTS, "a 16x16 HUB has {PORTS} ports");
         let mut port_map = vec![[Attachment::None; PORTS]];
@@ -72,6 +73,7 @@ impl Topology {
 
     /// A linear chain of HUBs with `per_hub` CABs on each — exercises
     /// multi-hop source routes of arbitrary length.
+    #[allow(clippy::needless_range_loop)]
     pub fn chain(hubs: usize, per_hub: usize) -> Topology {
         assert!(hubs >= 1);
         assert!(per_hub <= PORTS - 2, "need two trunk ports per inner HUB");
@@ -176,7 +178,7 @@ mod tests {
         assert_eq!(r.hops().len(), 2);
         assert_eq!(r.hops()[0], 15); // trunk port
         assert_eq!(r.hops()[1], 0); // cab 1's port on hub 1
-        // same-hub pair stays one hop
+                                    // same-hub pair stays one hop
         let r = t.route(0, 2).unwrap();
         assert_eq!(r.hops().len(), 1);
     }

@@ -27,6 +27,13 @@ pub struct NetStats {
     pub frames_lost_injected: u64,
     pub frames_corrupted_injected: u64,
     pub frames_hub_dropped: u64,
+    /// Wire bytes of launched frames.
+    pub bytes_launched: u64,
+    /// Wire bytes removed by fault injection.
+    pub bytes_lost_injected: u64,
+    /// Frames a HUB forwarded out a port with nothing attached.
+    pub frames_dead_end: u64,
+    pub bytes_dead_end: u64,
 }
 
 /// The complete simulated Nectar installation.
@@ -66,8 +73,7 @@ impl World {
             cab.proto.ip_in_thread = config.ip_in_thread;
             cabs.push(cab);
         }
-        let hosts =
-            (0..n as u16).map(|i| Host::new(i, i, config.host_costs)).collect();
+        let hosts = (0..n as u16).map(|i| Host::new(i, i, config.host_costs)).collect();
         let hubs = (0..topo.hubs as u16).map(|h| Hub::new(h, config.hub)).collect();
         let world = World {
             fault_rng: Pcg32::new(config.seed, 0xfau64),
@@ -103,6 +109,160 @@ impl World {
     pub fn run_for(&mut self, sim: &mut Sim, d: SimDuration) {
         let deadline = sim.now() + d;
         self.run_until(sim, deadline);
+    }
+
+    /// Assemble the observability snapshot: every counter, CPU meter
+    /// and queue gauge in the installation under the workspace naming
+    /// scheme (`node/<id>/link/tx_bytes`, `hub/<h>/port/<p>/…`,
+    /// `net/…`). Component instruments are always-on plain integers;
+    /// this is the pull point that gathers them, so simulation hot
+    /// paths never pay for snapshot assembly.
+    pub fn metrics(&self) -> nectar_sim::MetricsSnapshot {
+        let mut r = nectar_sim::MetricsRegistry::enabled();
+        self.publish_metrics(&mut r);
+        r.take()
+    }
+
+    /// Deterministic JSON form of [`World::metrics`]: sorted keys,
+    /// integer values, byte-identical across same-seed runs.
+    pub fn metrics_json(&self) -> String {
+        self.metrics().to_json()
+    }
+
+    /// Publish every instrument into a registry (each publish is one
+    /// branch when the registry is disabled).
+    pub fn publish_metrics(&self, r: &mut nectar_sim::MetricsRegistry) {
+        let s = &self.stats;
+        r.publish("net/frames_launched", s.frames_launched);
+        r.publish("net/frames_lost_injected", s.frames_lost_injected);
+        r.publish("net/frames_corrupted_injected", s.frames_corrupted_injected);
+        r.publish("net/frames_hub_dropped", s.frames_hub_dropped);
+        r.publish("net/frames_dead_end", s.frames_dead_end);
+        r.publish("net/bytes_launched", s.bytes_launched);
+        r.publish("net/bytes_lost_injected", s.bytes_lost_injected);
+        r.publish("net/bytes_dead_end", s.bytes_dead_end);
+
+        for (i, cab) in self.cabs.iter().enumerate() {
+            let p = |suffix: &str| format!("node/{i}/{suffix}");
+            r.publish(&p("cab/cpu_busy_ns"), cab.rt.cpu_busy.as_nanos());
+            r.publish(&p("cab/ctx_switches"), cab.rt.ctx_switches);
+            r.publish(&p("cab/interrupts_taken"), cab.rt.interrupts_taken);
+            r.publish(&p("cab/upcalls_run"), cab.rt.upcalls_run);
+            r.publish(&p("cab/host_signals"), cab.stats.host_signals);
+
+            r.publish(&p("link/tx_frames"), cab.net.tx_frames);
+            r.publish(&p("link/tx_bytes"), cab.net.tx_bytes);
+            r.publish(&p("link/no_route_drops"), cab.net.no_route_drops);
+            r.publish(&p("link/rx_frames"), cab.stats.frames_rx);
+            r.publish(&p("link/rx_bytes"), cab.stats.bytes_rx);
+            r.publish(&p("link/rx_crc_dropped"), cab.stats.frames_crc_dropped);
+            r.publish(&p("link/rx_fifo_dropped_frames"), cab.stats.frames_fifo_dropped);
+            r.publish(&p("link/rx_fifo_dropped_bytes"), cab.stats.bytes_fifo_dropped);
+            r.publish(&p("link/rx_fifo_high_bytes"), cab.stats.rx_fifo_high);
+
+            let mut enq_msgs = 0u64;
+            let mut enq_bytes = 0u64;
+            let mut deq_msgs = 0u64;
+            let mut deq_bytes = 0u64;
+            let mut depth = 0u64;
+            let mut depth_high = 0u64;
+            for mb in &cab.shared.mailboxes {
+                enq_msgs += mb.delivered;
+                enq_bytes += mb.enq_bytes;
+                deq_msgs += mb.deq_msgs;
+                deq_bytes += mb.deq_bytes;
+                depth += mb.queue.len() as u64;
+                depth_high = depth_high.max(mb.depth_high);
+            }
+            r.publish(&p("mbox/enqueued_msgs"), enq_msgs);
+            r.publish(&p("mbox/enqueued_bytes"), enq_bytes);
+            r.publish(&p("mbox/dequeued_msgs"), deq_msgs);
+            r.publish(&p("mbox/dequeued_bytes"), deq_bytes);
+            r.publish(&p("mbox/depth"), depth);
+            r.publish(&p("mbox/depth_high"), depth_high);
+            r.publish(&p("sigq/cab_depth_high"), cab.shared.cab_sigq_high);
+            r.publish(&p("sigq/host_depth_high"), cab.shared.host_sigq_high);
+
+            let ps = &cab.proto.stats;
+            r.publish(&p("proto/frames_in"), ps.frames_in);
+            r.publish(&p("proto/crc_drops"), ps.crc_drops);
+            r.publish(&p("proto/no_mbox_drops"), ps.no_mbox_drops);
+            r.publish(&p("proto/no_space_drops"), ps.no_space_drops);
+            r.publish(&p("proto/datagrams_in"), ps.datagrams_in);
+            r.publish(&p("proto/datagrams_out"), ps.datagrams_out);
+            r.publish(&p("proto/rmp_msgs_in"), ps.rmp_msgs_in);
+            r.publish(&p("proto/rr_requests_in"), ps.rr_requests_in);
+            r.publish(&p("proto/bad_requests"), ps.bad_requests);
+            r.publish(&p("proto/ip_packets_in"), ps.ip_packets_in);
+
+            let ts = cab.proto.tcp.total_socket_stats();
+            let tss = cab.proto.tcp.stats();
+            r.publish(&p("tcp/segs_out"), ts.segs_out);
+            r.publish(&p("tcp/segs_in"), ts.segs_in);
+            r.publish(&p("tcp/bytes_out"), ts.bytes_out);
+            r.publish(&p("tcp/bytes_in"), ts.bytes_in);
+            r.publish(&p("tcp/retransmits"), ts.retransmits);
+            r.publish(&p("tcp/fast_retransmits"), ts.fast_retransmits);
+            r.publish(&p("tcp/timeouts"), ts.timeouts);
+            r.publish(&p("tcp/checksum_drops"), tss.checksum_drops);
+            r.publish(&p("tcp/no_socket_drops"), tss.no_socket_drops);
+
+            let mut frags_sent = 0u64;
+            let mut rmp_retx = 0u64;
+            let mut msgs_delivered = 0u64;
+            let mut msgs_failed = 0u64;
+            for tx in cab.proto.rmp_tx.values() {
+                let st = tx.stats();
+                frags_sent += st.fragments_sent;
+                rmp_retx += st.retransmits;
+                msgs_delivered += st.messages_delivered;
+                msgs_failed += st.messages_failed;
+            }
+            r.publish(&p("rmp/fragments_sent"), frags_sent);
+            r.publish(&p("rmp/retransmits"), rmp_retx);
+            r.publish(&p("rmp/messages_delivered"), msgs_delivered);
+            r.publish(&p("rmp/messages_failed"), msgs_failed);
+            let rs = cab.proto.rmp_rx.stats();
+            r.publish(&p("rmp/fragments_in"), rs.fragments_in);
+            r.publish(&p("rmp/duplicates"), rs.duplicates);
+            r.publish(&p("rmp/delivered"), rs.delivered);
+            r.publish(&p("rmp/acks_sent"), rs.acks_sent);
+        }
+
+        for (i, host) in self.hosts.iter().enumerate() {
+            let p = |suffix: &str| format!("node/{i}/host/{suffix}");
+            r.publish(&p("cpu_busy_ns"), host.stats.cpu_busy.as_nanos());
+            r.publish(&p("proc_switches"), host.stats.proc_switches);
+            r.publish(&p("cab_interrupts"), host.stats.cab_interrupts);
+            r.publish(&p("vme_words"), host.stats.vme_words);
+        }
+
+        for (h, hub) in self.hubs.iter().enumerate() {
+            let hs = hub.stats();
+            let p = |suffix: &str| format!("hub/{h}/{suffix}");
+            r.publish(&p("rx_frames"), hs.rx_frames);
+            r.publish(&p("rx_bytes"), hs.rx_bytes);
+            r.publish(&p("forwarded_frames"), hs.forwarded + hs.forwarded_circuit);
+            r.publish(&p("forwarded_circuit"), hs.forwarded_circuit);
+            r.publish(&p("forwarded_bytes"), hs.forwarded_bytes);
+            r.publish(
+                &p("dropped_frames"),
+                hs.dropped_bad_route + hs.dropped_bad_port + hs.dropped_backlog,
+            );
+            r.publish(&p("dropped_bytes"), hs.dropped_bytes);
+            for port in 0..nectar_hub::PORTS {
+                let st = hub.port_stats(port);
+                if st.tx_frames == 0 {
+                    continue; // quiet ports would bloat the snapshot
+                }
+                r.publish(&format!("hub/{h}/port/{port}/tx_frames"), st.tx_frames);
+                r.publish(&format!("hub/{h}/port/{port}/tx_bytes"), st.tx_bytes);
+                r.publish(
+                    &format!("hub/{h}/port/{port}/backlog_high_ns"),
+                    st.backlog_high.as_nanos(),
+                );
+            }
+        }
     }
 }
 
@@ -189,13 +349,14 @@ fn route_cab_effects(
         match e {
             CabEffect::Transmit { mut frame, first_byte } => {
                 w.stats.frames_launched += 1;
+                w.stats.bytes_launched += frame.wire_len() as u64;
                 // fault injection where the frame enters the network
                 if w.fault_rng.chance(w.config.faults.loss) {
                     w.stats.frames_lost_injected += 1;
+                    w.stats.bytes_lost_injected += frame.wire_len() as u64;
                     continue;
                 }
-                if w.config.faults.corrupt > 0.0 && w.fault_rng.chance(w.config.faults.corrupt)
-                {
+                if w.config.faults.corrupt > 0.0 && w.fault_rng.chance(w.config.faults.corrupt) {
                     let bit = w.fault_rng.range(0, frame.wire_len() * 8);
                     frame.corrupt_bit(bit);
                     w.stats.frames_corrupted_injected += 1;
@@ -222,8 +383,7 @@ fn route_cab_effects(
 
 fn hub_frame_arrival(w: &mut World, sim: &mut Sim, hub: usize, in_port: u8, mut frame: Frame) {
     let now = sim.now();
-    let ser =
-        SimDuration::serialization(frame.wire_len(), w.config.link.fiber_bits_per_sec);
+    let ser = SimDuration::serialization(frame.wire_len(), w.config.link.fiber_bits_per_sec);
     match w.hubs[hub].frame_arrival(now, in_port, &mut frame, ser) {
         HubDecision::Forward { out_port, first_byte_out } => {
             let prop = w.config.link.fiber_propagation;
@@ -243,7 +403,8 @@ fn hub_frame_arrival(w: &mut World, sim: &mut Sim, hub: usize, in_port: u8, mut 
                     });
                 }
                 Attachment::None => {
-                    w.stats.frames_hub_dropped += 1;
+                    w.stats.frames_dead_end += 1;
+                    w.stats.bytes_dead_end += frame.wire_len() as u64;
                 }
             }
         }

@@ -38,6 +38,9 @@ pub struct HostStats {
     pub proc_switches: u64,
     pub cab_interrupts: u64,
     pub vme_words: u64,
+    /// Total CPU time charged across every burst (interrupt service +
+    /// process bursts) — the `node/<id>/host/cpu_busy_ns` meter.
+    pub cpu_busy: SimDuration,
 }
 
 /// One host workstation attached to a CAB over VME.
@@ -127,16 +130,15 @@ impl Host {
         let mut fx = Vec::new();
 
         // 1. driver interrupt service: drain the host signal queue
-        if let Some(idx) = self
-            .pending_intr
-            .iter()
-            .enumerate()
-            .filter(|(_, &at)| at <= t)
-            .map(|(i, _)| i)
-            .next()
+        if let Some(idx) =
+            self.pending_intr.iter().enumerate().filter(|(_, &at)| at <= t).map(|(i, _)| i).next()
         {
             self.pending_intr.remove(idx);
             self.stats.cab_interrupts += 1;
+            let depth = shared.host_sigq.len() as u64;
+            if depth > shared.host_sigq_high {
+                shared.host_sigq_high = depth;
+            }
             let mut charged = self.costs.interrupt_service;
             while let Some(entry) = shared.host_sigq.pop_front() {
                 charged += self.costs.vme_word * 2;
@@ -148,6 +150,7 @@ impl Host {
                     }
                 }
             }
+            self.stats.cpu_busy += charged;
             self.cursor = t + charged;
             return (fx, HostStepStatus::Ran { next: self.cursor });
         }
@@ -200,6 +203,7 @@ impl Host {
             if doorbell {
                 fx.push(HostEffect::InterruptCab);
             }
+            self.stats.cpu_busy += charged;
             self.cursor = t + charged;
             return (fx, HostStepStatus::Ran { next: self.cursor });
         }

@@ -74,7 +74,9 @@ pub enum HubReply {
     /// id is out of range.
     Refused,
     /// Status snapshot: for each output port, when it frees up.
-    Status { busy_until: Vec<SimTime> },
+    Status {
+        busy_until: Vec<SimTime>,
+    },
 }
 
 /// Per-HUB counters.
@@ -85,6 +87,26 @@ pub struct HubStats {
     pub dropped_bad_route: u64,
     pub dropped_bad_port: u64,
     pub dropped_backlog: u64,
+    /// Every frame whose first byte reached an input port.
+    pub rx_frames: u64,
+    pub rx_bytes: u64,
+    /// Wire bytes of forwarded frames (measured at arrival, before the
+    /// route hop byte is consumed).
+    pub forwarded_bytes: u64,
+    /// Wire bytes of dropped frames.
+    pub dropped_bytes: u64,
+}
+
+/// Per-output-port counters and the backlog high-watermark gauge: how
+/// deep the port's time-backlog (its FIFO expressed in serialization
+/// time) ever got.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PortStats {
+    pub tx_frames: u64,
+    pub tx_bytes: u64,
+    /// Highest observed backlog on this output, in nanoseconds,
+    /// sampled after each frame is queued.
+    pub backlog_high: SimDuration,
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -92,6 +114,7 @@ struct OutPort {
     busy_until: SimTime,
     /// Some(in_port) when this output is reserved by a circuit.
     circuit_from: Option<u8>,
+    stats: PortStats,
 }
 
 /// One 16×16 crossbar HUB.
@@ -138,8 +161,12 @@ impl Hub {
         frame: &mut Frame,
         ser: SimDuration,
     ) -> HubDecision {
+        let wire_len = frame.wire_len() as u64;
+        self.stats.rx_frames += 1;
+        self.stats.rx_bytes += wire_len;
         if in_port as usize >= PORTS {
             self.stats.dropped_bad_port += 1;
+            self.stats.dropped_bytes += wire_len;
             return HubDecision::Drop(DropReason::BadPort);
         }
         let (out_port, latency, via_circuit) = match self.circuits[in_port as usize] {
@@ -148,12 +175,14 @@ impl Hub {
                 Ok(port) => (port, self.config.setup_latency, false),
                 Err(_) => {
                     self.stats.dropped_bad_route += 1;
+                    self.stats.dropped_bytes += wire_len;
                     return HubDecision::Drop(DropReason::BadRoute);
                 }
             },
         };
         if out_port as usize >= PORTS {
             self.stats.dropped_bad_port += 1;
+            self.stats.dropped_bytes += wire_len;
             return HubDecision::Drop(DropReason::BadPort);
         }
         let port = &mut self.out_ports[out_port as usize];
@@ -162,11 +191,13 @@ impl Hub {
         if let Some(owner) = port.circuit_from {
             if owner != in_port {
                 self.stats.dropped_backlog += 1;
+                self.stats.dropped_bytes += wire_len;
                 return HubDecision::Drop(DropReason::Backlog);
             }
         }
         if port.busy_until.saturating_since(now) > self.config.max_backlog {
             self.stats.dropped_backlog += 1;
+            self.stats.dropped_bytes += wire_len;
             return HubDecision::Drop(DropReason::Backlog);
         }
         // Cut-through: setup can overlap the wait for the port to free.
@@ -177,7 +208,20 @@ impl Hub {
         } else {
             self.stats.forwarded += 1;
         }
+        self.stats.forwarded_bytes += wire_len;
+        port.stats.tx_frames += 1;
+        port.stats.tx_bytes += wire_len;
+        // FIFO depth in time units, sampled with this frame included
+        let backlog = port.busy_until.saturating_since(now);
+        if backlog > port.stats.backlog_high {
+            port.stats.backlog_high = backlog;
+        }
         HubDecision::Forward { out_port, first_byte_out }
+    }
+
+    /// Per-output-port counters and backlog high-watermarks.
+    pub fn port_stats(&self, out_port: usize) -> &PortStats {
+        &self.out_ports[out_port].stats
     }
 
     /// Execute a controller command.
@@ -328,7 +372,10 @@ mod tests {
     fn exhausted_route_dropped() {
         let mut hub = Hub::new(0, HubConfig::default());
         let mut f = frame(&[], 10);
-        assert_eq!(hub.frame_arrival(t(0), 0, &mut f, d(100)), HubDecision::Drop(DropReason::BadRoute));
+        assert_eq!(
+            hub.frame_arrival(t(0), 0, &mut f, d(100)),
+            HubDecision::Drop(DropReason::BadRoute)
+        );
         assert_eq!(hub.stats().dropped_bad_route, 1);
     }
 
@@ -336,7 +383,10 @@ mod tests {
     fn bad_ports_dropped() {
         let mut hub = Hub::new(0, HubConfig::default());
         let mut f = frame(&[16], 10); // port 16 out of range
-        assert_eq!(hub.frame_arrival(t(0), 0, &mut f, d(100)), HubDecision::Drop(DropReason::BadPort));
+        assert_eq!(
+            hub.frame_arrival(t(0), 0, &mut f, d(100)),
+            HubDecision::Drop(DropReason::BadPort)
+        );
         let mut f2 = frame(&[1], 10);
         assert_eq!(
             hub.frame_arrival(t(0), 99, &mut f2, d(100)),
@@ -352,10 +402,7 @@ mod tests {
         let ser = d(9_000);
         for i in 0..2 {
             let mut f = frame(&[0], 100);
-            assert!(matches!(
-                hub.frame_arrival(t(i), 1, &mut f, ser),
-                HubDecision::Forward { .. }
-            ));
+            assert!(matches!(hub.frame_arrival(t(i), 1, &mut f, ser), HubDecision::Forward { .. }));
         }
         // two frames ≈18 us of backlog > 10 us cap
         let mut f = frame(&[0], 100);
@@ -382,12 +429,18 @@ mod tests {
 
         // packet traffic from another input may not use the reserved output
         let mut f2 = frame(&[9], 100);
-        assert_eq!(hub.frame_arrival(t(1000), 3, &mut f2, d(1000)), HubDecision::Drop(DropReason::Backlog));
+        assert_eq!(
+            hub.frame_arrival(t(1000), 3, &mut f2, d(1000)),
+            HubDecision::Drop(DropReason::Backlog)
+        );
 
         // close and the port is packet-switchable again
         assert_eq!(hub.execute(HubCommand::CloseCircuit { in_port: 2 }), HubReply::Ok);
         let mut f3 = frame(&[9], 100);
-        assert!(matches!(hub.frame_arrival(t(20_000), 3, &mut f3, d(1000)), HubDecision::Forward { .. }));
+        assert!(matches!(
+            hub.frame_arrival(t(20_000), 3, &mut f3, d(1000)),
+            HubDecision::Forward { .. }
+        ));
     }
 
     #[test]

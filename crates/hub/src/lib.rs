@@ -23,7 +23,9 @@
 
 pub mod crossbar;
 
-pub use crossbar::{DropReason, Hub, HubCommand, HubConfig, HubDecision, HubReply, HubStats};
+pub use crossbar::{
+    DropReason, Hub, HubCommand, HubConfig, HubDecision, HubReply, HubStats, PortStats,
+};
 
 /// Number of I/O ports on a Nectar HUB (16×16 crossbar).
 pub const PORTS: usize = 16;

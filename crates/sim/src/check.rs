@@ -1,0 +1,103 @@
+//! A minimal, deterministic property-testing harness.
+//!
+//! The workspace must build and test offline, so it cannot depend on
+//! `proptest`. This module provides the small slice of that
+//! functionality the test suites actually use: run a closure over many
+//! randomly generated inputs, with every input derived from a [`Pcg32`]
+//! stream so failures replay exactly. On failure the case seed is
+//! printed; set `NECTAR_CHECK_SEED` to re-run a single failing case.
+
+use crate::rng::Pcg32;
+
+/// Default number of cases for property tests, tuned to keep the whole
+/// suite fast while still exploring a meaningful slice of input space.
+pub const DEFAULT_CASES: u64 = 96;
+
+/// A source of random test inputs for one case.
+pub struct Gen {
+    pub rng: Pcg32,
+}
+
+impl Gen {
+    pub fn new(seed: u64) -> Self {
+        Gen { rng: Pcg32::seeded(seed) }
+    }
+
+    /// An arbitrary 64-bit value (seed material for nested generators).
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.range(lo, hi)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.rng.f64() * (hi - lo)
+    }
+
+    /// A byte vector whose length is uniform in `[lo, hi)`.
+    pub fn bytes(&mut self, lo: usize, hi: usize) -> Vec<u8> {
+        let n = self.rng.range(lo, hi);
+        (0..n).map(|_| self.rng.next_u32() as u8).collect()
+    }
+}
+
+/// Run `f` over `n` generated cases. Panics propagate after printing
+/// the case seed, so a red test names the exact input that broke it.
+pub fn cases(n: u64, mut f: impl FnMut(&mut Gen)) {
+    let (base, forced) = match std::env::var("NECTAR_CHECK_SEED").ok().and_then(|s| {
+        let s = s.trim().trim_start_matches("0x");
+        u64::from_str_radix(s, 16).ok()
+    }) {
+        Some(seed) => (seed, true),
+        None => (0x6e_c7a6_5eed_u64, false),
+    };
+    let n = if forced { 1 } else { n };
+    for i in 0..n {
+        let seed =
+            if forced { base } else { base.wrapping_add(i).wrapping_mul(0x9e37_79b9_7f4a_7c15) };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut g = Gen::new(seed);
+            f(&mut g);
+        }));
+        if let Err(e) = result {
+            eprintln!(
+                "check: case {i} of {n} failed; re-run just it with NECTAR_CHECK_SEED={seed:x}"
+            );
+            std::panic::resume_unwind(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let mut a = Gen::new(1);
+        let mut b = Gen::new(1);
+        assert_eq!(a.bytes(0, 64), b.bytes(0, 64));
+        assert_eq!(a.usize_in(5, 50), b.usize_in(5, 50));
+        assert_eq!(a.u64(), b.u64());
+    }
+
+    #[test]
+    fn cases_runs_requested_count() {
+        let mut count = 0;
+        cases(17, |_| count += 1);
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn f64_in_stays_in_range() {
+        let mut g = Gen::new(2);
+        for _ in 0..1000 {
+            let v = g.f64_in(0.25, 0.75);
+            assert!((0.25..0.75).contains(&v));
+        }
+    }
+}

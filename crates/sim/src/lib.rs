@@ -14,12 +14,15 @@
 //! harness compares simulated latencies down to the microsecond, and
 //! property tests replay scenarios from seeds.
 
+pub mod check;
+pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use metrics::{CpuMeter, Gauge, MetricCounter, MetricsRegistry, MetricsSnapshot};
 pub use queue::{EventFn, Scheduler};
 pub use rng::Pcg32;
 pub use stats::{Counter, Histogram, RateMeter};

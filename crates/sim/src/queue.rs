@@ -97,7 +97,11 @@ impl<W> Scheduler<W> {
     }
 
     /// Schedule `f` after a relative delay.
-    pub fn after(&mut self, delay: SimDuration, f: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static) {
+    pub fn after(
+        &mut self,
+        delay: SimDuration,
+        f: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    ) {
         self.at(self.now + delay, f);
     }
 

@@ -284,10 +284,7 @@ mod tests {
 
     #[test]
     fn duration_sum() {
-        let total: SimDuration = [1u64, 2, 3]
-            .iter()
-            .map(|&us| SimDuration::from_micros(us))
-            .sum();
+        let total: SimDuration = [1u64, 2, 3].iter().map(|&us| SimDuration::from_micros(us)).sum();
         assert_eq!(total, SimDuration::from_micros(6));
     }
 }

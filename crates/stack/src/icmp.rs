@@ -80,7 +80,11 @@ impl IcmpEngine {
 
     /// Build a Destination Unreachable quoting the offending packet
     /// (IP header + first 8 payload bytes, per RFC 792).
-    pub fn unreachable_for(&mut self, offending_packet: &[u8], code: UnreachableCode) -> IcmpMessage {
+    pub fn unreachable_for(
+        &mut self,
+        offending_packet: &[u8],
+        code: UnreachableCode,
+    ) -> IcmpMessage {
         self.stats.errors_out += 1;
         let quote_len = (HEADER_LEN + 8).min(offending_packet.len());
         IcmpMessage::DestUnreachable { code, original: offending_packet[..quote_len].to_vec() }
@@ -139,10 +143,8 @@ mod tests {
     #[test]
     fn errors_surfaced_and_bad_dropped() {
         let mut eng = IcmpEngine::new();
-        let err = IcmpMessage::DestUnreachable {
-            code: UnreachableCode::Port,
-            original: vec![0; 28],
-        };
+        let err =
+            IcmpMessage::DestUnreachable { code: UnreachableCode::Port, original: vec![0; 28] };
         assert!(matches!(eng.input(a(1), &err.build()), IcmpInput::Error { .. }));
         assert!(matches!(eng.input(a(1), &[1, 2, 3]), IcmpInput::Bad(WireError::Truncated)));
         assert_eq!(eng.stats().errors_in, 1);

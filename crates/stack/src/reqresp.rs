@@ -106,10 +106,8 @@ impl RrClient {
         let req_id = self.next_id;
         self.next_id = self.next_id.wrapping_add(1).max(1);
         let packet = self.request_packet(req_id, &payload);
-        self.pending.insert(
-            req_id,
-            PendingCall { payload, deadline: now + self.cfg.rto, retries: 0 },
-        );
+        self.pending
+            .insert(req_id, PendingCall { payload, deadline: now + self.cfg.rto, retries: 0 });
         self.stats.calls += 1;
         out.push(RrClientAction::Transmit { dst_cab: self.server_cab, packet });
         req_id
@@ -129,10 +127,7 @@ impl RrClient {
             self.stats.duplicate_responses += 1;
         } else {
             self.stats.responses += 1;
-            out.push(RrClientAction::Response {
-                req_id: hdr.req_id,
-                payload: payload.to_vec(),
-            });
+            out.push(RrClientAction::Response { req_id: hdr.req_id, payload: payload.to_vec() });
         }
         let ack = ReqRespHeader {
             kind: ReqRespKind::ReplyAck,
@@ -287,13 +282,9 @@ impl RrServer {
         let slot = self.clients.entry((client_cab, reply_mbox)).or_default();
         // Only cache if this is still the current request (a newer one
         // may have superseded it while the handler ran).
-        let packet = ReqRespHeader {
-            kind: ReqRespKind::Reply,
-            dst_mbox: reply_mbox,
-            reply_mbox: 0,
-            req_id,
-        }
-        .build(&payload);
+        let packet =
+            ReqRespHeader { kind: ReqRespKind::Reply, dst_mbox: reply_mbox, reply_mbox: 0, req_id }
+                .build(&payload);
         if slot.last_req_id == req_id {
             slot.cached_reply = Some(payload);
             slot.executing = false;
@@ -406,7 +397,7 @@ mod tests {
         let mut sacts = Vec::new();
         server.on_request(1, &hdr, &payload, &mut sacts);
         server.reply(1, 11, req_id, b"done".to_vec(), &mut Vec::new()); // reply lost
-        // client retransmits the request
+                                                                        // client retransmits the request
         let mut cacts = Vec::new();
         client.poll(t(600), &mut cacts);
         let RrClientAction::Transmit { packet, .. } = &cacts[0] else { panic!() };
@@ -449,7 +440,7 @@ mod tests {
         let mut now = t(0);
         let mut failed = false;
         for _ in 0..10 {
-            now = now + SimDuration::from_millis(1);
+            now += SimDuration::from_millis(1);
             acts.clear();
             client.poll(now, &mut acts);
             if acts.contains(&RrClientAction::Failed { req_id }) {

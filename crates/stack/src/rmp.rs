@@ -32,11 +32,7 @@ pub struct RmpConfig {
 
 impl Default for RmpConfig {
     fn default() -> Self {
-        RmpConfig {
-            max_fragment: 8 * 1024,
-            rto: SimDuration::from_millis(5),
-            max_retries: 10,
-        }
+        RmpConfig { max_fragment: 8 * 1024, rto: SimDuration::from_millis(5), max_retries: 10 }
     }
 }
 
@@ -264,6 +260,8 @@ pub struct RmpReceiverStats {
     pub fragments_in: u64,
     pub duplicates: u64,
     pub delivered: u64,
+    /// Every ack emitted, including re-acks of duplicates.
+    pub acks_sent: u64,
 }
 
 /// The receive half: tracks per-channel reassembly. A channel is the
@@ -304,6 +302,7 @@ impl RmpReceiver {
             // an already-delivered message: the sender missed our ack
             self.stats.duplicates += 1;
             ack(out);
+            self.stats.acks_sent += 1;
             return;
         }
         if hdr.msg_seq != ch.expected_seq {
@@ -315,6 +314,7 @@ impl RmpReceiver {
             // duplicate fragment of the current message
             self.stats.duplicates += 1;
             ack(out);
+            self.stats.acks_sent += 1;
             return;
         }
         if hdr.frag_idx > ch.next_frag {
@@ -324,6 +324,7 @@ impl RmpReceiver {
         ch.buf.extend_from_slice(payload);
         ch.next_frag += 1;
         ack(out);
+        self.stats.acks_sent += 1;
         if hdr.last_frag {
             let message = std::mem::take(&mut ch.buf);
             debug_assert_eq!(message.len(), hdr.total_len as usize);
@@ -406,7 +407,7 @@ mod tests {
         while let Some(RmpSendAction::Transmit { packet, .. }) = out.pop() {
             hops += 1;
             assert!(hops < 10, "too many fragments");
-            now = now + SimDuration::from_micros(10);
+            now += SimDuration::from_micros(10);
             let racts = deliver(&mut rx, 1, &packet);
             for act in racts {
                 match act {
@@ -481,7 +482,7 @@ mod tests {
         let mut now = t(0);
         let mut failed = false;
         for _ in 0..10 {
-            now = now + SimDuration::from_millis(1);
+            now += SimDuration::from_millis(1);
             out.clear();
             tx.poll(now, &mut out);
             if out.iter().any(|a| matches!(a, RmpSendAction::Failed { .. })) {
@@ -516,7 +517,7 @@ mod tests {
             assert!(steps < 20);
             match act {
                 RmpSendAction::Transmit { packet, .. } => {
-                    now = now + SimDuration::from_micros(5);
+                    now += SimDuration::from_micros(5);
                     for ract in deliver(&mut rx, 1, &packet) {
                         match ract {
                             RmpRecvAction::Ack { packet, .. } => {

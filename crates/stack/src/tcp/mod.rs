@@ -28,7 +28,7 @@ mod socket;
 mod stack;
 
 pub use socket::TcpSocket;
-pub use stack::{SocketId, TcpStack, TcpStackEvent};
+pub use stack::{SocketId, TcpStack, TcpStackEvent, TcpStackStats};
 
 use std::net::Ipv4Addr;
 
@@ -150,4 +150,20 @@ pub struct TcpSocketStats {
     pub timeouts: u64,
     pub dup_acks_in: u64,
     pub zero_window_probes: u64,
+}
+
+impl TcpSocketStats {
+    /// Fold another socket's counters into this one (lifetime
+    /// aggregation across closed sockets).
+    pub fn absorb(&mut self, o: &TcpSocketStats) {
+        self.segs_out += o.segs_out;
+        self.segs_in += o.segs_in;
+        self.bytes_out += o.bytes_out;
+        self.bytes_in += o.bytes_in;
+        self.retransmits += o.retransmits;
+        self.fast_retransmits += o.fast_retransmits;
+        self.timeouts += o.timeouts;
+        self.dup_acks_in += o.dup_acks_in;
+        self.zero_window_probes += o.zero_window_probes;
+    }
 }

@@ -259,13 +259,11 @@ impl TcpSocket {
             TcpState::SynSent => {
                 self.enter_closed(ev, Some(TcpEvent::Closed));
             }
-            TcpState::SynReceived
-            | TcpState::Established
-            | TcpState::CloseWait => {
-                if !self.fin_queued {
-                    self.fin_queued = true;
-                    self.try_output(now, ev);
-                }
+            TcpState::SynReceived | TcpState::Established | TcpState::CloseWait
+                if !self.fin_queued =>
+            {
+                self.fin_queued = true;
+                self.try_output(now, ev);
             }
             // already closing
             _ => {}
@@ -436,10 +434,7 @@ impl TcpSocket {
         }
         // 5. payload
         if !payload.is_empty()
-            && matches!(
-                self.state,
-                TcpState::Established | TcpState::FinWait1 | TcpState::FinWait2
-            )
+            && matches!(self.state, TcpState::Established | TcpState::FinWait1 | TcpState::FinWait2)
         {
             self.process_payload(now, hdr, payload, ev);
         }
@@ -464,7 +459,13 @@ impl TcpSocket {
         self.flush_ack_policy(now, ev);
     }
 
-    fn process_ack(&mut self, now: SimTime, hdr: &TcpHeader, payload: &[u8], ev: &mut Vec<TcpEvent>) {
+    fn process_ack(
+        &mut self,
+        now: SimTime,
+        hdr: &TcpHeader,
+        payload: &[u8],
+        ev: &mut Vec<TcpEvent>,
+    ) {
         let ack = hdr.ack;
         if ack.after(self.snd_nxt) {
             // ack for data we never sent
@@ -496,7 +497,8 @@ impl TcpSocket {
                 self.cwnd = self.cwnd.saturating_add((mss * mss / self.cwnd).max(1));
             }
             // release acknowledged bytes from the send buffer
-            let data_acked = self.snd_una.since(self.snd_buf_seq).clamp(0, self.snd_buf.len() as i32);
+            let data_acked =
+                self.snd_una.since(self.snd_buf_seq).clamp(0, self.snd_buf.len() as i32);
             if data_acked > 0 {
                 self.snd_buf.drain(..data_acked as usize);
                 self.snd_buf_seq = self.snd_buf_seq.add(data_acked as usize);
@@ -536,8 +538,7 @@ impl TcpSocket {
             }
         }
         // window update (RFC 793 update rule)
-        if self.snd_wl1.before(hdr.seq)
-            || (self.snd_wl1 == hdr.seq && self.snd_wl2.before_eq(ack))
+        if self.snd_wl1.before(hdr.seq) || (self.snd_wl1 == hdr.seq && self.snd_wl2.before_eq(ack))
         {
             let was_zero = self.snd_wnd == 0;
             self.set_peer_window(hdr);
@@ -865,15 +866,10 @@ impl TcpSocket {
 
     /// The earliest time a timer could fire.
     pub fn next_wakeup(&self) -> Option<SimTime> {
-        [
-            self.rto_deadline,
-            self.delack_deadline,
-            self.timewait_deadline,
-            self.probe_deadline,
-        ]
-        .into_iter()
-        .flatten()
-        .min()
+        [self.rto_deadline, self.delack_deadline, self.timewait_deadline, self.probe_deadline]
+            .into_iter()
+            .flatten()
+            .min()
     }
 
     fn on_rto(&mut self, now: SimTime, ev: &mut Vec<TcpEvent>) {

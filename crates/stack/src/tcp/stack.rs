@@ -9,7 +9,22 @@ use nectar_sim::{Pcg32, SimTime};
 use nectar_wire::ipv4::Ipv4Header;
 use nectar_wire::tcp::{SeqNum, TcpFlags, TcpHeader};
 
-use super::{TcpConfig, TcpEvent, TcpSocket, TcpState};
+use super::{TcpConfig, TcpEvent, TcpSocket, TcpSocketStats, TcpState};
+
+/// Stack-wide counters: drops that happen before any socket is
+/// identified, plus the accumulated stats of removed sockets so
+/// lifetime totals survive `remove`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TcpStackStats {
+    /// Segments discarded because the TCP header failed to parse or
+    /// the checksum did not verify.
+    pub checksum_drops: u64,
+    /// Segments that matched no connection and were answered with RST
+    /// (or silently dropped when they carried RST themselves).
+    pub no_socket_drops: u64,
+    /// Socket counters accumulated from sockets dropped via `remove`.
+    pub closed: TcpSocketStats,
+}
 
 /// Identifies a socket within one [`TcpStack`].
 pub type SocketId = u32;
@@ -38,6 +53,7 @@ pub struct TcpStack {
     next_id: SocketId,
     next_ephemeral: u16,
     isn_rng: Pcg32,
+    stats: TcpStackStats,
 }
 
 impl TcpStack {
@@ -53,6 +69,7 @@ impl TcpStack {
             next_id: 1,
             next_ephemeral: 32768,
             isn_rng: Pcg32::new(seed, 0x7cb),
+            stats: TcpStackStats::default(),
         }
     }
 
@@ -78,7 +95,8 @@ impl TcpStack {
             let port = self.next_ephemeral;
             self.next_ephemeral =
                 if self.next_ephemeral == u16::MAX { 32768 } else { self.next_ephemeral + 1 };
-            if !self.by_tuple.contains_key(&(port, remote.0, remote.1)) && !self.listeners.contains(&port)
+            if !self.by_tuple.contains_key(&(port, remote.0, remote.1))
+                && !self.listeners.contains(&port)
             {
                 return port;
             }
@@ -133,15 +151,13 @@ impl TcpStack {
     }
 
     /// Process a TCP segment delivered by IP.
-    pub fn on_packet(
-        &mut self,
-        now: SimTime,
-        ip: &Ipv4Header,
-        data: &[u8],
-    ) -> Vec<TcpStackEvent> {
+    pub fn on_packet(&mut self, now: SimTime, ip: &Ipv4Header, data: &[u8]) -> Vec<TcpStackEvent> {
         let hdr = match TcpHeader::parse(ip, data, self.cfg.compute_checksum) {
             Ok(h) => h,
-            Err(_) => return vec![TcpStackEvent::Dropped],
+            Err(_) => {
+                self.stats.checksum_drops += 1;
+                return vec![TcpStackEvent::Dropped];
+            }
         };
         let payload = &data[hdr.header_len..];
         let tuple = (hdr.dst_port, ip.src, hdr.src_port);
@@ -175,6 +191,7 @@ impl TcpStack {
             return out;
         }
         // Otherwise: RST, per RFC 793 "If the connection does not exist".
+        self.stats.no_socket_drops += 1;
         if hdr.flags.contains(TcpFlags::RST) {
             return vec![TcpStackEvent::Dropped];
         }
@@ -231,9 +248,12 @@ impl TcpStack {
         self.wrap(id, ev)
     }
 
-    /// Drop a socket the application is done with.
+    /// Drop a socket the application is done with. Its counters are
+    /// folded into [`TcpStackStats::closed`] so lifetime totals (and
+    /// the observability snapshot) survive socket teardown.
     pub fn remove(&mut self, id: SocketId) {
         if let Some(s) = self.sockets.remove(&id) {
+            self.stats.closed.absorb(s.stats());
             let tuple = (s.local().1, s.remote().0, s.remote().1);
             if self.by_tuple.get(&tuple) == Some(&id) {
                 self.by_tuple.remove(&tuple);
@@ -267,5 +287,20 @@ impl TcpStack {
 
     pub fn socket_count(&self) -> usize {
         self.sockets.len()
+    }
+
+    /// Stack-level counters (pre-demux drops + closed-socket totals).
+    pub fn stats(&self) -> &TcpStackStats {
+        &self.stats
+    }
+
+    /// Lifetime socket counters: every live socket plus everything
+    /// accumulated from removed ones.
+    pub fn total_socket_stats(&self) -> TcpSocketStats {
+        let mut total = self.stats.closed;
+        for s in self.sockets.values() {
+            total.absorb(s.stats());
+        }
+        total
     }
 }

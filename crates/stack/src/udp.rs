@@ -64,11 +64,8 @@ impl UdpEndpoint {
     pub fn bind_ephemeral(&mut self, token: u32) -> u16 {
         loop {
             let port = self.next_ephemeral;
-            self.next_ephemeral = if self.next_ephemeral == u16::MAX {
-                49152
-            } else {
-                self.next_ephemeral + 1
-            };
+            self.next_ephemeral =
+                if self.next_ephemeral == u16::MAX { 49152 } else { self.next_ephemeral + 1 };
             if self.bind(port, token) {
                 return port;
             }

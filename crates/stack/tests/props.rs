@@ -4,8 +4,7 @@
 
 use std::net::Ipv4Addr;
 
-use proptest::prelude::*;
-
+use nectar_sim::check;
 use nectar_sim::{Pcg32, SimDuration, SimTime};
 use nectar_stack::ip::{IpEndpoint, IpInput};
 use nectar_stack::rmp::{RmpConfig, RmpReceiver, RmpRecvAction, RmpSendAction, RmpSender};
@@ -16,17 +15,14 @@ fn a(last: u8) -> Ipv4Addr {
     Ipv4Addr::new(10, 0, 0, last)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// IP fragmentation followed by reassembly is the identity, for any
-    /// payload and any legal MTU, in any arrival order.
-    #[test]
-    fn ip_fragment_reassemble_identity(
-        payload in proptest::collection::vec(any::<u8>(), 0..6000),
-        mtu in 64usize..2000,
-        shuffle_seed in any::<u64>(),
-    ) {
+/// IP fragmentation followed by reassembly is the identity, for any
+/// payload and any legal MTU, in any arrival order.
+#[test]
+fn ip_fragment_reassemble_identity() {
+    check::cases(64, |g| {
+        let payload = g.bytes(0, 6000);
+        let mtu = g.usize_in(64, 2000);
+        let shuffle_seed = g.u64();
         let mut tx = IpEndpoint::new(a(1));
         let mut rx = IpEndpoint::new(a(2));
         let mut pkts = tx.output(a(2), IpProtocol::UDP, &payload, mtu);
@@ -37,26 +33,23 @@ proptest! {
             match rx.input(SimTime::ZERO, p) {
                 IpInput::Delivered { payload, .. } => delivered = Some(payload),
                 IpInput::FragmentHeld => {}
-                other => prop_assert!(false, "unexpected: {other:?}"),
+                other => panic!("unexpected: {other:?}"),
             }
         }
-        prop_assert_eq!(delivered.expect("datagram must complete"), payload);
-    }
+        assert_eq!(delivered.expect("datagram must complete"), payload);
+    });
+}
 
-    /// RMP delivers every message exactly once, in order, under random
-    /// loss of both data and ack packets.
-    #[test]
-    fn rmp_reliable_exactly_once_under_loss(
-        messages in proptest::collection::vec(
-            proptest::collection::vec(any::<u8>(), 0..700), 1..6),
-        loss_seed in any::<u64>(),
-        loss in 0.0f64..0.4,
-    ) {
-        let cfg = RmpConfig {
-            max_fragment: 256,
-            rto: SimDuration::from_micros(100),
-            max_retries: 200,
-        };
+/// RMP delivers every message exactly once, in order, under random
+/// loss of both data and ack packets.
+#[test]
+fn rmp_reliable_exactly_once_under_loss() {
+    check::cases(64, |g| {
+        let messages: Vec<Vec<u8>> = (0..g.usize_in(1, 6)).map(|_| g.bytes(0, 700)).collect();
+        let loss_seed = g.u64();
+        let loss = g.f64_in(0.0, 0.4);
+        let cfg =
+            RmpConfig { max_fragment: 256, rto: SimDuration::from_micros(100), max_retries: 200 };
         let mut tx = RmpSender::new(2, 7, 3, cfg);
         let mut rx = RmpReceiver::new();
         let mut rng = Pcg32::seeded(loss_seed);
@@ -68,13 +61,15 @@ proptest! {
         let mut guard = 0;
         while delivered.len() < messages.len() {
             guard += 1;
-            prop_assert!(guard < 100_000, "livelock");
+            assert!(guard < 100_000, "livelock");
             let mut acts = Vec::new();
             tx.poll(now, &mut acts);
             let mut acks: Vec<Vec<u8>> = Vec::new();
             for act in acts {
                 if let RmpSendAction::Transmit { packet, .. } = act {
-                    if rng.chance(loss) { continue; }
+                    if rng.chance(loss) {
+                        continue;
+                    }
                     let (hdr, payload) = RmpHeader::parse(&packet).unwrap();
                     let mut racts = Vec::new();
                     rx.on_data(1, &hdr, payload, &mut racts);
@@ -87,14 +82,18 @@ proptest! {
                 }
             }
             for ackp in acks {
-                if rng.chance(loss) { continue; }
+                if rng.chance(loss) {
+                    continue;
+                }
                 let (hdr, _) = RmpHeader::parse(&ackp).unwrap();
                 let mut sacts = Vec::new();
                 tx.on_ack(now, &hdr, &mut sacts);
                 // follow-up transmissions: loop around
                 for act in sacts {
                     if let RmpSendAction::Transmit { packet, .. } = act {
-                        if rng.chance(loss) { continue; }
+                        if rng.chance(loss) {
+                            continue;
+                        }
                         let (hdr, payload) = RmpHeader::parse(&packet).unwrap();
                         let mut racts = Vec::new();
                         rx.on_data(1, &hdr, payload, &mut racts);
@@ -107,108 +106,191 @@ proptest! {
                     }
                 }
             }
-            now = now + SimDuration::from_micros(150);
+            now += SimDuration::from_micros(150);
         }
-        prop_assert_eq!(delivered, messages);
-    }
+        assert_eq!(delivered, messages);
+    });
+}
 
-    /// TCP delivers an intact, in-order byte stream under combined
-    /// random loss and reordering.
-    #[test]
-    fn tcp_stream_integrity_under_impairment(
-        len in 1usize..40_000,
-        fill_seed in any::<u64>(),
-        net_seed in any::<u64>(),
-        loss in 0.0f64..0.10,
-        reorder in 0.0f64..0.15,
-    ) {
-        use nectar_stack::tcp::{TcpConfig, TcpStack, TcpStackEvent};
-        use nectar_wire::ipv4::Ipv4Header;
+/// TCP delivers an intact, in-order byte stream under combined
+/// random loss and reordering.
+#[test]
+fn tcp_stream_integrity_under_impairment() {
+    check::cases(48, |g| {
+        let len = g.usize_in(1, 40_000);
+        let fill_seed = g.u64();
+        let net_seed = g.u64();
+        let loss = g.f64_in(0.0, 0.10);
+        let reorder = g.f64_in(0.0, 0.15);
+        tcp_impairment_run(len, fill_seed, net_seed, loss, reorder, true);
+    });
+}
 
-        let mut fill = Pcg32::seeded(fill_seed);
-        let data: Vec<u8> = (0..len).map(|_| fill.next_u32() as u8).collect();
+/// Drive a TCP transfer over an impaired wire. Returns
+/// (sender retransmit count, number of first-transmission data
+/// segments the wire dropped).
+fn tcp_impairment_run(
+    len: usize,
+    fill_seed: u64,
+    net_seed: u64,
+    loss: f64,
+    reorder: f64,
+    delayed_ack: bool,
+) -> (u64, u64) {
+    use nectar_stack::tcp::{TcpConfig, TcpStack, TcpStackEvent};
+    use nectar_wire::ipv4::Ipv4Header;
+    use nectar_wire::tcp::TcpHeader;
 
-        let cfg = TcpConfig::default();
-        let mut sa = TcpStack::new(a(1), cfg, 1);
-        let mut sb = TcpStack::new(a(2), cfg, 2);
-        sb.listen(80);
-        let mut rng = Pcg32::seeded(net_seed);
-        let mut now = SimTime::ZERO;
-        let latency = SimDuration::from_micros(40);
-        // (arrival, tiebreak, to_a, segment)
-        let mut wire: Vec<(SimTime, u64, bool, Vec<u8>)> = Vec::new();
-        let mut seqno = 0u64;
-        let mut b_conn = None;
-        let mut received: Vec<u8> = Vec::new();
-        let (a_id, evs) = sa.connect(now, (a(2), 80), None);
-        let mut pending = vec![(true, evs)];
-        let mut offset = 0usize;
-        let mut guard = 0;
-        loop {
-            guard += 1;
-            prop_assert!(guard < 1_000_000, "livelock at {}/{}", received.len(), len);
-            for (from_a, evs) in pending.drain(..) {
-                for ev in evs {
-                    match ev {
-                        TcpStackEvent::Transmit { segment, .. } => {
-                            if rng.chance(loss) { continue; }
-                            let mut arrive = now + latency;
-                            if rng.chance(reorder) { arrive = arrive + latency * 4; }
-                            seqno += 1;
-                            wire.push((arrive, seqno, !from_a, segment));
+    let mut fill = Pcg32::seeded(fill_seed);
+    let data: Vec<u8> = (0..len).map(|_| fill.next_u32() as u8).collect();
+
+    let cfg = TcpConfig { delayed_ack, ..TcpConfig::default() };
+    let mut sa = TcpStack::new(a(1), cfg, 1);
+    let mut sb = TcpStack::new(a(2), cfg, 2);
+    sb.listen(80);
+    let mut rng = Pcg32::seeded(net_seed);
+    let mut now = SimTime::ZERO;
+    let latency = SimDuration::from_micros(40);
+    // (arrival, tiebreak, to_a, segment)
+    let mut wire: Vec<(SimTime, u64, bool, Vec<u8>)> = Vec::new();
+    let mut seqno = 0u64;
+    let mut b_conn = None;
+    let mut received: Vec<u8> = Vec::new();
+    let (a_id, evs) = sa.connect(now, (a(2), 80), None);
+    let mut pending = vec![(true, evs)];
+    let mut offset = 0usize;
+    let mut guard = 0;
+    // loss accounting: only first transmissions of data segments from A
+    // are ever dropped, and each distinct dropped start-sequence counts
+    // once.
+    let mut highest_seq_seen: Option<u32> = None;
+    let mut dropped_first_tx = 0u64;
+    loop {
+        guard += 1;
+        assert!(guard < 1_000_000, "livelock at {}/{}", received.len(), len);
+        for (from_a, evs) in pending.drain(..) {
+            for ev in evs {
+                match ev {
+                    TcpStackEvent::Transmit { segment, .. } => {
+                        // decide drop eligibility: data-bearing first
+                        // transmission from A only
+                        let mut droppable = false;
+                        if from_a {
+                            let ip = Ipv4Header::new(
+                                a(1),
+                                a(2),
+                                nectar_wire::ipv4::IpProtocol::TCP,
+                                segment.len(),
+                            );
+                            if let Ok(h) = TcpHeader::parse(&ip, &segment, false) {
+                                if segment.len() > h.header_len {
+                                    let seq = h.seq.0;
+                                    let is_first = match highest_seq_seen {
+                                        None => true,
+                                        Some(hi) => (seq.wrapping_sub(hi) as i32) > 0,
+                                    };
+                                    if is_first {
+                                        highest_seq_seen = Some(seq);
+                                        droppable = true;
+                                    }
+                                }
+                            }
                         }
-                        TcpStackEvent::Incoming { id, .. } => b_conn = Some(id),
-                        _ => {}
+                        if droppable && rng.chance(loss) {
+                            dropped_first_tx += 1;
+                            continue;
+                        }
+                        let mut arrive = now + latency;
+                        if rng.chance(reorder) {
+                            arrive += latency * 4;
+                        }
+                        seqno += 1;
+                        wire.push((arrive, seqno, !from_a, segment));
                     }
+                    TcpStackEvent::Incoming { id, .. } => b_conn = Some(id),
+                    _ => {}
                 }
             }
-            // pump application: write on A, read on B
-            if offset < data.len() {
-                let (n, evs) = sa.send(now, a_id, &data[offset..]);
-                offset += n;
-                pending.push((true, evs));
-            }
-            if let Some(bid) = b_conn {
-                let got = sb.recv(bid, usize::MAX);
-                if !got.is_empty() {
-                    received.extend(got);
-                    pending.push((false, sb.poll(now)));
-                }
-            }
-            if received.len() >= len {
-                break;
-            }
-            // advance to the next event
-            let next_pkt = wire.iter().map(|&(t, s, _, _)| (t, s)).min();
-            let next_tmr = [sa.next_wakeup(), sb.next_wakeup()].into_iter().flatten().min();
-            let next = match (next_pkt, next_tmr) {
-                (Some((tp, _)), Some(tt)) => tp.min(tt),
-                (Some((tp, _)), None) => tp,
-                (None, Some(tt)) => tt,
-                (None, None) => {
-                    // nothing scheduled but app still has data: nudge time
-                    now = now + SimDuration::from_micros(100);
-                    continue;
-                }
-            };
-            now = next.max(now);
-            let mut due: Vec<(SimTime, u64, bool, Vec<u8>)> = Vec::new();
-            wire.retain_mut(|e| {
-                if e.0 <= now {
-                    due.push((e.0, e.1, e.2, std::mem::take(&mut e.3)));
-                    false
-                } else { true }
-            });
-            due.sort_by_key(|&(t, s, _, _)| (t, s));
-            for (_, _, to_a, seg) in due {
-                let (src, dst) = if to_a { (a(2), a(1)) } else { (a(1), a(2)) };
-                let ip = Ipv4Header::new(src, dst, nectar_wire::ipv4::IpProtocol::TCP, seg.len());
-                let evs = if to_a { sa.on_packet(now, &ip, &seg) } else { sb.on_packet(now, &ip, &seg) };
-                pending.push((to_a, evs));
-            }
-            pending.push((true, sa.poll(now)));
-            pending.push((false, sb.poll(now)));
         }
-        prop_assert_eq!(received, data);
+        // pump application: write on A, read on B
+        if offset < data.len() {
+            let (n, evs) = sa.send(now, a_id, &data[offset..]);
+            offset += n;
+            pending.push((true, evs));
+        }
+        if let Some(bid) = b_conn {
+            let got = sb.recv(bid, usize::MAX);
+            if !got.is_empty() {
+                received.extend(got);
+                pending.push((false, sb.poll(now)));
+            }
+        }
+        if received.len() >= len {
+            break;
+        }
+        // advance to the next event
+        let next_pkt = wire.iter().map(|&(t, s, _, _)| (t, s)).min();
+        let next_tmr = [sa.next_wakeup(), sb.next_wakeup()].into_iter().flatten().min();
+        let next = match (next_pkt, next_tmr) {
+            (Some((tp, _)), Some(tt)) => tp.min(tt),
+            (Some((tp, _)), None) => tp,
+            (None, Some(tt)) => tt,
+            (None, None) => {
+                // nothing scheduled but app still has data: nudge time
+                now += SimDuration::from_micros(100);
+                continue;
+            }
+        };
+        now = next.max(now);
+        let mut due: Vec<(SimTime, u64, bool, Vec<u8>)> = Vec::new();
+        wire.retain_mut(|e| {
+            if e.0 <= now {
+                due.push((e.0, e.1, e.2, std::mem::take(&mut e.3)));
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by_key(|&(t, s, _, _)| (t, s));
+        for (_, _, to_a, seg) in due {
+            let (src, dst) = if to_a { (a(2), a(1)) } else { (a(1), a(2)) };
+            let ip = Ipv4Header::new(src, dst, nectar_wire::ipv4::IpProtocol::TCP, seg.len());
+            let evs =
+                if to_a { sa.on_packet(now, &ip, &seg) } else { sb.on_packet(now, &ip, &seg) };
+            pending.push((to_a, evs));
+        }
+        pending.push((true, sa.poll(now)));
+        pending.push((false, sb.poll(now)));
     }
+    assert_eq!(received, data, "stream corrupted");
+    let retransmits = sa.socket(a_id).map(|s| s.stats().retransmits).unwrap_or(0);
+    (retransmits, dropped_first_tx)
+}
+
+/// The sender's retransmit counter accounts for injected loss: every
+/// dropped first-transmission data segment forces at least one
+/// retransmission, and with zero loss the counter stays at zero —
+/// exactly what the observability layer's `tcp/retransmits` key must
+/// report for fault-injection experiments to be attributable.
+///
+/// Delayed acks are disabled here: this stack's LAN-scaled `rto_min`
+/// (10 ms) is shorter than its delayed-ack timeout (200 ms), so with
+/// delayed acks a lone tail segment retransmits spuriously even on a
+/// perfect wire, and the counter could not be attributed to loss.
+#[test]
+fn tcp_retransmit_counter_matches_injected_loss() {
+    check::cases(32, |g| {
+        let len = g.usize_in(1000, 30_000);
+        let fill_seed = g.u64();
+        let net_seed = g.u64();
+        let loss = g.f64_in(0.0, 0.15);
+        let (retransmits, dropped) = tcp_impairment_run(len, fill_seed, net_seed, loss, 0.0, false);
+        assert!(
+            retransmits >= dropped,
+            "each of the {dropped} dropped segments needs a retransmit, saw {retransmits}"
+        );
+        if dropped == 0 {
+            assert_eq!(retransmits, 0, "no loss was injected, so nothing may be retransmitted");
+        }
+    });
 }

@@ -65,7 +65,7 @@ impl Net {
                     }
                     let mut arrival = self.now + self.latency;
                     if self.rng.chance(self.reorder) {
-                        arrival = arrival + self.latency * 3;
+                        arrival += self.latency * 3;
                     }
                     self.seq += 1;
                     self.inflight.push((arrival, self.seq, dst, segment));
@@ -92,10 +92,8 @@ impl Net {
         let deadline = SimTime::ZERO + deadline;
         loop {
             let next_pkt = self.inflight.iter().map(|&(t, s, _, _)| (t, s)).min();
-            let next_timer = [self.a.next_wakeup(), self.b.next_wakeup()]
-                .into_iter()
-                .flatten()
-                .min();
+            let next_timer =
+                [self.a.next_wakeup(), self.b.next_wakeup()].into_iter().flatten().min();
             let next = match (next_pkt, next_timer) {
                 (Some((tp, _)), Some(tt)) => tp.min(tt),
                 (Some((tp, _)), None) => tp,
@@ -173,7 +171,13 @@ impl Net {
 
 /// Receive continuously into `sink` while running the net. Used for
 /// transfers larger than the receive buffer.
-fn transfer(net: &mut Net, from_a: bool, src_id: SocketId, dst_id: SocketId, data: &[u8]) -> Vec<u8> {
+fn transfer(
+    net: &mut Net,
+    from_a: bool,
+    src_id: SocketId,
+    dst_id: SocketId,
+    data: &[u8],
+) -> Vec<u8> {
     let mut sink = Vec::new();
     let mut offset = 0;
     let mut spins = 0;
@@ -188,7 +192,8 @@ fn transfer(net: &mut Net, from_a: bool, src_id: SocketId, dst_id: SocketId, dat
             offset += n;
         }
         net.run(SimDuration::from_secs(120));
-        let got = if from_a { net.b.recv(dst_id, usize::MAX) } else { net.a.recv(dst_id, usize::MAX) };
+        let got =
+            if from_a { net.b.recv(dst_id, usize::MAX) } else { net.a.recv(dst_id, usize::MAX) };
         // receiving opens the window; poll to emit the window update
         let evs = if from_a { net.b.poll(net.now) } else { net.a.poll(net.now) };
         net.absorb(!from_a, evs);
@@ -465,10 +470,7 @@ fn nagle_coalesces_small_writes() {
     off.run(SimDuration::from_secs(5));
     let no_nagle_segs = off.a.socket(a_off).unwrap().stats().segs_out;
     assert_eq!(off.drain(false, b_off), vec![b'x'; 50]);
-    assert!(
-        nagle_segs < no_nagle_segs,
-        "nagle={nagle_segs} vs no-nagle={no_nagle_segs}"
-    );
+    assert!(nagle_segs < no_nagle_segs, "nagle={nagle_segs} vs no-nagle={no_nagle_segs}");
 }
 
 #[test]

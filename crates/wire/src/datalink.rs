@@ -89,7 +89,8 @@ impl Frame {
     pub fn build(route: &Route, header: DatalinkHeader, payload: &[u8]) -> Frame {
         assert!(payload.len() <= u16::MAX as usize, "payload too large for frame");
         let r = route.len();
-        let mut bytes = Vec::with_capacity(ROUTE_FIXED_LEN + r + HEADER_LEN + payload.len() + CRC_LEN);
+        let mut bytes =
+            Vec::with_capacity(ROUTE_FIXED_LEN + r + HEADER_LEN + payload.len() + CRC_LEN);
         bytes.push(r as u8);
         bytes.push(0); // route_pos
         bytes.extend_from_slice(route.hops());

@@ -109,11 +109,9 @@ impl IcmpMessage {
     /// The reply an echo request elicits, with payload echoed back.
     pub fn echo_reply_for(&self) -> Option<IcmpMessage> {
         match self {
-            IcmpMessage::EchoRequest { ident, seq, payload } => Some(IcmpMessage::EchoReply {
-                ident: *ident,
-                seq: *seq,
-                payload: payload.clone(),
-            }),
+            IcmpMessage::EchoRequest { ident, seq, payload } => {
+                Some(IcmpMessage::EchoReply { ident: *ident, seq: *seq, payload: payload.clone() })
+            }
             _ => None,
         }
     }
@@ -144,7 +142,10 @@ mod tests {
         let orig = vec![0x45u8; 28];
         for m in [
             IcmpMessage::DestUnreachable { code: UnreachableCode::Port, original: orig.clone() },
-            IcmpMessage::DestUnreachable { code: UnreachableCode::Protocol, original: orig.clone() },
+            IcmpMessage::DestUnreachable {
+                code: UnreachableCode::Protocol,
+                original: orig.clone(),
+            },
             IcmpMessage::TimeExceeded { original: orig.clone() },
         ] {
             let bytes = m.build();
@@ -154,8 +155,7 @@ mod tests {
 
     #[test]
     fn corruption_detected() {
-        let mut bytes =
-            IcmpMessage::EchoRequest { ident: 1, seq: 2, payload: vec![9; 16] }.build();
+        let mut bytes = IcmpMessage::EchoRequest { ident: 1, seq: 2, payload: vec![9; 16] }.build();
         bytes[9] ^= 0x20;
         assert_eq!(IcmpMessage::parse(&bytes), Err(WireError::BadChecksum));
     }

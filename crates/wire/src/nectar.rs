@@ -311,12 +311,8 @@ mod tests {
             assert_eq!(payload, b"rpc args");
         }
         assert_eq!(ReqRespHeader::parse(&[0; 4]), Err(WireError::Truncated));
-        let bad = ReqRespHeader {
-            kind: ReqRespKind::Request,
-            dst_mbox: 0,
-            reply_mbox: 0,
-            req_id: 0,
-        };
+        let bad =
+            ReqRespHeader { kind: ReqRespKind::Request, dst_mbox: 0, reply_mbox: 0, req_id: 0 };
         let mut msg = bad.build(&[]);
         msg[0] = 0;
         assert_eq!(ReqRespHeader::parse(&msg), Err(WireError::BadField));

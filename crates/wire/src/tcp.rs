@@ -24,6 +24,7 @@ pub const HEADER_LEN_WITH_MSS: usize = 24;
 pub struct SeqNum(pub u32);
 
 impl SeqNum {
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, n: usize) -> SeqNum {
         SeqNum(self.0.wrapping_add(n as u32))
     }
@@ -165,7 +166,11 @@ impl TcpHeader {
     /// "TCP w/o checksum" mode of Figure 7 passes `false` here, exactly
     /// as the experimental TCP variant in the paper skipped software
     /// checksumming and relied on the hardware CRC.
-    pub fn parse(ip: &Ipv4Header, data: &[u8], verify_checksum: bool) -> Result<TcpHeader, WireError> {
+    pub fn parse(
+        ip: &Ipv4Header,
+        data: &[u8],
+        verify_checksum: bool,
+    ) -> Result<TcpHeader, WireError> {
         if data.len() < HEADER_LEN {
             return Err(WireError::Truncated);
         }
@@ -185,8 +190,8 @@ impl TcpHeader {
         let mut i = HEADER_LEN;
         while i < header_len {
             match data[i] {
-                0 => break,           // end of options
-                1 => i += 1,          // no-op
+                0 => break,  // end of options
+                1 => i += 1, // no-op
                 2 => {
                     if i + 4 > header_len || data[i + 1] != 4 {
                         return Err(WireError::BadField);

@@ -47,7 +47,13 @@ impl UdpHeader {
 
     /// Build a full UDP datagram (header + payload) with checksum,
     /// given the addresses that will appear in the enclosing IP header.
-    pub fn build(src: Ipv4Addr, src_port: u16, dst: Ipv4Addr, dst_port: u16, payload: &[u8]) -> Vec<u8> {
+    pub fn build(
+        src: Ipv4Addr,
+        src_port: u16,
+        dst: Ipv4Addr,
+        dst_port: u16,
+        payload: &[u8],
+    ) -> Vec<u8> {
         let length = HEADER_LEN + payload.len();
         assert!(length <= u16::MAX as usize, "UDP datagram too large");
         let mut dgram = vec![0u8; length];
@@ -110,8 +116,7 @@ mod tests {
         // fail, since the pseudo-header covers the IP addresses.
         let (s, d) = addrs();
         let dgram = UdpHeader::build(s, 1234, d, 5678, b"data");
-        let other_ip =
-            Ipv4Header::new(s, Ipv4Addr::new(10, 0, 0, 3), IpProtocol::UDP, dgram.len());
+        let other_ip = Ipv4Header::new(s, Ipv4Addr::new(10, 0, 0, 3), IpProtocol::UDP, dgram.len());
         assert_eq!(UdpHeader::parse(&other_ip, &dgram), Err(WireError::BadChecksum));
     }
 

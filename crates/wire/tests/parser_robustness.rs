@@ -2,7 +2,7 @@
 //! arbitrary input bytes — they must return structured errors. These
 //! are the bytes a hostile or faulty peer could put on the fiber.
 
-use proptest::prelude::*;
+use nectar_sim::check;
 
 use nectar_wire::datalink::Frame;
 use nectar_wire::icmp::IcmpMessage;
@@ -11,29 +11,32 @@ use nectar_wire::nectar::{DatagramHeader, ReqRespHeader, RmpHeader};
 use nectar_wire::tcp::TcpHeader;
 use nectar_wire::udp::UdpHeader;
 
-fn bytes() -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(any::<u8>(), 0..256)
-}
+const CASES: u64 = 256;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn frame_parsers_never_panic(b in bytes()) {
+#[test]
+fn frame_parsers_never_panic() {
+    check::cases(CASES, |g| {
+        let b = g.bytes(0, 256);
         let f = Frame::from_bytes(b);
         let _ = f.next_hop();
         let _ = f.parse_header();
         let _ = f.payload();
         let _ = f.check_crc();
-    }
+    });
+}
 
-    #[test]
-    fn ipv4_parser_never_panics(b in bytes()) {
+#[test]
+fn ipv4_parser_never_panics() {
+    check::cases(CASES, |g| {
+        let b = g.bytes(0, 256);
         let _ = Ipv4Header::parse(&b);
-    }
+    });
+}
 
-    #[test]
-    fn tcp_parser_never_panics(b in bytes()) {
+#[test]
+fn tcp_parser_never_panics() {
+    check::cases(CASES, |g| {
+        let b = g.bytes(0, 256);
         let ip = Ipv4Header::new(
             std::net::Ipv4Addr::new(10, 0, 0, 1),
             std::net::Ipv4Addr::new(10, 0, 0, 2),
@@ -42,10 +45,13 @@ proptest! {
         );
         let _ = TcpHeader::parse(&ip, &b, true);
         let _ = TcpHeader::parse(&ip, &b, false);
-    }
+    });
+}
 
-    #[test]
-    fn udp_parser_never_panics(b in bytes()) {
+#[test]
+fn udp_parser_never_panics() {
+    check::cases(CASES, |g| {
+        let b = g.bytes(0, 256);
         let ip = Ipv4Header::new(
             std::net::Ipv4Addr::new(10, 0, 0, 1),
             std::net::Ipv4Addr::new(10, 0, 0, 2),
@@ -53,30 +59,37 @@ proptest! {
             b.len(),
         );
         let _ = UdpHeader::parse(&ip, &b);
-    }
+    });
+}
 
-    #[test]
-    fn icmp_parser_never_panics(b in bytes()) {
+#[test]
+fn icmp_parser_never_panics() {
+    check::cases(CASES, |g| {
+        let b = g.bytes(0, 256);
         let _ = IcmpMessage::parse(&b);
-    }
+    });
+}
 
-    #[test]
-    fn nectar_transport_parsers_never_panic(b in bytes()) {
+#[test]
+fn nectar_transport_parsers_never_panic() {
+    check::cases(CASES, |g| {
+        let b = g.bytes(0, 256);
         let _ = DatagramHeader::parse(&b);
         let _ = RmpHeader::parse(&b);
         let _ = ReqRespHeader::parse(&b);
-    }
+    });
+}
 
-    /// Valid frames survive arbitrary single-bit corruption without a
-    /// parser panic, and either fail CRC/parse or (for route-prefix
-    /// bits, which the CRC deliberately excludes) still parse.
-    #[test]
-    fn corrupted_valid_frames_never_panic(
-        payload in proptest::collection::vec(any::<u8>(), 0..128),
-        bit in any::<usize>(),
-    ) {
-        use nectar_wire::datalink::{DatalinkHeader, DatalinkProto};
-        use nectar_wire::route::Route;
+/// Valid frames survive arbitrary single-bit corruption without a
+/// parser panic, and either fail CRC/parse or (for route-prefix
+/// bits, which the CRC deliberately excludes) still parse.
+#[test]
+fn corrupted_valid_frames_never_panic() {
+    use nectar_wire::datalink::{DatalinkHeader, DatalinkProto};
+    use nectar_wire::route::Route;
+    check::cases(CASES, |g| {
+        let payload = g.bytes(0, 128);
+        let bit = g.u64() as usize;
         let hdr = DatalinkHeader {
             dst_cab: 1,
             src_cab: 0,
@@ -91,5 +104,5 @@ proptest! {
         let _ = f.parse_header();
         let _ = f.payload();
         let _ = f.check_crc();
-    }
+    });
 }

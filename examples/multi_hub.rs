@@ -25,7 +25,8 @@ fn main() {
     let mut services = Vec::new();
     for i in 0..26 {
         let svc = world.cabs[i].shared.create_mailbox(false, HostOpMode::SharedMemory);
-        world.cabs[i].fork_app(Box::new(CabEcho { transport: Transport::Datagram, recv_mbox: svc }));
+        world.cabs[i]
+            .fork_app(Box::new(CabEcho { transport: Transport::Datagram, recv_mbox: svc }));
         services.push(svc);
     }
     // CAB 0 pings every other CAB, one destination at a time so the
@@ -39,7 +40,7 @@ fn main() {
             CabPinger::new(Transport::Datagram, (dst, services[dst as usize]), reply, 32, 5);
         world.cabs[0].fork_app(Box::new(p));
         // kick CAB 0 so the new thread is scheduled
-        deadline = deadline + SimDuration::from_millis(100);
+        deadline += SimDuration::from_millis(100);
         let at = sim.now();
         sim.at(at, |w, s| nectar::world::kick_cab(w, s, 0));
         world.run_until(&mut sim, deadline);
@@ -55,11 +56,17 @@ fn main() {
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     println!("  all 25 destinations answered");
     println!("  same-HUB  median RTT : {:>6.1} us over {} pairs", avg(&same_hub), same_hub.len());
-    println!("  cross-HUB median RTT : {:>6.1} us over {} pairs (one extra 700 ns HUB + trunk)", avg(&cross_hub), cross_hub.len());
+    println!(
+        "  cross-HUB median RTT : {:>6.1} us over {} pairs (one extra 700 ns HUB + trunk)",
+        avg(&cross_hub),
+        cross_hub.len()
+    );
     println!();
     println!("  frames forwarded hub0: {:?}", world.hubs[0].stats());
     println!("  frames forwarded hub1: {:?}", world.hubs[1].stats());
     let delta = avg(&cross_hub) - avg(&same_hub);
-    println!("  trunk cost           : {delta:>6.2} us per roundtrip (2 extra HUB transits + fiber)");
+    println!(
+        "  trunk cost           : {delta:>6.2} us per roundtrip (2 extra HUB transits + fiber)"
+    );
     assert!(delta > 0.0, "the trunk hop must cost something");
 }

@@ -6,11 +6,11 @@
 //!
 //!     cargo run -p nectar-examples --bin quickstart
 
+use nectar::cab::HostOpMode;
 use nectar::config::Config;
 use nectar::scenario::{EchoServer, Pinger, Transport};
-use nectar::world::World;
-use nectar::cab::HostOpMode;
 use nectar::sim::{SimDuration, SimTime};
+use nectar::world::World;
 
 fn main() {
     // 1. Build the world: two hosts, each behind a CAB, one 16x16 HUB.
@@ -45,4 +45,11 @@ fn main() {
     println!();
     println!("the paper's abstract promises RPC under 500 us between host");
     println!("processes; this run measured {}.", rtts.median());
+
+    // 6. The observability snapshot: every counter, CPU meter and
+    //    queue high-watermark in the installation, as deterministic
+    //    JSON (same seed => byte-identical output).
+    println!();
+    println!("metrics snapshot:");
+    print!("{}", world.metrics_json());
 }

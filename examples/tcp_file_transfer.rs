@@ -4,13 +4,13 @@
 //!
 //!     cargo run -p nectar-examples --bin tcp_file_transfer -- --loss 0.01 --kib 512
 
-use nectar::config::Config;
-use nectar::scenario::{HostSink, HostTcpStreamer};
-use nectar::world::World;
 use nectar::cab::reqs::TcpCtl;
 use nectar::cab::HostOpMode;
-use nectar_examples::arg;
+use nectar::config::Config;
+use nectar::scenario::{HostSink, HostTcpStreamer};
 use nectar::sim::{SimDuration, SimTime};
+use nectar::world::World;
+use nectar_examples::arg;
 
 fn main() {
     let loss: f64 = arg("--loss", 0.0);
@@ -44,7 +44,7 @@ fn main() {
     println!("  goodput      : {:.1} Mbit/s", meter.borrow().mbits_per_sec_to_last());
     println!("  frames lost  : {}", world.stats.frames_lost_injected);
     let sender = &world.cabs[0];
-    for (id, _) in &sender.proto.tcp_conns {
+    for id in sender.proto.tcp_conns.keys() {
         if let Some(sock) = sender.proto.tcp.socket(*id) {
             let st = sock.stats();
             println!(

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# The full local CI gate: formatting, lints, and the whole test suite.
+# Everything runs offline — the workspace has zero external
+# dependencies, so no registry access is needed.
+#
+#   scripts/ci.sh            # fmt --check + clippy -D warnings + tests
+#   scripts/ci.sh --fix      # apply formatting instead of checking it
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--fix" ]]; then
+    cargo fmt --all
+else
+    cargo fmt --all -- --check
+fi
+
+cargo clippy --workspace --all-targets -- -D warnings
+
+cargo test --workspace -q
+
+echo "ci: all green"

@@ -55,8 +55,7 @@ fn multi_hop_chain_routing() {
     world.cabs[n - 1]
         .fork_app(Box::new(CabEcho { transport: Transport::Datagram, recv_mbox: svc }));
     let reply = world.cabs[0].shared.create_mailbox(false, HostOpMode::SharedMemory);
-    let (p, rtts, done) =
-        CabPinger::new(Transport::Datagram, ((n - 1) as u16, svc), reply, 32, 10);
+    let (p, rtts, done) = CabPinger::new(Transport::Datagram, ((n - 1) as u16, svc), reply, 32, 10);
     world.cabs[0].fork_app(Box::new(p));
     world.run_until(&mut sim, until(10));
     assert!(done.get());
@@ -71,10 +70,7 @@ fn multi_hop_chain_routing() {
 
 #[test]
 fn datagrams_are_lossy_but_rmp_is_reliable_under_loss() {
-    let config = Config {
-        faults: FaultPlan { loss: 0.10, corrupt: 0.0 },
-        ..Default::default()
-    };
+    let config = Config { faults: FaultPlan { loss: 0.10, corrupt: 0.0 }, ..Default::default() };
     let (mut world, mut sim) = World::single_hub(config, 2);
     // RMP stream must deliver everything despite 10% frame loss
     let sink_mbox = world.cabs[1].shared.create_mailbox(false, HostOpMode::SharedMemory);
@@ -94,17 +90,12 @@ fn datagrams_are_lossy_but_rmp_is_reliable_under_loss() {
 
 #[test]
 fn corruption_is_dropped_by_crc_and_tcp_recovers() {
-    let config = Config {
-        faults: FaultPlan { loss: 0.0, corrupt: 0.05 },
-        ..Default::default()
-    };
+    let config = Config { faults: FaultPlan { loss: 0.0, corrupt: 0.05 }, ..Default::default() };
     let (mut world, mut sim) = World::single_hub(config, 2);
     let accept = world.cabs[1].shared.create_mailbox(true, HostOpMode::SharedMemory);
     let data = world.cabs[1].shared.create_mailbox(true, HostOpMode::SharedMemory);
-    let listen =
-        nectar_cab::reqs::TcpCtl::Listen { port: 5000, accept_mbox: accept }.encode();
-    let msg =
-        world.cabs[1].shared.begin_put(nectar_cab::reqs::MB_TCP_CTL, listen.len()).unwrap();
+    let listen = nectar_cab::reqs::TcpCtl::Listen { port: 5000, accept_mbox: accept }.encode();
+    let msg = world.cabs[1].shared.begin_put(nectar_cab::reqs::MB_TCP_CTL, listen.len()).unwrap();
     world.cabs[1].shared.msg_write(&msg, 0, &listen);
     world.cabs[1].shared.end_put(nectar_cab::reqs::MB_TCP_CTL, msg);
     let total = 100_000u64;
@@ -138,8 +129,7 @@ fn icmp_echo_end_to_end() {
             if !self.sent {
                 self.sent = true;
                 cx.proto.ping_mbox = Some(self.reply_mbox);
-                let req =
-                    IcmpMessage::EchoRequest { ident: 7, seq: 1, payload: b"ping".to_vec() };
+                let req = IcmpMessage::EchoRequest { ident: 7, seq: 1, payload: b"ping".to_vec() };
                 ip_output(cx, ip_for_cab(1), IpProtocol::ICMP, &req.build());
                 return Step::Yield;
             }
@@ -160,7 +150,11 @@ fn icmp_echo_end_to_end() {
     let (mut world, mut sim) = World::single_hub(Config::default(), 2);
     let reply = world.cabs[0].shared.create_mailbox(false, HostOpMode::SharedMemory);
     let got = std::rc::Rc::new(std::cell::Cell::new(false));
-    world.cabs[0].fork_app(Box::new(PingThread { reply_mbox: reply, sent: false, got: got.clone() }));
+    world.cabs[0].fork_app(Box::new(PingThread {
+        reply_mbox: reply,
+        sent: false,
+        got: got.clone(),
+    }));
     world.run_until(&mut sim, until(5));
     assert!(got.get(), "no echo reply");
     // the responder's ICMP ran as an upcall, not a thread
@@ -197,11 +191,8 @@ fn deterministic_replay_same_seed_same_trace() {
 #[test]
 fn different_seeds_change_fault_patterns_not_correctness() {
     for seed in [1u64, 2, 3] {
-        let config = Config {
-            faults: FaultPlan { loss: 0.05, corrupt: 0.02 },
-            seed,
-            ..Default::default()
-        };
+        let config =
+            Config { faults: FaultPlan { loss: 0.05, corrupt: 0.02 }, seed, ..Default::default() };
         let (mut world, mut sim) = World::single_hub(config, 2);
         let sink_mbox = world.cabs[1].shared.create_mailbox(false, HostOpMode::SharedMemory);
         let src_mbox = world.cabs[0].shared.create_mailbox(false, HostOpMode::SharedMemory);
