@@ -1,0 +1,92 @@
+//! Wall-clock simulation speed on the paper's production deployment.
+//!
+//! Every other bench in this harness reports *simulated* time; this one
+//! measures how fast the simulator itself runs. It builds the §6
+//! deployment (26 hosts on 2 HUBs), saturates it with 13 pairwise
+//! RMP/TCP streams, runs a fixed window of simulated time, and reports
+//! wall-clock events/sec and simulated-bytes/sec so kernel changes are
+//! measured instead of guessed at.
+//!
+//!     cargo bench -p nectar-bench --bench simspeed [-- --quick]
+//!
+//! Results land in `BENCH_simspeed.json` (in `$NECTAR_BENCH_DIR` when
+//! set, else the current directory). `--quick` (or
+//! `NECTAR_SIMSPEED_QUICK=1`) runs a short smoke window for CI.
+
+use std::time::Instant;
+
+use nectar::config::Config;
+use nectar::scenario::two_hub_pair_load;
+use nectar::topology::Topology;
+use nectar::world::World;
+use nectar_sim::{SimDuration, SimTime};
+
+/// Message/chunk size for every stream: the paper's largest Figure 7
+/// point, so frames are MTU-sized and the DMA path is exercised.
+const MSG_SIZE: usize = 4096;
+
+fn run_window(window: SimDuration) -> (u64, f64, u64, u64) {
+    let topo = Topology::two_hubs(26);
+    let (mut world, mut sim) = World::new(Config::default(), topo);
+    // effectively unbounded: streams stay active for the whole window
+    let handles = two_hub_pair_load(&mut world, u64::MAX / 2, MSG_SIZE);
+    let t0 = Instant::now();
+    world.run_until(&mut sim, SimTime::ZERO + window);
+    let wall = t0.elapsed().as_secs_f64();
+    let delivered: u64 = handles.iter().map(|(received, _)| received.get()).sum();
+    (sim.executed(), wall, world.stats.bytes_launched, delivered)
+}
+
+fn main() {
+    let quick =
+        std::env::args().any(|a| a == "--quick") || std::env::var("NECTAR_SIMSPEED_QUICK").is_ok();
+    let window_ms: u64 = if quick { 5 } else { 1000 };
+    let window = SimDuration::from_millis(window_ms);
+
+    println!("simspeed: 26 hosts / 2 HUBs / 13 streams, {window_ms} ms simulated");
+    if !quick {
+        // one throwaway window so page faults and lazy allocation don't
+        // pollute the measured run
+        let _ = run_window(SimDuration::from_millis(25));
+    }
+    let (events, wall, wire_bytes, delivered) = run_window(window);
+    let events_per_sec = events as f64 / wall;
+    let sim_bytes_per_sec = wire_bytes as f64 / wall;
+    println!("  events executed      : {events}");
+    println!("  wall clock           : {wall:.3} s");
+    println!("  events/sec (wall)    : {events_per_sec:.0}");
+    println!("  sim wire bytes       : {wire_bytes}");
+    println!("  sim bytes/sec (wall) : {sim_bytes_per_sec:.0}");
+    println!("  payload delivered    : {delivered}");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"scenario\": \"two_hub_26host_13stream\",\n",
+            "  \"quick\": {},\n",
+            "  \"sim_window_ms\": {},\n",
+            "  \"events_executed\": {},\n",
+            "  \"wall_seconds\": {:.6},\n",
+            "  \"events_per_sec\": {:.0},\n",
+            "  \"sim_wire_bytes\": {},\n",
+            "  \"sim_bytes_per_sec\": {:.0},\n",
+            "  \"delivered_payload_bytes\": {}\n",
+            "}}\n"
+        ),
+        quick, window_ms, events, wall, events_per_sec, wire_bytes, sim_bytes_per_sec, delivered
+    );
+    let dir = std::env::var("NECTAR_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    let dir = std::path::Path::new(&dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("simspeed: cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let path = dir.join("BENCH_simspeed.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("  wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("simspeed: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}

@@ -299,7 +299,7 @@ impl Cab {
                     self.stats.frames_crc_dropped += 1;
                     return self.costs.interrupt_overhead;
                 };
-                let payload = frame.payload().expect("header validated");
+                let payload = frame.payload_buf().expect("header validated");
                 cx.stamp("cab_rx_end", hdr.msg_id as u64);
                 rx_dispatch(&mut cx, hdr.proto, hdr.src_cab, hdr.msg_id, payload);
                 cx.charged()

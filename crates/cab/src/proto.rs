@@ -27,6 +27,7 @@ use nectar_stack::rmp::{RmpConfig, RmpReceiver, RmpRecvAction, RmpSendAction, Rm
 use nectar_stack::tcp::{SocketId, TcpConfig, TcpEvent, TcpStack, TcpStackEvent};
 use nectar_stack::udp::{UdpEndpoint, UdpInput};
 use nectar_wire::datalink::DatalinkProto;
+use nectar_wire::framebuf::FrameBuf;
 use nectar_wire::icmp::UnreachableCode;
 use nectar_wire::ipv4::{IpProtocol, Ipv4Header};
 use nectar_wire::nectar::{DatagramHeader, ReqRespHeader, ReqRespKind, RmpHeader, RmpKind};
@@ -372,13 +373,17 @@ fn run_rr_client_actions(cx: &mut Cx<'_>, acts: Vec<RrClientAction>) {
 
 /// End-of-data processing for a received frame, per protocol. The
 /// datalink header has been parsed and the CRC verified by the board.
+/// `payload` is a zero-copy view into the received frame's storage;
+/// protocol headers are parsed in place and only mailbox DMA (the
+/// modeled hardware copy) materializes bytes.
 pub fn rx_dispatch(
     cx: &mut Cx<'_>,
     proto: DatalinkProto,
     src_cab: u16,
     msg_id: u32,
-    payload: &[u8],
+    payload: FrameBuf,
 ) {
+    let payload: &[u8] = &payload;
     match proto {
         DatalinkProto::Raw => {
             // network-device mode: queue the raw frame for the host
@@ -643,7 +648,7 @@ impl CabThread for RrThread {
                                             DatalinkProto::ReqResp,
                                             dst_cab,
                                             0,
-                                            &hdr.build(body),
+                                            FrameBuf::new(hdr.build(body)),
                                         );
                                     } else {
                                         cx.datalink_send(

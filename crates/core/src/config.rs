@@ -36,6 +36,16 @@ pub struct Config {
     /// Ablation A1 (§3.1's planned experiment): process IP input in a
     /// high-priority thread instead of at interrupt level.
     pub ip_in_thread: bool,
+    /// Cancel a node's pending self-wakeup whenever a fresh kick
+    /// recomputes its next work time (retransmit deadline moved by an
+    /// ACK, chain kick overtaken by a frame arrival). The superseded
+    /// wakeup dies in the event arena instead of firing into the node
+    /// and polling it. Off by default: the legacy schedule polls on
+    /// every stale wakeup, and those polls are visible in the modeled
+    /// CPU accounting (`ctx_switches`, `cpu_busy_ns`), so flipping this
+    /// changes same-seed metric snapshots. It never changes what is
+    /// delivered — only when nodes are (re)polled.
+    pub coalesce_wakeups: bool,
     /// Master seed: ISNs, fault injection, workloads.
     pub seed: u64,
     /// Record a stage trace (Figure 6).
@@ -54,6 +64,7 @@ impl Default for Config {
             doorbell_latency: SimDuration::from_micros(1),
             faults: FaultPlan::default(),
             ip_in_thread: false,
+            coalesce_wakeups: false,
             seed: 0x5eca_1ab1,
             trace: false,
         }

@@ -1047,3 +1047,63 @@ impl CabThread for CabTcpListener {
         }
     }
 }
+
+// ----------------------------------------------------------------------
+// many-node sustained load (the simspeed benchmark and the kernel-swap
+// determinism regression)
+// ----------------------------------------------------------------------
+
+/// Build a sustained pairwise traffic mix over an even number of CABs:
+/// every CAB belongs to exactly one (source, sink) pair, pairs
+/// alternate between RMP and TCP streams, and — under the interleaved
+/// [`crate::topology::Topology::two_hubs`] attachment — the mix covers
+/// both same-HUB ports and the inter-HUB trunk.
+///
+/// Setup order is fixed, so two worlds built with the same seed and
+/// the same arguments evolve identically event for event. Returns one
+/// `(received-bytes, done)` handle pair per stream, in pair order.
+pub fn two_hub_pair_load(
+    world: &mut crate::world::World,
+    bytes_per_pair: u64,
+    msg_size: usize,
+) -> Vec<(SharedCount, SharedFlag)> {
+    use nectar_cab::HostOpMode;
+    let n = world.topo.cabs();
+    assert!(n >= 2 && n.is_multiple_of(2), "pairwise load needs an even CAB count");
+    // Pair layout: among the first 12 CABs, partner CABs two apart
+    // (same HUB under the interleaved attachment); the rest pair with
+    // their neighbour (opposite HUBs, crossing the trunk).
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let quads = (n.min(12)) / 4;
+    for j in 0..quads {
+        pairs.push((4 * j, 4 * j + 2));
+        pairs.push((4 * j + 1, 4 * j + 3));
+    }
+    let mut k = 4 * quads;
+    while k + 1 < n {
+        pairs.push((k, k + 1));
+        k += 2;
+    }
+    let mut handles = Vec::with_capacity(pairs.len());
+    for (idx, (src, dst)) in pairs.into_iter().enumerate() {
+        let sink_mbox = world.cabs[dst].shared.create_mailbox(false, HostOpMode::SharedMemory);
+        let (sink, _meter, received, done) = CabSink::new(sink_mbox, bytes_per_pair);
+        if idx % 2 == 0 {
+            // RMP stream (stop-and-wait with retransmission timers)
+            let src_mbox = world.cabs[src].shared.create_mailbox(false, HostOpMode::SharedMemory);
+            world.cabs[dst].fork_app(Box::new(sink));
+            let (streamer, _) =
+                CabRmpStreamer::new((dst as u16, sink_mbox), src_mbox, msg_size, bytes_per_pair);
+            world.cabs[src].fork_app(Box::new(streamer));
+        } else {
+            // TCP stream (RTO + delayed-ACK timer traffic)
+            let accept = world.cabs[dst].shared.create_mailbox(false, HostOpMode::SharedMemory);
+            world.cabs[dst].fork_app(Box::new(CabTcpListener::new(5000, accept, sink_mbox)));
+            world.cabs[dst].fork_app(Box::new(sink));
+            let (streamer, _) = CabTcpStreamer::new(dst as u16, 5000, msg_size, bytes_per_pair);
+            world.cabs[src].fork_app(Box::new(streamer));
+        }
+        handles.push((received, done));
+    }
+    handles
+}

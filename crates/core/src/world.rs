@@ -11,7 +11,7 @@
 use nectar_cab::{Cab, CabEffect, StepStatus};
 use nectar_host::{Host, HostEffect, HostStepStatus};
 use nectar_hub::{Hub, HubDecision};
-use nectar_sim::{Pcg32, Scheduler, SimDuration, SimTime, Trace};
+use nectar_sim::{Pcg32, SchedStats, Scheduler, SimDuration, SimTime, TimerId, Trace};
 use nectar_wire::datalink::Frame;
 
 use crate::config::Config;
@@ -50,6 +50,19 @@ pub struct World {
     /// Ethernet receive queues for the §6.3 comparison interface,
     /// registered by [`crate::netdev::eth_port`].
     pub eth_ports: Vec<Option<crate::netdev::EthPort>>,
+    /// Scheduler counters (e.g. past-timestamp clamps), published into
+    /// [`World::metrics`].
+    pub sched: SchedStats,
+    /// The latest self-kick per CAB. When [`Config::coalesce_wakeups`]
+    /// is set, every [`kick_cab`] cancels it and schedules a fresh one
+    /// from the CAB's newly reported next work time, so stale wakeups
+    /// (a retransmit timer obsoleted by an ACK, a chain kick overtaken
+    /// by a frame arrival) die in the event arena instead of firing and
+    /// re-polling. Off (the default), superseded wakeups still fire as
+    /// extra polls — the legacy, snapshot-pinned schedule.
+    cab_wake: Vec<Option<TimerId>>,
+    /// Same, for the hosts.
+    host_wake: Vec<Option<TimerId>>,
     fault_rng: Pcg32,
 }
 
@@ -75,6 +88,7 @@ impl World {
         }
         let hosts = (0..n as u16).map(|i| Host::new(i, i, config.host_costs)).collect();
         let hubs = (0..topo.hubs as u16).map(|h| Hub::new(h, config.hub)).collect();
+        let mut sim = Sim::new();
         let world = World {
             fault_rng: Pcg32::new(config.seed, 0xfau64),
             trace: if config.trace { Trace::enabled() } else { Trace::new() },
@@ -85,12 +99,14 @@ impl World {
             hosts,
             stats: NetStats::default(),
             eth_ports: (0..n).map(|_| None).collect(),
+            sched: sim.stats(),
+            cab_wake: vec![None; n],
+            host_wake: vec![None; n],
         };
-        let mut sim = Sim::new();
         // boot every CAB and host (threads initialize, then idle)
         for i in 0..n {
-            sim.immediately(move |w, s| kick_cab(w, s, i));
-            sim.immediately(move |w, s| kick_host(w, s, i));
+            sim.at_call(SimTime::ZERO, kick_cab_event, i as u64);
+            sim.at_call(SimTime::ZERO, kick_host_event, i as u64);
         }
         (world, sim)
     }
@@ -141,6 +157,10 @@ impl World {
         r.publish("net/bytes_launched", s.bytes_launched);
         r.publish("net/bytes_lost_injected", s.bytes_lost_injected);
         r.publish("net/bytes_dead_end", s.bytes_dead_end);
+
+        // a nonzero value means some cost model produced a timestamp in
+        // the past and the scheduler clamped it to "now"
+        r.publish("sched/clamped_past", self.sched.clamped_past());
 
         for (i, cab) in self.cabs.iter().enumerate() {
             let p = |suffix: &str| format!("node/{i}/{suffix}");
@@ -266,9 +286,29 @@ impl World {
     }
 }
 
+/// [`kick_cab`] in the scheduler's allocation-free event form.
+fn kick_cab_event(w: &mut World, sim: &mut Sim, i: u64) {
+    kick_cab(w, sim, i as usize);
+}
+
 /// Run one CAB burst and route its effects; self-reschedules while the
 /// CAB reports more work.
+///
+/// Whatever ran this kick — the pending wakeup itself, a frame arrival,
+/// a host doorbell — the burst just executed recomputes the CAB's next
+/// work time, so the previously scheduled wakeup is obsolete. Under
+/// [`Config::coalesce_wakeups`] it is cancelled here and replaced: this
+/// is how protocol timers get cancelled on progress — when an ACK moves
+/// a retransmit deadline, the wakeup parked on the old deadline dies in
+/// the arena instead of firing into an idle CAB and re-polling every
+/// stack. With the flag off the stale wakeup still fires as a redundant
+/// poll, reproducing the legacy schedule exactly.
 pub fn kick_cab(w: &mut World, sim: &mut Sim, i: usize) {
+    if let Some(id) = w.cab_wake[i].take() {
+        if w.config.coalesce_wakeups {
+            sim.cancel(id);
+        }
+    }
     let now = sim.now();
     let (fx, status) = {
         let trace = &mut w.trace;
@@ -281,19 +321,29 @@ pub fn kick_cab(w: &mut World, sim: &mut Sim, i: usize) {
     route_cab_effects(w, sim, i, fx, burst_end);
     match status {
         StepStatus::Ran { next } => {
-            sim.at(next, move |w, s| kick_cab(w, s, i));
+            w.cab_wake[i] = Some(sim.at_call(next, kick_cab_event, i as u64));
         }
         StepStatus::Idle { next: Some(next) } => {
             let at = next.max(now + SimDuration::from_nanos(1));
-            sim.at(at, move |w, s| kick_cab(w, s, i));
+            w.cab_wake[i] = Some(sim.at_call(at, kick_cab_event, i as u64));
         }
         StepStatus::Idle { next: None } => {}
     }
 }
 
+/// [`kick_host`] in the scheduler's allocation-free event form.
+fn kick_host_event(w: &mut World, sim: &mut Sim, i: u64) {
+    kick_host(w, sim, i as usize);
+}
+
 /// Run one host burst against its CAB's shared memory and route the
-/// effects.
+/// effects. Pending-wakeup handling mirrors [`kick_cab`].
 pub fn kick_host(w: &mut World, sim: &mut Sim, i: usize) {
+    if let Some(id) = w.host_wake[i].take() {
+        if w.config.coalesce_wakeups {
+            sim.cancel(id);
+        }
+    }
     let now = sim.now();
     let cab_id = w.hosts[i].cab_id as usize;
     let (fx, status) = {
@@ -328,11 +378,11 @@ pub fn kick_host(w: &mut World, sim: &mut Sim, i: usize) {
     }
     match status {
         HostStepStatus::Ran { next } => {
-            sim.at(next, move |w, s| kick_host(w, s, i));
+            w.host_wake[i] = Some(sim.at_call(next, kick_host_event, i as u64));
         }
         HostStepStatus::Idle { next: Some(next) } => {
             let at = next.max(now + SimDuration::from_nanos(1));
-            sim.at(at, move |w, s| kick_host(w, s, i));
+            w.host_wake[i] = Some(sim.at_call(at, kick_host_event, i as u64));
         }
         HostStepStatus::Idle { next: None } => {}
     }

@@ -23,7 +23,7 @@ pub mod time;
 pub mod trace;
 
 pub use metrics::{CpuMeter, Gauge, MetricCounter, MetricsRegistry, MetricsSnapshot};
-pub use queue::{EventFn, Scheduler};
+pub use queue::{EventCall, EventFn, SchedStats, Scheduler, TimerId};
 pub use rng::Pcg32;
 pub use stats::{Counter, Histogram, RateMeter};
 pub use time::{SimDuration, SimTime};

@@ -25,6 +25,7 @@
 //! `msg_id` field is this reproduction's hook for the Figure 6 stage
 //! trace.
 
+use crate::framebuf::FrameBuf;
 use crate::route::Route;
 use crate::{checksum, get_u16, get_u32, put_u16, put_u32, WireError};
 
@@ -78,9 +79,18 @@ pub struct DatalinkHeader {
 }
 
 /// An owned datalink frame: route prefix + header + payload + CRC.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// The bytes live in a shared [`FrameBuf`], so cloning a frame is O(1)
+/// and never copies the wire data. The on-wire `route_pos` byte is kept
+/// as an overlay field instead of being written back into the buffer:
+/// HUBs advance hops by bumping the field, which means a frame can
+/// traverse the whole network — build, HUB forwarding, CAB delivery —
+/// on one backing allocation even while clones of it exist.
+#[derive(Clone, Debug)]
 pub struct Frame {
-    bytes: Vec<u8>,
+    buf: FrameBuf,
+    /// Authoritative `route_pos`; shadows byte 1 of `buf`.
+    route_pos: u8,
 }
 
 impl Frame {
@@ -105,32 +115,36 @@ impl Frame {
         bytes.extend_from_slice(payload);
         let crc = checksum::crc32(&bytes[h..]);
         bytes.extend_from_slice(&crc.to_be_bytes());
-        Frame { bytes }
+        Frame { buf: FrameBuf::new(bytes), route_pos: 0 }
     }
 
     /// Wrap raw received bytes without validation (validation happens in
     /// [`Frame::parse_header`] / [`Frame::check_crc`], mirroring the
     /// hardware which buffers first and flags CRC at end-of-packet).
+    /// `route_pos` is lifted out of byte 1 into the overlay field.
     pub fn from_bytes(bytes: Vec<u8>) -> Frame {
-        Frame { bytes }
+        let route_pos = bytes.get(1).copied().unwrap_or(0);
+        Frame { buf: FrameBuf::new(bytes), route_pos }
     }
 
-    pub fn as_bytes(&self) -> &[u8] {
-        &self.bytes
-    }
-
+    /// Materialize the on-wire bytes, writing the overlay `route_pos`
+    /// back into byte 1.
     pub fn into_bytes(self) -> Vec<u8> {
-        self.bytes
+        let mut bytes = self.buf.to_vec();
+        if bytes.len() > 1 {
+            bytes[1] = self.route_pos;
+        }
+        bytes
     }
 
     /// Total length on the wire, in bytes (what serialization delay is
     /// charged on).
     pub fn wire_len(&self) -> usize {
-        self.bytes.len()
+        self.buf.len()
     }
 
     fn route_len(&self) -> usize {
-        self.bytes.first().copied().unwrap_or(0) as usize
+        self.buf.first().copied().unwrap_or(0) as usize
     }
 
     fn header_at(&self) -> usize {
@@ -140,12 +154,13 @@ impl Frame {
     /// The next hop's output port, if any hops remain. Returns an error
     /// on malformed prefixes.
     pub fn next_hop(&self) -> Result<Option<u8>, WireError> {
-        if self.bytes.len() < ROUTE_FIXED_LEN {
+        let b = self.buf.as_slice();
+        if b.len() < ROUTE_FIXED_LEN {
             return Err(WireError::Truncated);
         }
-        let rlen = self.bytes[0] as usize;
-        let rpos = self.bytes[1] as usize;
-        if self.bytes.len() < ROUTE_FIXED_LEN + rlen {
+        let rlen = b[0] as usize;
+        let rpos = self.route_pos as usize;
+        if b.len() < ROUTE_FIXED_LEN + rlen {
             return Err(WireError::Truncated);
         }
         if rpos > rlen {
@@ -154,16 +169,17 @@ impl Frame {
         if rpos == rlen {
             Ok(None)
         } else {
-            Ok(Some(self.bytes[ROUTE_FIXED_LEN + rpos]))
+            Ok(Some(b[ROUTE_FIXED_LEN + rpos]))
         }
     }
 
     /// Consume one route hop (performed by each HUB as it forwards).
-    /// Returns the output port taken.
+    /// Returns the output port taken. Only the overlay field changes;
+    /// the shared bytes are untouched.
     pub fn advance_hop(&mut self) -> Result<u8, WireError> {
         match self.next_hop()? {
             Some(port) => {
-                self.bytes[1] += 1;
+                self.route_pos += 1;
                 Ok(port)
             }
             None => Err(WireError::BadField),
@@ -173,12 +189,12 @@ impl Frame {
     /// Parse and validate the datalink header (length check included).
     pub fn parse_header(&self) -> Result<DatalinkHeader, WireError> {
         let h = self.header_at();
-        if self.bytes.len() < h + HEADER_LEN + CRC_LEN {
+        let b = self.buf.as_slice();
+        if b.len() < h + HEADER_LEN + CRC_LEN {
             return Err(WireError::Truncated);
         }
-        let b = &self.bytes;
         let payload_len = get_u16(b, h + 6);
-        if self.bytes.len() != h + HEADER_LEN + payload_len as usize + CRC_LEN {
+        if b.len() != h + HEADER_LEN + payload_len as usize + CRC_LEN {
             return Err(WireError::BadLength);
         }
         Ok(DatalinkHeader {
@@ -195,18 +211,28 @@ impl Frame {
     pub fn payload(&self) -> Result<&[u8], WireError> {
         let h = self.header_at();
         let hdr = self.parse_header()?;
-        Ok(&self.bytes[h + HEADER_LEN..h + HEADER_LEN + hdr.payload_len as usize])
+        Ok(&self.buf.as_slice()[h + HEADER_LEN..h + HEADER_LEN + hdr.payload_len as usize])
+    }
+
+    /// The transport payload as a zero-copy view sharing this frame's
+    /// storage. The returned [`FrameBuf`] stays valid after the frame
+    /// is dropped.
+    pub fn payload_buf(&self) -> Result<FrameBuf, WireError> {
+        let h = self.header_at();
+        let hdr = self.parse_header()?;
+        Ok(self.buf.slice(h + HEADER_LEN..h + HEADER_LEN + hdr.payload_len as usize))
     }
 
     /// Verify the CRC-32 trailer over header + payload. Route bytes are
     /// excluded because `route_pos` mutates hop by hop.
     pub fn check_crc(&self) -> Result<(), WireError> {
         let h = self.header_at();
-        if self.bytes.len() < h + HEADER_LEN + CRC_LEN {
+        let b = self.buf.as_slice();
+        if b.len() < h + HEADER_LEN + CRC_LEN {
             return Err(WireError::Truncated);
         }
-        let body = &self.bytes[h..self.bytes.len() - CRC_LEN];
-        let stored = get_u32(&self.bytes, self.bytes.len() - CRC_LEN);
+        let body = &b[h..b.len() - CRC_LEN];
+        let stored = get_u32(b, b.len() - CRC_LEN);
         if checksum::crc32(body) == stored {
             Ok(())
         } else {
@@ -215,10 +241,19 @@ impl Frame {
     }
 
     /// Flip a bit (fault-injection helper for tests and the lossy-link
-    /// model). `bit` indexes into the whole frame.
+    /// model). `bit` indexes into the whole frame. Corrupting the
+    /// `route_pos` byte hits the overlay field; anything else copies the
+    /// shared bytes first, so clones of this frame are unaffected.
     pub fn corrupt_bit(&mut self, bit: usize) {
-        let byte = (bit / 8) % self.bytes.len();
-        self.bytes[byte] ^= 1 << (bit % 8);
+        let byte = (bit / 8) % self.buf.len();
+        let mask = 1 << (bit % 8);
+        if byte == 1 {
+            self.route_pos ^= mask;
+        } else {
+            let mut bytes = self.buf.to_vec();
+            bytes[byte] ^= mask;
+            self.buf = FrameBuf::new(bytes);
+        }
     }
 }
 
@@ -290,6 +325,37 @@ mod tests {
                 "undetected corruption at bit {bit}"
             );
         }
+    }
+
+    #[test]
+    fn clones_unaffected_by_hops_and_corruption() {
+        let mut f = Frame::build(&Route::new(vec![4, 9]), header(), b"shared payload");
+        let snapshot = f.clone();
+        f.advance_hop().unwrap();
+        f.advance_hop().unwrap();
+        f.corrupt_bit((f.wire_len() - 1) * 8);
+        // the clone still sees the original route position and bytes
+        assert_eq!(snapshot.next_hop().unwrap(), Some(4));
+        snapshot.check_crc().unwrap();
+        assert!(f.check_crc().is_err());
+        // materialized bytes carry the overlay route_pos in byte 1
+        let bytes = snapshot.clone().into_bytes();
+        assert_eq!(bytes[1], 0);
+        let mut advanced = snapshot.clone();
+        advanced.advance_hop().unwrap();
+        let bytes = advanced.into_bytes();
+        assert_eq!(bytes[1], 1);
+        // and round-trip back through from_bytes
+        let back = Frame::from_bytes(bytes);
+        assert_eq!(back.next_hop().unwrap(), Some(9));
+    }
+
+    #[test]
+    fn payload_buf_outlives_frame() {
+        let f = Frame::build(&Route::new(vec![1]), header(), b"zero copy view");
+        let view = f.payload_buf().unwrap();
+        drop(f);
+        assert_eq!(view.as_slice(), b"zero copy view");
     }
 
     #[test]

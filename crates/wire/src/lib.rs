@@ -25,6 +25,7 @@
 
 pub mod checksum;
 pub mod datalink;
+pub mod framebuf;
 pub mod icmp;
 pub mod ipv4;
 pub mod nectar;
@@ -34,6 +35,7 @@ pub mod udp;
 
 pub use checksum::{crc32, internet_checksum, ChecksumAccum};
 pub use datalink::{DatalinkHeader, DatalinkProto, Frame};
+pub use framebuf::FrameBuf;
 
 /// Errors from parsing any wire format in this crate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -18,4 +18,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 cargo test --workspace -q
 
+# simspeed smoke: a quick-mode run must emit a well-formed JSON artifact.
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+NECTAR_BENCH_DIR="$smoke_dir" NECTAR_SIMSPEED_QUICK=1 \
+    cargo bench -p nectar-bench --bench simspeed
+python3 - "$smoke_dir/BENCH_simspeed.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+for key in ("events_executed", "wall_seconds", "events_per_sec", "sim_wire_bytes"):
+    assert r[key] > 0, f"BENCH_simspeed.json: {key} not positive"
+print("ci: simspeed artifact ok:", r["events_executed"], "events")
+EOF
+
 echo "ci: all green"

@@ -1,0 +1,58 @@
+//! Kernel-swap determinism regression.
+//!
+//! The simulation kernel (event arena + timer wheel) must never change
+//! *what* the simulation computes — only how fast. This test runs the
+//! paper's 26-host two-HUB deployment under the pairwise RMP/TCP load
+//! for a fixed window and compares the full `metrics_json()` snapshot
+//! byte-for-byte against a committed fixture. Any scheduler change
+//! that reorders same-instant events, shifts a timer, or perturbs a
+//! single counter shows up as a diff here.
+//!
+//! Regenerate the fixture (after an *intentional* observable change)
+//! with:
+//!
+//!     NECTAR_BLESS=1 cargo test -p nectar-integration --test simkernel
+
+use nectar::config::Config;
+use nectar::scenario::two_hub_pair_load;
+use nectar::topology::Topology;
+use nectar::world::World;
+use nectar_sim::{SimDuration, SimTime};
+
+const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/twohub_metrics.json");
+
+/// One deterministic run of the 26-host deployment: 13 streams, 10 ms.
+fn snapshot() -> String {
+    let (mut world, mut sim) = World::new(Config::default(), Topology::two_hubs(26));
+    let _handles = two_hub_pair_load(&mut world, u64::MAX / 2, 1024);
+    world.run_until(&mut sim, SimTime::ZERO + SimDuration::from_millis(10));
+    world.metrics_json()
+}
+
+#[test]
+fn twohub_metrics_snapshot_is_byte_identical() {
+    let got = snapshot();
+    if std::env::var("NECTAR_BLESS").is_ok() {
+        std::fs::write(FIXTURE, &got).expect("write fixture");
+        return;
+    }
+    let want = std::fs::read_to_string(FIXTURE)
+        .expect("fixture missing; run with NECTAR_BLESS=1 to create it");
+    assert!(
+        got == want,
+        "26-host metrics snapshot diverged from the committed fixture.\n\
+         The simulation kernel changed observable behaviour. If that was\n\
+         intentional, re-bless with NECTAR_BLESS=1.\n\
+         got {} bytes, want {} bytes",
+        got.len(),
+        want.len()
+    );
+}
+
+#[test]
+fn twohub_snapshot_is_reproducible_in_process() {
+    // Two fresh worlds in the same process must agree exactly — catches
+    // any accidental global state (thread-locals, map iteration order)
+    // sneaking into the kernel.
+    assert_eq!(snapshot(), snapshot());
+}
