@@ -38,6 +38,12 @@ pub struct BoardStats {
     pub frames_rx: u64,
     pub frames_crc_dropped: u64,
     pub frames_fifo_dropped: u64,
+    /// Frames whose datalink header named another CAB. The route
+    /// prefix is outside the hardware CRC, so a corrupted route byte
+    /// can steer an otherwise-valid frame to the wrong board; the
+    /// datalink layer must refuse it rather than feed a stranger's
+    /// fragment (and its ack) into the local protocol engines.
+    pub frames_misrouted: u64,
     pub host_signals: u64,
     /// Wire bytes of frames accepted into the input FIFO.
     pub bytes_rx: u64,
@@ -63,6 +69,9 @@ pub struct Cab {
     pub stats: BoardStats,
     rx_slots: Vec<Option<RxSlot>>,
     rx_fifo_bytes: usize,
+    /// Protocol threads that service shared-stack timers, in the order
+    /// of [`Cab::stack_timers`]: RMP, request-response, TCP.
+    timer_tids: [ThreadId; 3],
 }
 
 impl Cab {
@@ -81,9 +90,9 @@ impl Cab {
         let mut rt = Runtime::new();
         // system protocol threads (§4)
         rt.fork(&mut shared, Box::new(proto::DatagramSendThread), PRIO_SYSTEM);
-        rt.fork(&mut shared, Box::new(proto::RmpThread), PRIO_SYSTEM);
-        rt.fork(&mut shared, Box::new(proto::RrThread), PRIO_SYSTEM);
-        rt.fork(&mut shared, Box::new(proto::TcpThread), PRIO_SYSTEM);
+        let rmp_tid = rt.fork(&mut shared, Box::new(proto::RmpThread), PRIO_SYSTEM);
+        let rr_tid = rt.fork(&mut shared, Box::new(proto::RrThread), PRIO_SYSTEM);
+        let tcp_tid = rt.fork(&mut shared, Box::new(proto::TcpThread), PRIO_SYSTEM);
         rt.fork(&mut shared, Box::new(proto::UdpThread), PRIO_SYSTEM);
         rt.fork(&mut shared, Box::new(proto::IpThread), PRIO_SYSTEM);
         // ICMP as a mailbox upcall (§4.1)
@@ -100,6 +109,7 @@ impl Cab {
             stats: BoardStats::default(),
             rx_slots: Vec::new(),
             rx_fifo_bytes: 0,
+            timer_tids: [rmp_tid, rr_tid, tcp_tid],
         }
     }
 
@@ -158,20 +168,75 @@ impl Cab {
         (self.rx_slots.len() - 1) as u32
     }
 
+    /// Discard every frame parked in the input FIFO, as a power-cycled
+    /// board would: the DMA engine stops and buffered packets vanish.
+    /// Returns `(frames, wire_bytes)` flushed. Pending end-of-packet
+    /// interrupts for these slots become no-ops (the handler tolerates
+    /// an empty slot).
+    pub fn flush_rx_fifo(&mut self) -> (u64, u64) {
+        let mut frames = 0u64;
+        let mut bytes = 0u64;
+        for slot in &mut self.rx_slots {
+            if let Some(RxSlot { frame }) = slot.take() {
+                frames += 1;
+                bytes += frame.wire_len() as u64;
+            }
+        }
+        self.rx_fifo_bytes = 0;
+        (frames, bytes)
+    }
+
     /// The host raised the CAB interrupt (CAB signal queue non-empty).
     pub fn host_interrupt(&mut self, now: SimTime) {
         self.rt.post_interrupt(now, PendingIntr::HostSignal);
     }
 
+    /// Earliest pending deadline in each shared protocol stack, paired
+    /// with the system thread that services it.
+    ///
+    /// The protocol threads cover their own timers through
+    /// [`Step::BlockTimeout`], but CAB-resident senders (§5.3) drive
+    /// the shared stacks directly from application threads — a
+    /// retransmit deadline armed that way is invisible to the blocked
+    /// protocol thread. If every in-flight packet is then lost, no
+    /// acknowledgement ever signals the condition and the timer is
+    /// orphaned. The board's timer interrupt closes the hole: expired
+    /// stack deadlines wake the owning thread (and only that thread,
+    /// so sibling waiters on the shared cond don't see spurious
+    /// wakeups).
+    fn stack_timers(&self) -> [(Option<SimTime>, ThreadId); 3] {
+        let [rmp_tid, rr_tid, tcp_tid] = self.timer_tids;
+        [
+            (self.proto.rmp_tx.values().filter_map(|s| s.next_wakeup()).min(), rmp_tid),
+            (self.proto.rr_clients.values().filter_map(|c| c.next_wakeup()).min(), rr_tid),
+            (self.proto.tcp.next_wakeup(), tcp_tid),
+        ]
+    }
+
     /// Earliest instant this CAB has work, assuming no new input.
     pub fn next_work(&self, after: SimTime) -> Option<SimTime> {
-        self.rt.next_internal_work(after.max(self.rt.cursor))
+        let after = after.max(self.rt.cursor);
+        let mut next = self.rt.next_internal_work(after);
+        for (deadline, _) in self.stack_timers() {
+            if let Some(at) = deadline {
+                let at = at.max(after);
+                next = Some(next.map_or(at, |n| n.min(at)));
+            }
+        }
+        next
     }
 
     /// Execute one burst at (or after) `now`.
     pub fn step(&mut self, now: SimTime, trace: &mut Trace) -> (Vec<CabEffect>, StepStatus) {
         let t = self.rt.cursor.max(now);
         self.rt.apply_timeouts(t);
+        // timer interrupt: expired shared-stack deadlines wake the
+        // protocol thread that services them (see `stack_timers`)
+        for (deadline, tid) in self.stack_timers() {
+            if deadline.is_some_and(|at| at <= t) {
+                self.rt.wake_thread_if_blocked(tid);
+            }
+        }
         let mut fx = Vec::new();
 
         // 1. pending interrupts run first
@@ -230,7 +295,7 @@ impl Cab {
         }
 
         // 4. idle
-        (fx, StepStatus::Idle { next: self.rt.next_internal_work(t) })
+        (fx, StepStatus::Idle { next: self.next_work(t) })
     }
 
     fn cx<'a>(
@@ -299,6 +364,11 @@ impl Cab {
                     self.stats.frames_crc_dropped += 1;
                     return self.costs.interrupt_overhead;
                 };
+                if hdr.dst_cab != cx.cab_id {
+                    let _ = cx;
+                    self.stats.frames_misrouted += 1;
+                    return self.costs.interrupt_overhead;
+                }
                 let payload = frame.payload_buf().expect("header validated");
                 cx.stamp("cab_rx_end", hdr.msg_id as u64);
                 rx_dispatch(&mut cx, hdr.proto, hdr.src_cab, hdr.msg_id, payload);
@@ -513,6 +583,56 @@ mod tests {
         run_to_idle(&mut b, t0, &mut trace);
         assert_eq!(b.stats.frames_crc_dropped, 1);
         assert_eq!(b.proto.stats.datagrams_in, 0);
+    }
+
+    #[test]
+    fn misrouted_frame_refused_by_datalink() {
+        // valid CRC, but the header names CAB 2 — a corrupted route
+        // byte steered it here. The datalink layer must not dispatch it.
+        let mut b = cab(1);
+        let mut trace = Trace::new();
+        let (_, t0) = run_to_idle(&mut b, SimTime::ZERO, &mut trace);
+        let hdr = nectar_wire::datalink::DatalinkHeader {
+            dst_cab: 2,
+            src_cab: 0,
+            proto: nectar_wire::datalink::DatalinkProto::Datagram,
+            flags: 0,
+            payload_len: 0,
+            msg_id: 9,
+        };
+        let f = Frame::build(&Route::empty(), hdr, b"\x00\x14\x00\x00payload");
+        b.deliver_frame(t0, f);
+        run_to_idle(&mut b, t0, &mut trace);
+        assert_eq!(b.stats.frames_misrouted, 1);
+        assert_eq!(b.stats.frames_crc_dropped, 0);
+        assert_eq!(b.proto.stats.datagrams_in, 0);
+    }
+
+    #[test]
+    fn flush_rx_fifo_discards_parked_frames() {
+        let mut b = cab(1);
+        let mut trace = Trace::new();
+        let (_, t0) = run_to_idle(&mut b, SimTime::ZERO, &mut trace);
+        let hdr = nectar_wire::datalink::DatalinkHeader {
+            dst_cab: 1,
+            src_cab: 0,
+            proto: nectar_wire::datalink::DatalinkProto::Datagram,
+            flags: 0,
+            payload_len: 0,
+            msg_id: 3,
+        };
+        let f = Frame::build(&Route::empty(), hdr, b"\x00\x14\x00\x00payload");
+        let wire = f.wire_len() as u64;
+        b.deliver_frame(t0, f);
+        // flush before the end-of-packet interrupt fires: the frame is
+        // counted as received (it entered the FIFO) but never dispatched
+        let (frames, bytes) = b.flush_rx_fifo();
+        assert_eq!((frames, bytes), (1, wire));
+        run_to_idle(&mut b, t0, &mut trace);
+        assert_eq!(b.stats.frames_rx, 1);
+        assert_eq!(b.proto.stats.datagrams_in, 0);
+        // a second flush finds nothing
+        assert_eq!(b.flush_rx_fifo(), (0, 0));
     }
 
     #[test]

@@ -449,6 +449,18 @@ impl Runtime {
         self.pending_upcalls.push_back((u, mbox));
     }
 
+    /// Wake one specific blocked thread (the board's timer interrupt
+    /// for shared-stack deadlines armed outside the thread itself).
+    /// Spurious for the cond the thread waits on — thread bodies
+    /// re-check their state on every burst, so this is safe.
+    pub(crate) fn wake_thread_if_blocked(&mut self, tid: ThreadId) {
+        if let Some(slot) = self.threads.get_mut(tid as usize) {
+            if matches!(slot.state, ThreadState::Blocked { .. }) {
+                slot.state = ThreadState::Runnable;
+            }
+        }
+    }
+
     /// Wake sleeping / timed-out threads whose deadline has passed.
     pub(crate) fn apply_timeouts(&mut self, t: SimTime) {
         for slot in &mut self.threads {

@@ -5,6 +5,7 @@ use nectar_cab::{CostModel, LinkModel};
 use nectar_host::HostCostModel;
 use nectar_hub::HubConfig;
 use nectar_sim::SimDuration;
+use nectar_stack::rmp::RmpConfig;
 use nectar_stack::tcp::TcpConfig;
 
 /// Fault injection on fibers (applied where a frame enters the
@@ -26,6 +27,12 @@ pub struct Config {
     pub hub: HubConfig,
     pub host_costs: HostCostModel,
     pub tcp: TcpConfig,
+    /// RMP retransmission tuning for every CAB. `max_fragment` is
+    /// ignored — the fragment limit is always derived from [`Config::mtu`].
+    /// The default keeps the paper's constant 5 ms timeout; chaos
+    /// scenarios raise `rto_max`/`max_retries` so stop-and-wait channels
+    /// can ride out scheduled link outages.
+    pub rmp: RmpConfig,
     /// Datalink payload limit for IP packets and RMP fragments. The
     /// default admits an 8 KiB message in one packet, matching the
     /// paper's Figure 7/8 sweeps up to 8192 bytes.
@@ -60,6 +67,7 @@ impl Default for Config {
             hub: HubConfig::default(),
             host_costs: HostCostModel::default(),
             tcp: TcpConfig::default(),
+            rmp: RmpConfig::default(),
             mtu: 8 * 1024 + 64,
             doorbell_latency: SimDuration::from_micros(1),
             faults: FaultPlan::default(),

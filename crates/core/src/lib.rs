@@ -43,12 +43,16 @@
 //! ```
 
 pub mod config;
+pub mod fault;
 pub mod netdev;
 pub mod scenario;
 pub mod topology;
 pub mod world;
 
 pub use config::{Config, FaultPlan};
+pub use fault::{
+    FaultEngine, FaultScript, GilbertElliott, LinkId, LinkPlan, NodeOutage, NodeRef, Verdict,
+};
 pub use topology::{Attachment, Topology};
 pub use world::{NetStats, Sim, World};
 

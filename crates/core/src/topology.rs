@@ -146,6 +146,25 @@ impl Topology {
         Some(Route::new(ports_rev))
     }
 
+    /// Every fiber in the installation as a canonical
+    /// [`LinkId`](crate::fault::LinkId): one CAB↔HUB link per CAB plus
+    /// each HUB↔HUB trunk once, in sorted order.
+    pub fn links(&self) -> Vec<crate::fault::LinkId> {
+        use crate::fault::{LinkId, NodeRef};
+        let mut out = std::collections::BTreeSet::new();
+        for (cab, &(hub, _)) in self.cab_port.iter().enumerate() {
+            out.insert(LinkId::new(NodeRef::Cab(cab as u16), NodeRef::Hub(hub)));
+        }
+        for (h, ports) in self.port_map.iter().enumerate() {
+            for att in ports {
+                if let Attachment::Hub { hub, .. } = att {
+                    out.insert(LinkId::new(NodeRef::Hub(h as u16), NodeRef::Hub(*hub)));
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
     /// Routes from `src` to every other CAB.
     pub fn routes_from(&self, src: u16) -> HashMap<u16, Route> {
         (0..self.cabs() as u16)
@@ -210,5 +229,23 @@ mod tests {
     #[should_panic(expected = "16x16")]
     fn oversubscribed_single_hub_panics() {
         Topology::single_hub(17);
+    }
+
+    #[test]
+    fn links_enumerate_every_fiber_once() {
+        use crate::fault::{LinkId, NodeRef};
+        let t = Topology::two_hubs(26);
+        let links = t.links();
+        // 26 CAB fibers + 1 trunk
+        assert_eq!(links.len(), 27);
+        assert!(links.contains(&LinkId::new(NodeRef::Hub(0), NodeRef::Hub(1))));
+        assert!(links.contains(&LinkId::new(NodeRef::Cab(25), NodeRef::Hub(1))));
+        let mut sorted = links.clone();
+        sorted.sort();
+        assert_eq!(links, sorted, "links come out in canonical order");
+
+        let c = Topology::chain(3, 2);
+        // 6 CAB fibers + 2 trunks
+        assert_eq!(c.links().len(), 8);
     }
 }

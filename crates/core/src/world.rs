@@ -11,10 +11,11 @@
 use nectar_cab::{Cab, CabEffect, StepStatus};
 use nectar_host::{Host, HostEffect, HostStepStatus};
 use nectar_hub::{Hub, HubDecision};
-use nectar_sim::{Pcg32, SchedStats, Scheduler, SimDuration, SimTime, TimerId, Trace};
+use nectar_sim::{SchedStats, Scheduler, SimDuration, SimTime, TimerId, Trace};
 use nectar_wire::datalink::Frame;
 
 use crate::config::Config;
+use crate::fault::{FaultEngine, FaultScript, NodeRef, Verdict};
 use crate::topology::{Attachment, Topology};
 
 /// The event queue specialized to this world.
@@ -63,7 +64,11 @@ pub struct World {
     cab_wake: Vec<Option<TimerId>>,
     /// Same, for the hosts.
     host_wake: Vec<Option<TimerId>>,
-    fault_rng: Pcg32,
+    /// The fault authority: owns the fault RNG stream, the installed
+    /// [`FaultScript`] (if any) and all per-link/per-node fault
+    /// accounting. With no script installed it reproduces the legacy
+    /// global-plan draws bit for bit.
+    pub faults: FaultEngine,
 }
 
 impl World {
@@ -84,13 +89,18 @@ impl World {
                 cab.set_route(dst, route);
             }
             cab.proto.ip_in_thread = config.ip_in_thread;
+            // RMP retransmission tuning rides in via Config; the
+            // fragment limit stays governed by the MTU set above.
+            cab.proto.rmp_cfg.rto = config.rmp.rto;
+            cab.proto.rmp_cfg.rto_max = config.rmp.rto_max;
+            cab.proto.rmp_cfg.max_retries = config.rmp.max_retries;
             cabs.push(cab);
         }
         let hosts = (0..n as u16).map(|i| Host::new(i, i, config.host_costs)).collect();
         let hubs = (0..topo.hubs as u16).map(|h| Hub::new(h, config.hub)).collect();
         let mut sim = Sim::new();
         let world = World {
-            fault_rng: Pcg32::new(config.seed, 0xfau64),
+            faults: FaultEngine::new(config.seed, config.faults),
             trace: if config.trace { Trace::enabled() } else { Trace::new() },
             config,
             topo,
@@ -114,6 +124,27 @@ impl World {
     /// Convenience single-HUB constructor.
     pub fn single_hub(config: Config, hosts: usize) -> (World, Sim) {
         World::new(config, Topology::single_hub(hosts))
+    }
+
+    /// Install a per-link [`FaultScript`], replacing any previous one.
+    /// Noop clauses are pruned — an effectively-empty script leaves the
+    /// engine disabled and the schedule bit-identical to a fault-free
+    /// world. CAB blackout windows additionally schedule an input-FIFO
+    /// flush at outage start: a dark board loses whatever its DMA
+    /// engine had buffered.
+    pub fn install_fault_script(&mut self, sim: &mut Sim, script: &FaultScript) {
+        self.faults.install(script);
+        for o in self.faults.outages().to_vec() {
+            if let NodeRef::Cab(c) = o.node {
+                let c = c as usize;
+                sim.at(o.from, move |w, _s| {
+                    let (frames, bytes) = w.cabs[c].flush_rx_fifo();
+                    if frames > 0 {
+                        w.faults.note_fifo_flush(NodeRef::Cab(c as u16), frames, bytes);
+                    }
+                });
+            }
+        }
     }
 
     /// Run until the queue drains or `deadline` passes.
@@ -158,6 +189,34 @@ impl World {
         r.publish("net/bytes_lost_injected", s.bytes_lost_injected);
         r.publish("net/bytes_dead_end", s.bytes_dead_end);
 
+        // Per-link/per-node fault accounting, only while a script is
+        // active: fault-free snapshots keep the legacy key set, which
+        // the pinned fixture depends on.
+        if self.faults.enabled() {
+            let fs = &self.faults.stats;
+            r.publish("net/fault/frames_down_dropped", fs.frames_down_dropped);
+            r.publish("net/fault/bytes_down_dropped", fs.bytes_down_dropped);
+            r.publish("net/fault/fifo_flushed_frames", fs.fifo_flushed_frames);
+            r.publish("net/fault/fifo_flushed_bytes", fs.fifo_flushed_bytes);
+            for (link, st) in self.faults.link_stats() {
+                let label = link.label();
+                let p = |suffix: &str| format!("net/link/{label}/{suffix}");
+                r.publish(&p("frames_lost"), st.frames_lost);
+                r.publish(&p("bytes_lost"), st.bytes_lost);
+                r.publish(&p("frames_corrupted"), st.frames_corrupted);
+                r.publish(&p("frames_down_dropped"), st.frames_down_dropped);
+                r.publish(&p("bytes_down_dropped"), st.bytes_down_dropped);
+                r.publish(&p("burst_entries"), st.burst_entries);
+            }
+            for (node, st) in self.faults.node_stats() {
+                let p = |suffix: &str| format!("net/node/{node}/{suffix}");
+                r.publish(&p("frames_down_dropped"), st.frames_down_dropped);
+                r.publish(&p("bytes_down_dropped"), st.bytes_down_dropped);
+                r.publish(&p("fifo_flushed_frames"), st.fifo_flushed_frames);
+                r.publish(&p("fifo_flushed_bytes"), st.fifo_flushed_bytes);
+            }
+        }
+
         // a nonzero value means some cost model produced a timestamp in
         // the past and the scheduler clamped it to "now"
         r.publish("sched/clamped_past", self.sched.clamped_past());
@@ -179,6 +238,11 @@ impl World {
             r.publish(&p("link/rx_fifo_dropped_frames"), cab.stats.frames_fifo_dropped);
             r.publish(&p("link/rx_fifo_dropped_bytes"), cab.stats.bytes_fifo_dropped);
             r.publish(&p("link/rx_fifo_high_bytes"), cab.stats.rx_fifo_high);
+            if self.faults.enabled() {
+                // misroutes only arise from injected route corruption;
+                // gating keeps fault-free snapshots on the legacy key set
+                r.publish(&p("link/rx_misrouted"), cab.stats.frames_misrouted);
+            }
 
             let mut enq_msgs = 0u64;
             let mut enq_bytes = 0u64;
@@ -398,20 +462,25 @@ fn route_cab_effects(
     for e in fx {
         match e {
             CabEffect::Transmit { mut frame, first_byte } => {
+                let wire_len = frame.wire_len();
                 w.stats.frames_launched += 1;
-                w.stats.bytes_launched += frame.wire_len() as u64;
-                // fault injection where the frame enters the network
-                if w.fault_rng.chance(w.config.faults.loss) {
-                    w.stats.frames_lost_injected += 1;
-                    w.stats.bytes_lost_injected += frame.wire_len() as u64;
-                    continue;
-                }
-                if w.config.faults.corrupt > 0.0 && w.fault_rng.chance(w.config.faults.corrupt) {
-                    let bit = w.fault_rng.range(0, frame.wire_len() * 8);
-                    frame.corrupt_bit(bit);
-                    w.stats.frames_corrupted_injected += 1;
-                }
+                w.stats.bytes_launched += wire_len as u64;
                 let (hub, port) = w.topo.cab_port[i];
+                // fault injection where the frame enters the network:
+                // the legacy global plan, then the CAB↔HUB link plan
+                match w.faults.entry_verdict(i as u16, hub, first_byte, wire_len) {
+                    Verdict::Lose => {
+                        w.stats.frames_lost_injected += 1;
+                        w.stats.bytes_lost_injected += wire_len as u64;
+                        continue;
+                    }
+                    Verdict::Down => continue, // engine counted it
+                    Verdict::Corrupt(bit) => {
+                        frame.corrupt_bit(bit);
+                        w.stats.frames_corrupted_injected += 1;
+                    }
+                    Verdict::Deliver => {}
+                }
                 let prop = w.config.link.fiber_propagation;
                 let at = first_byte + prop;
                 sim.at(at, move |w, s| {
@@ -433,21 +502,70 @@ fn route_cab_effects(
 
 fn hub_frame_arrival(w: &mut World, sim: &mut Sim, hub: usize, in_port: u8, mut frame: Frame) {
     let now = sim.now();
-    let ser = SimDuration::serialization(frame.wire_len(), w.config.link.fiber_bits_per_sec);
+    let wire_len = frame.wire_len();
+    // a blacked-out HUB is dark: frames reaching any of its ports vanish
+    if w.faults.node_is_down(NodeRef::Hub(hub as u16), now) {
+        w.faults.note_node_down_drop(NodeRef::Hub(hub as u16), wire_len);
+        return;
+    }
+    let ser = SimDuration::serialization(wire_len, w.config.link.fiber_bits_per_sec);
     match w.hubs[hub].frame_arrival(now, in_port, &mut frame, ser) {
         HubDecision::Forward { out_port, first_byte_out } => {
             let prop = w.config.link.fiber_propagation;
             let at = first_byte_out + prop;
             match w.topo.port_map[hub][out_port as usize] {
                 Attachment::Cab(c) => {
+                    // the outbound HUB↔CAB fiber has its own plan,
+                    // judged as the first byte leaves the crossbar
+                    match w.faults.forward_verdict(
+                        hub as u16,
+                        NodeRef::Cab(c),
+                        first_byte_out,
+                        wire_len,
+                    ) {
+                        Verdict::Lose => {
+                            w.stats.frames_lost_injected += 1;
+                            w.stats.bytes_lost_injected += wire_len as u64;
+                            return;
+                        }
+                        Verdict::Down => return,
+                        Verdict::Corrupt(bit) => {
+                            frame.corrupt_bit(bit);
+                            w.stats.frames_corrupted_injected += 1;
+                        }
+                        Verdict::Deliver => {}
+                    }
                     let c = c as usize;
                     sim.at(at, move |w, s| {
                         let t = s.now();
+                        // a dark destination board receives nothing
+                        if w.faults.node_is_down(NodeRef::Cab(c as u16), t) {
+                            w.faults.note_node_down_drop(NodeRef::Cab(c as u16), frame.wire_len());
+                            return;
+                        }
                         w.cabs[c].deliver_frame(t, frame);
                         kick_cab(w, s, c);
                     });
                 }
                 Attachment::Hub { hub: h2, in_port: p2 } => {
+                    match w.faults.forward_verdict(
+                        hub as u16,
+                        NodeRef::Hub(h2),
+                        first_byte_out,
+                        wire_len,
+                    ) {
+                        Verdict::Lose => {
+                            w.stats.frames_lost_injected += 1;
+                            w.stats.bytes_lost_injected += wire_len as u64;
+                            return;
+                        }
+                        Verdict::Down => return,
+                        Verdict::Corrupt(bit) => {
+                            frame.corrupt_bit(bit);
+                            w.stats.frames_corrupted_injected += 1;
+                        }
+                        Verdict::Deliver => {}
+                    }
                     sim.at(at, move |w, s| {
                         hub_frame_arrival(w, s, h2 as usize, p2, frame);
                     });

@@ -43,6 +43,45 @@ impl Gen {
         let n = self.rng.range(lo, hi);
         (0..n).map(|_| self.rng.next_u32() as u8).collect()
     }
+
+    /// True with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.chance(p)
+    }
+
+    /// A uniformly chosen element of `items` (panics on an empty slice,
+    /// like indexing would).
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.rng.below(items.len() as u32) as usize]
+    }
+}
+
+/// Number of cases a suite should run: `n`, unless the named
+/// environment variable overrides it (e.g. `NECTAR_CHAOS_CASES=40`).
+/// Lets CI dial one suite up or down without a rebuild.
+pub fn cases_from_env(var: &str, n: u64) -> u64 {
+    std::env::var(var).ok().and_then(|s| s.trim().parse().ok()).filter(|&v| v > 0).unwrap_or(n)
+}
+
+/// Greedily shrink a failing input to a local minimum. `candidates`
+/// proposes strictly-smaller variants of `input`; any variant for which
+/// `fails` still returns true becomes the new input, and the loop
+/// restarts until no candidate reproduces the failure. Deterministic:
+/// candidates are tried in the order proposed.
+pub fn shrink<T: Clone>(
+    mut input: T,
+    mut candidates: impl FnMut(&T) -> Vec<T>,
+    mut fails: impl FnMut(&T) -> bool,
+) -> T {
+    'outer: loop {
+        for cand in candidates(&input) {
+            if fails(&cand) {
+                input = cand;
+                continue 'outer;
+            }
+        }
+        return input;
+    }
 }
 
 /// Run `f` over `n` generated cases. Panics propagate after printing
@@ -90,6 +129,37 @@ mod tests {
         let mut count = 0;
         cases(17, |_| count += 1);
         assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn shrink_reaches_local_minimum() {
+        // failure = the vec contains a 7; shrinking removes one element
+        // at a time, so the minimum is exactly [7].
+        let input = vec![3, 7, 1, 7, 9];
+        let min = shrink(
+            input,
+            |v: &Vec<i32>| {
+                (0..v.len())
+                    .map(|i| {
+                        let mut c = v.clone();
+                        c.remove(i);
+                        c
+                    })
+                    .collect()
+            },
+            |v| v.contains(&7),
+        );
+        assert_eq!(min, vec![7]);
+    }
+
+    #[test]
+    fn cases_from_env_parses_override() {
+        assert_eq!(cases_from_env("NECTAR_NO_SUCH_VAR_", 20), 20);
+        std::env::set_var("NECTAR_CHECK_TEST_CASES_VAR", "7");
+        assert_eq!(cases_from_env("NECTAR_CHECK_TEST_CASES_VAR", 20), 7);
+        std::env::set_var("NECTAR_CHECK_TEST_CASES_VAR", "junk");
+        assert_eq!(cases_from_env("NECTAR_CHECK_TEST_CASES_VAR", 20), 20);
+        std::env::remove_var("NECTAR_CHECK_TEST_CASES_VAR");
     }
 
     #[test]

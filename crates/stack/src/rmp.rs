@@ -26,13 +26,39 @@ pub struct RmpConfig {
     pub max_fragment: usize,
     /// Retransmission timeout for an unacknowledged fragment.
     pub rto: SimDuration,
+    /// Ceiling for the exponential retransmission backoff. The paper's
+    /// RMP uses a constant timeout (RTT is microseconds, loss is rare),
+    /// so the default equals `rto` — backoff disabled, bit-identical
+    /// legacy schedule. Raise it to let a channel ride out link outages
+    /// longer than `rto * max_retries`.
+    pub rto_max: SimDuration,
     /// Give up after this many retransmissions of one fragment.
     pub max_retries: u32,
 }
 
 impl Default for RmpConfig {
     fn default() -> Self {
-        RmpConfig { max_fragment: 8 * 1024, rto: SimDuration::from_millis(5), max_retries: 10 }
+        RmpConfig {
+            max_fragment: 8 * 1024,
+            rto: SimDuration::from_millis(5),
+            rto_max: SimDuration::from_millis(5),
+            max_retries: 10,
+        }
+    }
+}
+
+impl RmpConfig {
+    /// Timeout for a fragment that has already been retransmitted
+    /// `retries` times: `rto * 2^retries`, capped at `rto_max`.
+    fn backoff(&self, retries: u32) -> SimDuration {
+        let mut t = self.rto;
+        for _ in 0..retries {
+            if t >= self.rto_max {
+                break;
+            }
+            t = (t + t).min(self.rto_max);
+        }
+        t.min(self.rto_max).max(self.rto)
     }
 }
 
@@ -172,7 +198,7 @@ impl RmpSender {
                         out.push(RmpSendAction::Failed { msg_seq });
                         return;
                     }
-                    fl.deadline = now + self.cfg.rto;
+                    fl.deadline = now + self.cfg.backoff(fl.retries);
                     let msg = &self.queue.front().expect("in-flight implies queued").1;
                     let packet = {
                         let header = RmpHeader {
@@ -351,7 +377,12 @@ mod tests {
     }
 
     fn cfg(max_fragment: usize) -> RmpConfig {
-        RmpConfig { max_fragment, rto: SimDuration::from_micros(100), max_retries: 3 }
+        RmpConfig {
+            max_fragment,
+            rto: SimDuration::from_micros(100),
+            rto_max: SimDuration::from_micros(100),
+            max_retries: 3,
+        }
     }
 
     /// Deliver a Transmit action's packet to the receiver, returning
@@ -496,6 +527,43 @@ mod tests {
         out.clear();
         tx.poll(now + SimDuration::from_secs(1), &mut out);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn exponential_backoff_doubles_up_to_cap() {
+        let cfg = RmpConfig {
+            max_fragment: 1024,
+            rto: SimDuration::from_micros(100),
+            rto_max: SimDuration::from_micros(600),
+            max_retries: 10,
+        };
+        // the schedule itself: 100, 200, 400, 600, 600, …
+        assert_eq!(cfg.backoff(0), SimDuration::from_micros(100));
+        assert_eq!(cfg.backoff(1), SimDuration::from_micros(200));
+        assert_eq!(cfg.backoff(2), SimDuration::from_micros(400));
+        assert_eq!(cfg.backoff(3), SimDuration::from_micros(600));
+        assert_eq!(cfg.backoff(9), SimDuration::from_micros(600));
+        // and the default config keeps the legacy constant timeout
+        let legacy = RmpConfig::default();
+        assert_eq!(legacy.backoff(0), legacy.rto);
+        assert_eq!(legacy.backoff(7), legacy.rto);
+
+        // observed through the sender: the second retransmission waits
+        // 2x the first.
+        let mut tx = RmpSender::new(2, 7, 3, cfg);
+        tx.send(vec![0u8; 8]);
+        let mut out = Vec::new();
+        tx.poll(t(0), &mut out); // first transmit, deadline = 100
+        out.clear();
+        tx.poll(t(100), &mut out); // retry #1, deadline = 100 + 200
+        assert_eq!(out.len(), 1);
+        assert_eq!(tx.next_wakeup(), Some(t(300)));
+        out.clear();
+        tx.poll(t(299), &mut out);
+        assert!(out.is_empty(), "backoff deadline not yet reached");
+        tx.poll(t(300), &mut out); // retry #2, deadline = 300 + 400
+        assert_eq!(out.len(), 1);
+        assert_eq!(tx.next_wakeup(), Some(t(700)));
     }
 
     #[test]

@@ -180,6 +180,13 @@ impl TcpSocket {
         &self.stats
     }
 
+    /// Sequence-space snapshot `(snd_una, snd_nxt, rcv_nxt)` for
+    /// invariant checks: `snd_una` never runs ahead of `snd_nxt`, and
+    /// both only move forward between snapshots.
+    pub fn seq_state(&self) -> (SeqNum, SeqNum, SeqNum) {
+        (self.snd_una, self.snd_nxt, self.rcv_nxt)
+    }
+
     pub fn local(&self) -> (Ipv4Addr, u16) {
         self.local
     }
@@ -257,7 +264,15 @@ impl TcpSocket {
         match self.state {
             TcpState::Closed => {}
             TcpState::SynSent => {
-                self.enter_closed(ev, Some(TcpEvent::Closed));
+                if self.snd_buf.is_empty() {
+                    self.enter_closed(ev, Some(TcpEvent::Closed));
+                } else {
+                    // Data was queued before the handshake finished:
+                    // keep the connection alive so the SYN retransmit
+                    // path can still win, and let the FIN follow the
+                    // buffered bytes once established.
+                    self.fin_queued = true;
+                }
             }
             TcpState::SynReceived | TcpState::Established | TcpState::CloseWait
                 if !self.fin_queued =>

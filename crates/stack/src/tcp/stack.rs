@@ -289,6 +289,12 @@ impl TcpStack {
         self.sockets.len()
     }
 
+    /// Iterate all live sockets in `SocketId` order (tests and
+    /// diagnostics).
+    pub fn sockets(&self) -> impl Iterator<Item = (&SocketId, &TcpSocket)> {
+        self.sockets.iter()
+    }
+
     /// Stack-level counters (pre-demux drops + closed-socket totals).
     pub fn stats(&self) -> &TcpStackStats {
         &self.stats

@@ -48,8 +48,12 @@ fn rmp_reliable_exactly_once_under_loss() {
         let messages: Vec<Vec<u8>> = (0..g.usize_in(1, 6)).map(|_| g.bytes(0, 700)).collect();
         let loss_seed = g.u64();
         let loss = g.f64_in(0.0, 0.4);
-        let cfg =
-            RmpConfig { max_fragment: 256, rto: SimDuration::from_micros(100), max_retries: 200 };
+        let cfg = RmpConfig {
+            max_fragment: 256,
+            rto: SimDuration::from_micros(100),
+            rto_max: SimDuration::from_micros(100),
+            max_retries: 200,
+        };
         let mut tx = RmpSender::new(2, 7, 3, cfg);
         let mut rx = RmpReceiver::new();
         let mut rng = Pcg32::seeded(loss_seed);

@@ -351,6 +351,35 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_bit_copies_before_writing() {
+        // The fault injector flips bits on frames whose storage is
+        // shared with in-flight clones and zero-copy payload views;
+        // corruption must copy first, never write through.
+        let f0 = Frame::build(&Route::new(vec![2, 5]), header(), b"cow payload");
+        let view = f0.payload_buf().unwrap();
+        let sibling = f0.clone();
+
+        // corrupt a payload bit on a clone that shares f0's allocation
+        let mut corrupted = f0.clone();
+        let payload_bit = (corrupted.wire_len() - CRC_LEN - 1) * 8;
+        corrupted.corrupt_bit(payload_bit);
+        assert!(corrupted.check_crc().is_err(), "flip must damage the corrupted frame");
+        // … while every sibling still reads the original bytes
+        sibling.check_crc().unwrap();
+        f0.check_crc().unwrap();
+        assert_eq!(view.as_slice(), b"cow payload");
+        assert_eq!(sibling.payload().unwrap(), b"cow payload");
+
+        // the route_pos byte is an overlay: corrupting it perturbs only
+        // this frame's routing state, not the shared buffer
+        let mut strayed = f0.clone();
+        strayed.corrupt_bit(8); // byte 1, bit 0
+        assert_ne!(strayed.next_hop(), sibling.next_hop());
+        assert_eq!(sibling.next_hop().unwrap(), Some(2));
+        strayed.check_crc().unwrap(); // route bytes are outside the CRC
+    }
+
+    #[test]
     fn payload_buf_outlives_frame() {
         let f = Frame::build(&Route::new(vec![1]), header(), b"zero copy view");
         let view = f.payload_buf().unwrap();

@@ -5,6 +5,7 @@
 #
 #   scripts/ci.sh            # fmt --check + clippy -D warnings + tests
 #   scripts/ci.sh --fix      # apply formatting instead of checking it
+#   scripts/ci.sh --full     # also run the full chaos sweep (40 cases)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +18,18 @@ fi
 cargo clippy --workspace --all-targets -- -D warnings
 
 cargo test --workspace -q
+
+# chaos smoke: randomized fault schedules against the 26-host fabric.
+# The in-tree test already runs 20 cases; this stage re-runs a quick
+# sweep standalone so a failure prints its replay seed prominently
+# (rerun one case with NECTAR_CHECK_SEED=<seed>). --full widens it.
+chaos_cases=5
+if [[ "${1:-}" == "--full" ]]; then
+    chaos_cases=40
+fi
+echo "ci: chaos sweep (${chaos_cases} cases; replay failures with NECTAR_CHECK_SEED=<seed>)"
+NECTAR_CHAOS_CASES="$chaos_cases" cargo test -q -p nectar-integration --test chaos \
+    -- chaos_randomized_fault_schedules_preserve_invariants
 
 # simspeed smoke: a quick-mode run must emit a well-formed JSON artifact.
 smoke_dir="$(mktemp -d)"

@@ -1,0 +1,64 @@
+//! Fault-engine boundary properties: the two ends of the loss dial.
+//!
+//! `loss = 1.0` on every fiber must black the fabric out completely and
+//! account for every launched frame as injected loss; `loss = 0.0`
+//! must leave the engine disabled and the schedule byte-identical to
+//! the committed fault-free fixture.
+
+use nectar::config::Config;
+use nectar::fault::{FaultScript, LinkPlan};
+use nectar::scenario::two_hub_pair_load;
+use nectar::topology::Topology;
+use nectar::world::World;
+use nectar_sim::{SimDuration, SimTime};
+
+const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/twohub_metrics.json");
+
+#[test]
+fn total_loss_delivers_nothing_and_accounts_for_every_frame() {
+    let topo = Topology::two_hubs(26);
+    let script = FaultScript::uniform(&topo, LinkPlan { loss: 1.0, ..LinkPlan::default() });
+    let (mut world, mut sim) = World::new(Config::default(), Topology::two_hubs(26));
+    world.install_fault_script(&mut sim, &script);
+    let handles = two_hub_pair_load(&mut world, 64 * 1024, 1024);
+    world.run_until(&mut sim, SimTime::ZERO + SimDuration::from_millis(500));
+
+    for (i, (received, done)) in handles.iter().enumerate() {
+        assert_eq!(received.get(), 0, "stream {i} delivered bytes through a dead fabric");
+        assert!(!done.get(), "stream {i} completed through a dead fabric");
+    }
+
+    let snap = world.metrics();
+    let launched = snap.get("net/frames_launched").unwrap();
+    assert!(launched > 0, "no frames were even launched");
+    // every frame died at its entry fiber: injected loss is the only sink
+    assert_eq!(snap.get("net/frames_lost_injected").unwrap(), launched);
+    assert_eq!(
+        snap.get("net/bytes_lost_injected").unwrap(),
+        snap.get("net/bytes_launched").unwrap()
+    );
+    assert_eq!(snap.sum_matching("node/", "/link/rx_frames"), 0);
+    // the per-link ledger carries the same total
+    assert_eq!(snap.sum_matching("net/link/", "/frames_lost"), launched);
+}
+
+#[test]
+fn noop_script_keeps_the_fault_free_fixture_byte_identical() {
+    // A script of all-zero plans must prune to nothing at install time:
+    // engine disabled, no fault RNG draws, and the exact event schedule
+    // of the pinned fault-free run — compared byte-for-byte against the
+    // same fixture `simkernel.rs` pins.
+    let topo = Topology::two_hubs(26);
+    let script = FaultScript::uniform(&topo, LinkPlan { loss: 0.0, ..LinkPlan::default() });
+    assert!(script.is_empty());
+
+    let (mut world, mut sim) = World::new(Config::default(), Topology::two_hubs(26));
+    world.install_fault_script(&mut sim, &script);
+    assert!(!world.faults.enabled(), "a no-op script must leave the engine disabled");
+    let _handles = two_hub_pair_load(&mut world, u64::MAX / 2, 1024);
+    world.run_until(&mut sim, SimTime::ZERO + SimDuration::from_millis(10));
+
+    let want = std::fs::read_to_string(FIXTURE)
+        .expect("fixture missing; run simkernel with NECTAR_BLESS=1 to create it");
+    assert!(world.metrics_json() == want, "a no-op fault script perturbed the fault-free schedule");
+}

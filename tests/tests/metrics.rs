@@ -3,7 +3,8 @@
 //! boundaries of the §6 production deployment (26 hosts, 2 HUBs).
 
 use nectar::config::{Config, FaultPlan};
-use nectar::scenario::{CabEcho, CabPinger, CabRmpStreamer, CabSink, Transport};
+use nectar::fault::{FaultScript, GilbertElliott, LinkId, LinkPlan, NodeOutage, NodeRef};
+use nectar::scenario::{two_hub_pair_load, CabEcho, CabPinger, CabRmpStreamer, CabSink, Transport};
 use nectar::topology::Topology;
 use nectar::world::World;
 use nectar_cab::HostOpMode;
@@ -183,4 +184,76 @@ fn conservation_holds_under_injected_loss() {
         let s = world.cabs[1].proto.rmp_rx.stats();
         s.delivered
     });
+}
+
+#[test]
+fn per_link_fault_keys_are_complete_sorted_and_deterministic() {
+    // A script touching every clause type must surface a full per-link
+    // and per-node key set, in sorted order, byte-identical across runs.
+    let down_from = SimTime::ZERO + SimDuration::from_millis(1);
+    let script = FaultScript {
+        links: vec![
+            (
+                LinkId::new(NodeRef::Cab(3), NodeRef::Hub(1)),
+                LinkPlan { loss: 0.2, ..LinkPlan::default() },
+            ),
+            (
+                LinkId::new(NodeRef::Hub(0), NodeRef::Hub(1)),
+                LinkPlan {
+                    corrupt: 0.1,
+                    burst: Some(GilbertElliott::default()),
+                    down: vec![(down_from, down_from + SimDuration::from_millis(5))],
+                    ..LinkPlan::default()
+                },
+            ),
+        ],
+        outages: vec![NodeOutage {
+            node: NodeRef::Cab(8),
+            from: down_from,
+            until: down_from + SimDuration::from_millis(5),
+        }],
+    };
+    let run = || {
+        let (mut world, mut sim) = World::new(Config::default(), Topology::two_hubs(26));
+        world.install_fault_script(&mut sim, &script);
+        let _handles = two_hub_pair_load(&mut world, 8 * 1024, 1024);
+        world.run_until(&mut sim, until(30));
+        world.metrics()
+    };
+    let snap = run();
+
+    // every installed link plan publishes its whole counter family
+    for label in ["cab3-hub1", "hub0-hub1"] {
+        for suffix in [
+            "frames_lost",
+            "bytes_lost",
+            "frames_corrupted",
+            "frames_down_dropped",
+            "bytes_down_dropped",
+            "burst_entries",
+        ] {
+            let key = format!("net/link/{label}/{suffix}");
+            assert!(snap.get(&key).is_some(), "missing per-link fault key {key}");
+        }
+    }
+    for suffix in
+        ["frames_down_dropped", "bytes_down_dropped", "fifo_flushed_frames", "fifo_flushed_bytes"]
+    {
+        let key = format!("net/node/cab8/{suffix}");
+        assert!(snap.get(&key).is_some(), "missing per-node fault key {key}");
+    }
+    // links the script never named stay off the ledger
+    assert!(
+        snap.iter().all(|(k, _)| !k.starts_with("net/link/cab0-")),
+        "unplanned link leaked into the fault ledger"
+    );
+
+    // sorted key order (the fixture diff story depends on it) …
+    let keys: Vec<&str> = snap.iter().map(|(k, _)| k).collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    assert_eq!(keys, sorted, "snapshot keys must iterate in sorted order");
+
+    // … and the whole snapshot replays byte-identically
+    assert_eq!(snap.to_json(), run().to_json());
 }

@@ -2,7 +2,10 @@
 //! two hosts through their CABs and a HUB.
 
 use nectar::config::Config;
-use nectar::scenario::{EchoServer, Pinger, Transport};
+use nectar::fault::{FaultScript, LinkId, LinkPlan, NodeRef};
+use nectar::scenario::{
+    CabRmpStreamer, CabSink, CabTcpListener, CabTcpStreamer, EchoServer, Pinger, Transport,
+};
 use nectar::world::World;
 use nectar_cab::HostOpMode;
 use nectar_sim::{SimDuration, SimTime};
@@ -70,6 +73,78 @@ fn blocking_wait_also_works_and_is_slower() {
     assert!(
         block_median > poll_median,
         "blocking path must pay syscall+interrupt costs: poll={poll_median} block={block_median}"
+    );
+}
+
+/// A 50 ms dark-fiber window on the sender's uplink, opening just
+/// after the transfer starts.
+fn outage_script() -> FaultScript {
+    let from = SimTime::ZERO + SimDuration::from_micros(100);
+    let until = from + SimDuration::from_millis(50);
+    FaultScript {
+        links: vec![(
+            LinkId::new(NodeRef::Cab(0), NodeRef::Hub(0)),
+            LinkPlan { down: vec![(from, until)], ..LinkPlan::default() },
+        )],
+        outages: Vec::new(),
+    }
+}
+
+#[test]
+fn rmp_stream_survives_a_50ms_link_outage() {
+    // The paper's constant 5 ms timeout with 10 retries would give up
+    // inside the window — the chaos-tuned backoff must outlive it.
+    let mut config = Config::default();
+    config.rmp.rto_max = SimDuration::from_millis(20);
+    config.rmp.max_retries = 64;
+    let (mut world, mut sim) = World::single_hub(config, 2);
+    world.install_fault_script(&mut sim, &outage_script());
+
+    let total_bytes = 64 * 1024u64;
+    let sink_mbox = world.cabs[1].shared.create_mailbox(false, HostOpMode::SharedMemory);
+    let src_mbox = world.cabs[0].shared.create_mailbox(false, HostOpMode::SharedMemory);
+    let (sink, _, received, done) = CabSink::new(sink_mbox, total_bytes);
+    world.cabs[1].fork_app(Box::new(sink));
+    let (streamer, _) = CabRmpStreamer::new((1, sink_mbox), src_mbox, 1024, total_bytes);
+    world.cabs[0].fork_app(Box::new(streamer));
+    world.run_until(&mut sim, SimTime::ZERO + SimDuration::from_secs(30));
+
+    assert!(done.get(), "RMP delivered only {} of {total_bytes}", received.get());
+    assert_eq!(received.get(), total_bytes);
+    let snap = world.metrics();
+    assert!(snap.get("net/fault/frames_down_dropped").unwrap() > 0, "outage never bit");
+    assert!(
+        snap.get("net/link/cab0-hub0/frames_down_dropped").unwrap() > 0,
+        "per-link ledger missed the outage"
+    );
+    assert!(
+        snap.get("node/0/rmp/retransmits").unwrap() > 0,
+        "recovery must come from RMP retransmission"
+    );
+}
+
+#[test]
+fn tcp_stream_survives_a_50ms_link_outage() {
+    let (mut world, mut sim) = World::single_hub(Config::default(), 2);
+    world.install_fault_script(&mut sim, &outage_script());
+
+    let total_bytes = 64 * 1024u64;
+    let sink_mbox = world.cabs[1].shared.create_mailbox(false, HostOpMode::SharedMemory);
+    let accept = world.cabs[1].shared.create_mailbox(false, HostOpMode::SharedMemory);
+    let (sink, _, received, done) = CabSink::new(sink_mbox, total_bytes);
+    world.cabs[1].fork_app(Box::new(CabTcpListener::new(5000, accept, sink_mbox)));
+    world.cabs[1].fork_app(Box::new(sink));
+    let (streamer, _) = CabTcpStreamer::new(1, 5000, 1024, total_bytes);
+    world.cabs[0].fork_app(Box::new(streamer));
+    world.run_until(&mut sim, SimTime::ZERO + SimDuration::from_secs(30));
+
+    assert!(done.get(), "TCP delivered only {} of {total_bytes}", received.get());
+    assert_eq!(received.get(), total_bytes);
+    let snap = world.metrics();
+    assert!(snap.get("net/fault/frames_down_dropped").unwrap() > 0, "outage never bit");
+    assert!(
+        snap.get("node/0/tcp/retransmits").unwrap() > 0,
+        "recovery must come from TCP retransmission"
     );
 }
 
