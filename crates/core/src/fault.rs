@@ -345,7 +345,13 @@ impl FaultEngine {
                 stats: LinkFaultStats::default(),
             });
             // merging repeated clauses for one link: last probabilistic
-            // settings win, down windows accumulate
+            // settings win, down windows accumulate, and the heal
+            // deadline widens to cover every probabilistic clause
+            // merged in (`until: None` — permanent — dominates). A
+            // down-only clause carries no probabilistic content, so its
+            // `until` field never disturbs the merged deadline.
+            let had_probabilistic =
+                e.plan.loss > 0.0 || e.plan.corrupt > 0.0 || e.plan.burst.is_some();
             if plan.loss > 0.0 {
                 e.plan.loss = plan.loss;
             }
@@ -354,6 +360,13 @@ impl FaultEngine {
             }
             if plan.burst.is_some() {
                 e.plan.burst = plan.burst;
+            }
+            if plan.loss > 0.0 || plan.corrupt > 0.0 || plan.burst.is_some() {
+                e.plan.until = match (had_probabilistic, e.plan.until, plan.until) {
+                    (false, _, until) => until,
+                    (true, Some(a), Some(b)) => Some(a.max(b)),
+                    (true, _, _) => None,
+                };
             }
             e.plan.down.extend(plan.down.iter().copied().filter(|&(f, u)| f < u));
         }
@@ -385,11 +398,21 @@ impl FaultEngine {
     }
 
     /// Checkpoint where a frame enters the network (CAB `cab` begins
-    /// transmitting toward HUB `hub` at `at`). Performs the legacy
-    /// global-plan draws first, in the legacy order, then the per-link
-    /// plan for the CAB↔HUB fiber. A dark transmitting CAB drops the
-    /// frame at the source.
+    /// transmitting toward HUB `hub` at `at`). A dark transmitting CAB
+    /// drops the frame at the source *before* any probabilistic draw: a
+    /// powered-off board never puts the frame on the fiber, so the drop
+    /// is accounted as a scheduled down-drop (never as random injected
+    /// loss) and consumes no fault RNG. Surviving frames face the
+    /// legacy global-plan draws in the legacy order, then the per-link
+    /// plan for the CAB↔HUB fiber. With no script installed the
+    /// blackout check is inert, so the draw stream stays bit-identical
+    /// to the pre-engine code; only configuring a node outage together
+    /// with a non-trivial legacy plan shifts the legacy stream.
     pub fn entry_verdict(&mut self, cab: u16, hub: u16, at: SimTime, wire_len: usize) -> Verdict {
+        if self.node_is_down(NodeRef::Cab(cab), at) {
+            self.note_node_down_drop(NodeRef::Cab(cab), wire_len);
+            return Verdict::Down;
+        }
         // legacy draws, exact order — this is the compatibility spine
         if self.rng.chance(self.plan.loss) {
             return Verdict::Lose;
@@ -400,10 +423,6 @@ impl FaultEngine {
         }
         if !self.enabled {
             return Verdict::Deliver;
-        }
-        if self.node_is_down(NodeRef::Cab(cab), at) {
-            self.note_node_down_drop(NodeRef::Cab(cab), wire_len);
-            return Verdict::Down;
         }
         self.link_verdict(LinkId::new(NodeRef::Cab(cab), NodeRef::Hub(hub)), at, wire_len)
     }
@@ -579,6 +598,98 @@ mod tests {
         }
         let st: Vec<_> = e.link_stats().collect();
         assert_eq!(st[0].1.frames_lost, 50);
+    }
+
+    #[test]
+    fn probabilistic_faults_heal_at_deadline() {
+        // exercised through install() + entry_verdict, not raw script
+        // fields: the deadline must survive the clause-merge into
+        // engine state, and from it on the fiber is clean
+        let mut e = FaultEngine::new(5, FaultPlan::default());
+        let link = LinkId::new(NodeRef::Cab(0), NodeRef::Hub(0));
+        e.install(&FaultScript {
+            links: vec![(
+                link,
+                LinkPlan { loss: 1.0, until: Some(t(10)), ..LinkPlan::default() },
+            )],
+            outages: vec![],
+        });
+        for i in 0..10 {
+            assert_eq!(e.entry_verdict(0, 0, t(i), 64), Verdict::Lose);
+        }
+        for i in 10..40 {
+            assert_eq!(
+                e.entry_verdict(0, 0, t(i), 64),
+                Verdict::Deliver,
+                "fiber must be clean from the heal deadline on"
+            );
+        }
+        let st: Vec<_> = e.link_stats().collect();
+        assert_eq!(st[0].1.frames_lost, 10);
+    }
+
+    #[test]
+    fn merged_clauses_widen_heal_deadline() {
+        let mut e = FaultEngine::new(5, FaultPlan::default());
+        let link = LinkId::new(NodeRef::Cab(1), NodeRef::Hub(0));
+        // two probabilistic clauses on one fiber: the merged plan heals
+        // at the later deadline
+        e.install(&FaultScript {
+            links: vec![
+                (link, LinkPlan { loss: 1.0, until: Some(t(10)), ..LinkPlan::default() }),
+                (link, LinkPlan { corrupt: 1.0, until: Some(t(20)), ..LinkPlan::default() }),
+            ],
+            outages: vec![],
+        });
+        assert_eq!(e.entry_verdict(1, 0, t(5), 64), Verdict::Lose);
+        assert_eq!(e.entry_verdict(1, 0, t(15), 64), Verdict::Lose);
+        assert_eq!(e.entry_verdict(1, 0, t(25), 64), Verdict::Deliver);
+
+        // a permanent clause (until: None) keeps the fiber degraded
+        e.install(&FaultScript {
+            links: vec![
+                (link, LinkPlan { loss: 1.0, until: Some(t(10)), ..LinkPlan::default() }),
+                (link, LinkPlan { corrupt: 1.0, ..LinkPlan::default() }),
+            ],
+            outages: vec![],
+        });
+        assert_eq!(e.entry_verdict(1, 0, t(1_000_000), 64), Verdict::Lose);
+
+        // a down-only clause must not disturb the probabilistic deadline
+        e.install(&FaultScript {
+            links: vec![
+                (link, LinkPlan { loss: 1.0, until: Some(t(10)), ..LinkPlan::default() }),
+                (link, LinkPlan { down: vec![(t(2), t(4))], ..LinkPlan::default() }),
+            ],
+            outages: vec![],
+        });
+        assert_eq!(e.entry_verdict(1, 0, t(3), 64), Verdict::Down);
+        assert_eq!(e.entry_verdict(1, 0, t(5), 64), Verdict::Lose);
+        assert_eq!(e.entry_verdict(1, 0, t(11), 64), Verdict::Deliver);
+    }
+
+    #[test]
+    fn blackout_drop_precedes_legacy_draws() {
+        // a dark CAB's frames are down-drops, never accounted as random
+        // injected loss, and they consume no legacy RNG state — the
+        // draw stream resumes exactly where it stood once the node is up
+        let plan = FaultPlan { loss: 0.5, corrupt: 0.0 };
+        let mut e = FaultEngine::new(123, plan);
+        e.install(&FaultScript {
+            links: vec![],
+            outages: vec![NodeOutage { node: NodeRef::Cab(0), from: t(0), until: t(100) }],
+        });
+        for i in 0..50 {
+            assert_eq!(e.entry_verdict(0, 0, t(i), 64), Verdict::Down);
+        }
+        let mut reference = Pcg32::new(123, 0xfau64);
+        for i in 100..200 {
+            let expect =
+                if reference.chance(plan.loss) { Verdict::Lose } else { Verdict::Deliver };
+            assert_eq!(e.entry_verdict(0, 0, t(i), 64), expect);
+        }
+        let ns: Vec<_> = e.node_stats().collect();
+        assert_eq!(ns[0].1.frames_down_dropped, 50);
     }
 
     #[test]

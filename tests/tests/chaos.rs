@@ -22,7 +22,7 @@
 //! `NECTAR_CHAOS_CASES=<n>`.
 
 use nectar::config::Config;
-use nectar::fault::FaultScript;
+use nectar::fault::{FaultScript, LinkPlan};
 use nectar::scenario::two_hub_pair_load;
 use nectar::topology::Topology;
 use nectar::world::World;
@@ -174,6 +174,46 @@ fn chaos_randomized_fault_schedules_preserve_invariants() {
             );
         }
     });
+}
+
+#[test]
+fn faults_lift_at_heal_deadline() {
+    // loss = 1.0 on every fiber with a heal deadline: nothing gets
+    // through before heal, every stream completes after, and the
+    // per-link loss counters stop growing the moment the deadline
+    // passes. This pins that `LinkPlan::until` is honored end-to-end
+    // (install → entry_verdict → world), not merely present in the
+    // script — with inert deadlines the pre-heal blackout would be
+    // permanent and no stream could ever finish.
+    let topo = Topology::two_hubs(26);
+    let script = FaultScript::uniform(
+        &topo,
+        LinkPlan { loss: 1.0, until: Some(heal_time()), ..LinkPlan::default() },
+    );
+    let (mut world, mut sim) = World::new(chaos_config(7), Topology::two_hubs(26));
+    world.install_fault_script(&mut sim, &script);
+    let handles = two_hub_pair_load(&mut world, BYTES_PER_PAIR, 1024);
+
+    world.run_until(&mut sim, heal_time());
+    let lost_at_heal = world.metrics().sum_matching("net/link/", "/frames_lost");
+    assert!(lost_at_heal > 0, "loss=1.0 must be dropping frames before heal");
+    for (received, _) in &handles {
+        assert_eq!(received.get(), 0, "no payload can arrive through loss=1.0");
+    }
+
+    world.run_until(&mut sim, horizon());
+    assert_eq!(
+        world.metrics().sum_matching("net/link/", "/frames_lost"),
+        lost_at_heal,
+        "per-link loss counters must stop growing once the faults heal"
+    );
+    for (i, (received, done)) in handles.iter().enumerate() {
+        assert!(
+            done.get() && received.get() == BYTES_PER_PAIR,
+            "stream {i} must complete after heal (got {} of {BYTES_PER_PAIR} bytes)",
+            received.get()
+        );
+    }
 }
 
 #[test]
