@@ -57,6 +57,11 @@ pub struct Config {
     pub seed: u64,
     /// Record a stage trace (Figure 6).
     pub trace: bool,
+    /// Force the conformance oracle (`nectar_stack::conform`) on or
+    /// off for sockets created by this world. `None` keeps the
+    /// process-wide default: the `NECTAR_ORACLE` env var if set,
+    /// otherwise on in debug builds and off in release.
+    pub oracle: Option<bool>,
 }
 
 impl Default for Config {
@@ -75,6 +80,7 @@ impl Default for Config {
             coalesce_wakeups: false,
             seed: 0x5eca_1ab1,
             trace: false,
+            oracle: None,
         }
     }
 }

@@ -608,10 +608,7 @@ mod tests {
         let mut e = FaultEngine::new(5, FaultPlan::default());
         let link = LinkId::new(NodeRef::Cab(0), NodeRef::Hub(0));
         e.install(&FaultScript {
-            links: vec![(
-                link,
-                LinkPlan { loss: 1.0, until: Some(t(10)), ..LinkPlan::default() },
-            )],
+            links: vec![(link, LinkPlan { loss: 1.0, until: Some(t(10)), ..LinkPlan::default() })],
             outages: vec![],
         });
         for i in 0..10 {
@@ -684,8 +681,7 @@ mod tests {
         }
         let mut reference = Pcg32::new(123, 0xfau64);
         for i in 100..200 {
-            let expect =
-                if reference.chance(plan.loss) { Verdict::Lose } else { Verdict::Deliver };
+            let expect = if reference.chance(plan.loss) { Verdict::Lose } else { Verdict::Deliver };
             assert_eq!(e.entry_verdict(0, 0, t(i), 64), expect);
         }
         let ns: Vec<_> = e.node_stats().collect();

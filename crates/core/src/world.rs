@@ -74,6 +74,9 @@ pub struct World {
 impl World {
     /// Build a world over a topology. One host per CAB.
     pub fn new(config: Config, topo: Topology) -> (World, Sim) {
+        if let Some(on) = config.oracle {
+            nectar_stack::conform::set_enabled(on);
+        }
         let n = topo.cabs();
         let mut cabs = Vec::with_capacity(n);
         for i in 0..n as u16 {
@@ -188,6 +191,28 @@ impl World {
         r.publish("net/bytes_launched", s.bytes_launched);
         r.publish("net/bytes_lost_injected", s.bytes_lost_injected);
         r.publish("net/bytes_dead_end", s.bytes_dead_end);
+
+        // IP endpoint health aggregated over every CAB: the reassembly
+        // counters are what make fragment-flood experiments (and the
+        // eviction caps) attributable.
+        let mut ip = nectar_stack::ip::IpStats::default();
+        for cab in &self.cabs {
+            let s = cab.proto.ip.stats();
+            ip.delivered += s.delivered;
+            ip.fragments_in += s.fragments_in;
+            ip.fragmented_out += s.fragmented_out;
+            ip.packets_out += s.packets_out;
+            ip.bad += s.bad;
+            ip.reassembly_expired += s.reassembly_expired;
+            ip.reassembly_dropped += s.reassembly_dropped;
+        }
+        r.publish("net/ip/delivered", ip.delivered);
+        r.publish("net/ip/fragments_in", ip.fragments_in);
+        r.publish("net/ip/fragmented_out", ip.fragmented_out);
+        r.publish("net/ip/packets_out", ip.packets_out);
+        r.publish("net/ip/bad", ip.bad);
+        r.publish("net/ip/reassembly_expired", ip.reassembly_expired);
+        r.publish("net/ip/reassembly_dropped", ip.reassembly_dropped);
 
         // Per-link/per-node fault accounting, only while a script is
         // active: fault-free snapshots keep the legacy key set, which

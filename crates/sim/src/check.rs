@@ -7,11 +7,36 @@
 //! stream so failures replay exactly. On failure the case seed is
 //! printed; set `NECTAR_CHECK_SEED` to re-run a single failing case.
 
+use std::cell::Cell;
+
 use crate::rng::Pcg32;
 
 /// Default number of cases for property tests, tuned to keep the whole
 /// suite fast while still exploring a meaningful slice of input space.
 pub const DEFAULT_CASES: u64 = 96;
+
+thread_local! {
+    /// Seed of the property case currently executing on this thread
+    /// (set by [`cases`]), so deep assertion failures — e.g. the
+    /// conformance oracle in `nectar-stack` — can name the exact
+    /// `NECTAR_CHECK_SEED` that replays them.
+    static CURRENT_SEED: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// The seed of the in-flight [`cases`] case, if any.
+pub fn current_seed() -> Option<u64> {
+    CURRENT_SEED.with(|c| c.get())
+}
+
+/// A replay instruction for the in-flight case, or the empty string
+/// outside [`cases`]. Appended to invariant-violation panics so the
+/// failing input is always one environment variable away.
+pub fn replay_hint() -> String {
+    match current_seed() {
+        Some(seed) => format!("; replay with NECTAR_CHECK_SEED={seed:x}"),
+        None => String::new(),
+    }
+}
 
 /// A source of random test inputs for one case.
 pub struct Gen {
@@ -99,9 +124,11 @@ pub fn cases(n: u64, mut f: impl FnMut(&mut Gen)) {
         let seed =
             if forced { base } else { base.wrapping_add(i).wrapping_mul(0x9e37_79b9_7f4a_7c15) };
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            CURRENT_SEED.with(|c| c.set(Some(seed)));
             let mut g = Gen::new(seed);
             f(&mut g);
         }));
+        CURRENT_SEED.with(|c| c.set(None));
         if let Err(e) = result {
             eprintln!(
                 "check: case {i} of {n} failed; re-run just it with NECTAR_CHECK_SEED={seed:x}"

@@ -25,6 +25,15 @@ use nectar_wire::WireError;
 /// we keep it short because simulated experiments run for seconds).
 pub const DEFAULT_REASSEMBLY_TIMEOUT: SimDuration = SimDuration::from_secs(5);
 
+/// Default cap on concurrent reassembly contexts per endpoint. Chaos
+/// corruption can strand partial datagrams until the timeout; without a
+/// cap a burst of corrupted tails leaks a context per datagram for the
+/// full 5 s window.
+pub const DEFAULT_REASSEMBLY_MAX_CONTEXTS: usize = 32;
+
+/// Default cap on total buffered fragment bytes per endpoint.
+pub const DEFAULT_REASSEMBLY_MAX_BYTES: usize = 256 * 1024;
+
 /// Outcome of feeding one received IP packet to the endpoint.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum IpInput {
@@ -62,17 +71,26 @@ struct Reassembly {
     /// IP header + 8 payload bytes of fragment zero for ICMP errors.
     quote: Option<Vec<u8>>,
     deadline: SimTime,
+    /// Creation order, for deterministic oldest-first eviction
+    /// (HashMap iteration order must never decide who gets dropped).
+    arrival: u64,
 }
 
 impl Reassembly {
-    fn new(deadline: SimTime) -> Self {
+    fn new(deadline: SimTime, arrival: u64) -> Self {
         Reassembly {
             fragments: Vec::new(),
             total_len: None,
             first_header: None,
             quote: None,
             deadline,
+            arrival,
         }
+    }
+
+    /// Bytes currently buffered in this context.
+    fn bytes(&self) -> usize {
+        self.fragments.iter().map(|(_, d)| d.len()).sum()
     }
 
     /// True when every byte of [0, total_len) is covered.
@@ -95,32 +113,42 @@ impl Reassembly {
         }
     }
 
-    fn insert(&mut self, offset: usize, mut data: Vec<u8>) {
-        // Trim against existing fragments: keep earlier data (first
-        // arrival wins, as in BSD).
-        let mut off = offset;
+    fn insert(&mut self, offset: usize, data: Vec<u8>) {
+        // First arrival wins, as in BSD: existing bytes are kept and
+        // the incoming fragment contributes every sub-range not already
+        // covered. Re-splitting (rather than truncating at the first
+        // later fragment's head) matters when one fragment spans
+        // several existing ones with holes between them: the bytes
+        // past the first overlap must still land in their holes.
+        let end = offset + data.len();
+        let mut pieces: Vec<(usize, Vec<u8>)> = Vec::new();
+        let mut cursor = offset;
         for &(eoff, ref edata) in &self.fragments {
             let eend = eoff + edata.len();
-            if off >= eoff && off < eend {
-                let overlap = eend - off;
-                if overlap >= data.len() {
-                    return; // fully duplicate
-                }
-                data.drain(..overlap);
-                off = eend;
+            if eend <= cursor {
+                continue;
+            }
+            if eoff >= end {
+                break;
+            }
+            if eoff > cursor {
+                pieces.push((cursor, data[cursor - offset..eoff - offset].to_vec()));
+            }
+            cursor = eend;
+            if cursor >= end {
+                break;
             }
         }
-        // Trim the tail if it overlaps a later fragment's head.
-        if let Some(&(noff, _)) = self.fragments.iter().find(|&&(eoff, _)| eoff >= off) {
-            if off + data.len() > noff {
-                data.truncate(noff - off);
-            }
+        if cursor < end {
+            pieces.push((cursor, data[cursor - offset..].to_vec()));
         }
-        if data.is_empty() {
-            return;
+        for (off, piece) in pieces {
+            let at = self.fragments.partition_point(|&(eoff, _)| eoff < off);
+            self.fragments.insert(at, (off, piece));
         }
-        let at = self.fragments.partition_point(|&(eoff, _)| eoff < off);
-        self.fragments.insert(at, (off, data));
+        if crate::conform::enabled() {
+            crate::conform::check_reassembly(&self.fragments, self.total_len, offset, end);
+        }
     }
 
     fn assemble(&self, total: usize) -> Vec<u8> {
@@ -145,6 +173,8 @@ pub struct IpStats {
     pub bad: u64,
     pub not_for_us: u64,
     pub reassembly_expired: u64,
+    /// Contexts evicted by the max-contexts/max-bytes caps.
+    pub reassembly_dropped: u64,
 }
 
 /// One host's IPv4 endpoint.
@@ -154,6 +184,10 @@ pub struct IpEndpoint {
     next_ident: u16,
     reassembly: HashMap<(Ipv4Addr, u16, u8), Reassembly>,
     reassembly_timeout: SimDuration,
+    reassembly_max_contexts: usize,
+    reassembly_max_bytes: usize,
+    /// Monotone arrival stamp handed to new reassembly contexts.
+    next_arrival: u64,
     stats: IpStats,
 }
 
@@ -164,6 +198,9 @@ impl IpEndpoint {
             next_ident: 1,
             reassembly: HashMap::new(),
             reassembly_timeout: DEFAULT_REASSEMBLY_TIMEOUT,
+            reassembly_max_contexts: DEFAULT_REASSEMBLY_MAX_CONTEXTS,
+            reassembly_max_bytes: DEFAULT_REASSEMBLY_MAX_BYTES,
+            next_arrival: 0,
             stats: IpStats::default(),
         }
     }
@@ -178,6 +215,14 @@ impl IpEndpoint {
 
     pub fn set_reassembly_timeout(&mut self, t: SimDuration) {
         self.reassembly_timeout = t;
+    }
+
+    /// Bound reassembly memory: at most `contexts` concurrent partial
+    /// datagrams and `bytes` total buffered fragment bytes; the oldest
+    /// context is evicted first when either cap is exceeded.
+    pub fn set_reassembly_caps(&mut self, contexts: usize, bytes: usize) {
+        self.reassembly_max_contexts = contexts.max(1);
+        self.reassembly_max_bytes = bytes;
     }
 
     /// IP_Output: wrap `payload` for `dst`, fragmenting to `mtu` (the
@@ -246,8 +291,12 @@ impl IpEndpoint {
 
         self.stats.fragments_in += 1;
         let key = (header.src, header.ident, header.protocol.0);
-        let deadline = now + self.reassembly_timeout;
-        let entry = self.reassembly.entry(key).or_insert_with(|| Reassembly::new(deadline));
+        if !self.reassembly.contains_key(&key) {
+            let deadline = now + self.reassembly_timeout;
+            self.reassembly.insert(key, Reassembly::new(deadline, self.next_arrival));
+            self.next_arrival += 1;
+        }
+        let entry = self.reassembly.get_mut(&key).expect("just inserted");
         entry.insert(header.frag_offset as usize, payload.to_vec());
         if header.frag_offset == 0 {
             let mut h = header;
@@ -268,7 +317,26 @@ impl IpEndpoint {
             self.stats.delivered += 1;
             IpInput::Delivered { header: h, payload }
         } else {
+            self.enforce_reassembly_caps();
             IpInput::FragmentHeld
+        }
+    }
+
+    /// Evict oldest-first until both reassembly caps hold. Eviction
+    /// order is the deterministic arrival stamp, never HashMap order.
+    fn enforce_reassembly_caps(&mut self) {
+        loop {
+            let over_contexts = self.reassembly.len() > self.reassembly_max_contexts;
+            let over_bytes = self.reassembly.values().map(Reassembly::bytes).sum::<usize>()
+                > self.reassembly_max_bytes;
+            if !over_contexts && !over_bytes {
+                return;
+            }
+            let Some((&key, _)) = self.reassembly.iter().min_by_key(|(_, r)| r.arrival) else {
+                return;
+            };
+            self.reassembly.remove(&key);
+            self.stats.reassembly_dropped += 1;
         }
     }
 
@@ -467,6 +535,79 @@ mod tests {
         let p2 = tx.output(a(2), IpProtocol::UDP, b"x", 1500);
         let h2 = Ipv4Header::parse(&p2[0]).unwrap();
         assert_eq!(h2.ident, 1); // wrapped past 0
+    }
+
+    #[test]
+    fn spanning_fragment_fills_holes_past_first_overlap() {
+        // Regression for the tail-trim data loss: fragments [8,16) and
+        // [24,32) arrive first, then one fragment [0,32) spanning both
+        // with holes at [0,8) and [16,24). The old insert truncated the
+        // spanning fragment at the *first* later fragment's head (off
+        // 8), silently discarding the bytes for the second hole — the
+        // datagram could then never complete.
+        let mut rx = IpEndpoint::new(a(2));
+        let mk = |off: u16, more: bool, fill: u8, len: usize| {
+            let mut h = Ipv4Header::new(a(1), a(2), IpProtocol::UDP, len);
+            h.ident = 7;
+            h.frag_offset = off;
+            h.more_frags = more;
+            h.build_packet(&vec![fill; len])
+        };
+        assert_eq!(rx.input(now(), &mk(8, true, 0xAA, 8)), IpInput::FragmentHeld);
+        assert_eq!(rx.input(now(), &mk(24, false, 0xBB, 8)), IpInput::FragmentHeld);
+        match rx.input(now(), &mk(0, true, 0xCC, 32)) {
+            IpInput::Delivered { payload, .. } => {
+                assert_eq!(payload.len(), 32);
+                assert!(payload[0..8].iter().all(|&b| b == 0xCC));
+                assert!(payload[8..16].iter().all(|&b| b == 0xAA), "first arrival wins");
+                assert!(payload[16..24].iter().all(|&b| b == 0xCC), "hole past first overlap");
+                assert!(payload[24..32].iter().all(|&b| b == 0xBB));
+            }
+            other => panic!("datagram must complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reassembly_caps_evict_oldest_context() {
+        let mut rx = IpEndpoint::new(a(9));
+        rx.set_reassembly_caps(2, usize::MAX);
+        let mut partial = |src: u8, ident: u16| {
+            let mut tx = IpEndpoint::new(a(src));
+            tx.next_ident = ident;
+            let pkts = tx.output(a(9), IpProtocol::UDP, &vec![src; 2000], 576);
+            assert_eq!(rx.input(now(), &pkts[0]), IpInput::FragmentHeld);
+            pkts
+        };
+        let first = partial(1, 100);
+        let _second = partial(3, 200);
+        let _third = partial(4, 300); // over the cap: evicts src 1's context
+        assert_eq!(rx.stats().reassembly_dropped, 1);
+        // the evicted datagram can no longer complete from its tail
+        // alone: fragment zero is gone
+        for p in &first[1..] {
+            assert!(
+                matches!(rx.input(now(), p), IpInput::FragmentHeld),
+                "evicted context must have forgotten fragment zero"
+            );
+        }
+        // ...and the cap still holds
+        assert!(rx.reassembly.len() <= 2 + 1, "cap enforced (plus the re-opened context)");
+    }
+
+    #[test]
+    fn reassembly_byte_cap_bounds_buffered_bytes() {
+        let mut rx = IpEndpoint::new(a(9));
+        rx.set_reassembly_caps(usize::MAX, 4096);
+        // five partial datagrams of ~1.5 KiB buffered each: the byte cap
+        // forces the oldest out
+        for src in 1..=5u8 {
+            let mut tx = IpEndpoint::new(a(src));
+            let pkts = tx.output(a(9), IpProtocol::UDP, &vec![src; 2000], 1536);
+            assert_eq!(rx.input(now(), &pkts[0]), IpInput::FragmentHeld);
+        }
+        assert!(rx.stats().reassembly_dropped >= 1);
+        let buffered: usize = rx.reassembly.values().map(Reassembly::bytes).sum();
+        assert!(buffered <= 4096, "buffered {buffered} bytes exceed the cap");
     }
 
     #[test]

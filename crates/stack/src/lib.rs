@@ -27,7 +27,11 @@
 //!   stop-and-wait protocol".
 //! * [`reqresp`] — the Nectar request-response protocol, "the transport
 //!   mechanism for client-server RPC calls".
+//! * [`conform`] — the conformance oracle: always-on protocol invariant
+//!   monitors for simulation builds plus the packetdrill-style `.pkt`
+//!   script interpreter (DESIGN.md §11).
 
+pub mod conform;
 pub mod icmp;
 pub mod ip;
 pub mod reqresp;

@@ -278,6 +278,10 @@ struct RecvChannel {
     expected_seq: u32,
     next_frag: u16,
     buf: Vec<u8>,
+    /// msg_seq of the last message handed up, tracked independently of
+    /// `expected_seq` so the conformance oracle can cross-check the
+    /// exactly-once, in-order delivery bookkeeping.
+    last_delivered: Option<u32>,
 }
 
 /// Receiver statistics.
@@ -354,6 +358,10 @@ impl RmpReceiver {
         if hdr.last_frag {
             let message = std::mem::take(&mut ch.buf);
             debug_assert_eq!(message.len(), hdr.total_len as usize);
+            if crate::conform::enabled() {
+                crate::conform::check_rmp_delivery(key, ch.last_delivered, hdr.msg_seq);
+            }
+            ch.last_delivered = Some(hdr.msg_seq);
             ch.expected_seq = ch.expected_seq.wrapping_add(1);
             ch.next_frag = 0;
             self.stats.delivered += 1;

@@ -7,6 +7,7 @@ use nectar_sim::{SimDuration, SimTime};
 use nectar_wire::tcp::{SeqNum, TcpFlags, TcpHeader};
 
 use super::{AbortReason, TcpConfig, TcpEvent, TcpSocketStats, TcpState};
+use crate::conform;
 
 /// Default MSS assumed when the peer's SYN carried no MSS option
 /// (RFC 1122 §4.2.2.6).
@@ -33,6 +34,9 @@ pub struct TcpSocket {
     snd_buf: VecDeque<u8>,
     /// Sequence number of `snd_buf[0]`.
     snd_buf_seq: SeqNum,
+    /// End sequence of an outstanding sub-MSS segment, if any (Minshall
+    /// refinement to Nagle: at most one small segment in flight).
+    small_unacked: Option<SeqNum>,
     fin_queued: bool,
     /// Sequence number our FIN occupies, once sent.
     fin_seq: Option<SeqNum>,
@@ -77,6 +81,9 @@ pub struct TcpSocket {
     unacked_segs: u32,
 
     stats: TcpSocketStats,
+    /// Conformance monitor, present while the oracle is enabled
+    /// (`conform::enabled()` at socket creation).
+    monitor: Option<conform::TcpMonitor>,
 }
 
 impl TcpSocket {
@@ -99,6 +106,7 @@ impl TcpSocket {
             snd_wl2: SeqNum(0),
             snd_buf: VecDeque::new(),
             snd_buf_seq: iss.add(1),
+            small_unacked: None,
             fin_queued: false,
             fin_seq: None,
             peer_mss: DEFAULT_PEER_MSS,
@@ -126,7 +134,31 @@ impl TcpSocket {
             probe_deadline: None,
             unacked_segs: 0,
             stats: TcpSocketStats::default(),
+            monitor: conform::enabled().then(conform::TcpMonitor::new),
             cfg,
+        }
+    }
+
+    /// Snapshot for the conformance oracle.
+    fn view(&self) -> conform::TcpView {
+        conform::TcpView {
+            state: self.state,
+            snd_una: self.snd_una,
+            snd_nxt: self.snd_nxt,
+            rcv_nxt: self.rcv_nxt,
+            fin_seq: self.fin_seq,
+            peer_fin: self.peer_fin,
+            peer_fin_processed: self.peer_fin_processed,
+            local: self.local,
+            remote: self.remote,
+        }
+    }
+
+    /// Run the oracle's step check at the end of a public entry point.
+    fn observe(&mut self, ctx: &str) {
+        if let Some(mut m) = self.monitor.take() {
+            m.observe(ctx, self.view());
+            self.monitor = Some(m);
         }
     }
 
@@ -142,6 +174,7 @@ impl TcpSocket {
         let mut s = TcpSocket::base(cfg, local, remote, SeqNum(isn));
         s.state = TcpState::SynSent;
         s.send_syn(now, false, ev);
+        s.observe("client");
         s
     }
 
@@ -164,7 +197,13 @@ impl TcpSocket {
             s.peer_mss = mss;
         }
         s.set_peer_window(syn);
+        // seed the RFC 793 window-update qualifier (SND.WL1/SND.WL2);
+        // left at their zero defaults, updates whose seq compares
+        // "before" SeqNum(0) mod 2^32 would be ignored forever
+        s.snd_wl1 = syn.seq;
+        s.snd_wl2 = s.snd_una;
         s.send_syn(now, true, ev);
+        s.observe("server_from_syn");
         s
     }
 
@@ -241,6 +280,7 @@ impl TcpSocket {
         if self.state.synchronized() {
             self.try_output(now, ev);
         }
+        self.observe("send");
         n
     }
 
@@ -283,6 +323,7 @@ impl TcpSocket {
             // already closing
             _ => {}
         }
+        self.observe("close");
     }
 
     /// Abort: RST the peer and drop to CLOSED.
@@ -295,6 +336,7 @@ impl TcpSocket {
             self.emit(h, &[], ev);
         }
         self.enter_closed(ev, Some(TcpEvent::Aborted(AbortReason::LocalAbort)));
+        self.observe("abort");
     }
 
     // ------------------------------------------------------------------
@@ -315,6 +357,7 @@ impl TcpSocket {
             TcpState::SynSent => self.on_segment_syn_sent(now, hdr, payload, ev),
             _ => self.on_segment_synchronized(now, hdr, payload, ev),
         }
+        self.observe("on_segment");
     }
 
     fn on_segment_syn_sent(
@@ -354,6 +397,8 @@ impl TcpSocket {
             self.rto_deadline = None;
         }
         self.set_peer_window(hdr);
+        self.snd_wl1 = hdr.seq;
+        self.snd_wl2 = if hdr.flags.contains(TcpFlags::ACK) { hdr.ack } else { self.snd_una };
         if self.snd_una.after(self.iss) {
             // our SYN is acknowledged
             self.state = TcpState::Established;
@@ -437,6 +482,8 @@ impl TcpSocket {
             if hdr.ack.after_eq(self.snd_una) && hdr.ack.before_eq(self.snd_nxt) {
                 self.state = TcpState::Established;
                 self.set_peer_window(hdr);
+                self.snd_wl1 = hdr.seq;
+                self.snd_wl2 = hdr.ack;
                 ev.push(TcpEvent::Connected);
             } else {
                 self.send_rst_for_ack(hdr.ack, ev);
@@ -493,6 +540,9 @@ impl TcpSocket {
             self.snd_una = ack;
             self.retries = 0;
             self.dup_acks = 0;
+            if matches!(self.small_unacked, Some(end) if ack.after_eq(end)) {
+                self.small_unacked = None;
+            }
             // Karn's rule: only sample if this segment was not
             // retransmitted.
             if let Some((end_seq, sent_at)) = self.rtt_sample {
@@ -731,9 +781,18 @@ impl TcpSocket {
                 break;
             }
             let len = mss.min(remaining).min(wnd_left);
-            // Nagle: while anything is unacked, hold sub-MSS segments
-            // unless this empties the buffer and nothing is in flight.
-            if self.cfg.nagle && len < mss && in_flight > 0 {
+            // Nagle with the Minshall refinement: while data is unacked,
+            // hold a sub-MSS segment — unless it is the *trailing*
+            // segment (it empties the send buffer), it fits the window,
+            // and no other sub-MSS segment is outstanding. That trailing
+            // exception is what keeps odd-sized writes from stalling a
+            // full RTO behind their own last sliver (EXPERIMENTS.md
+            // Figure 7).
+            if self.cfg.nagle
+                && len < mss
+                && in_flight > 0
+                && !(len == remaining && self.small_unacked.is_none())
+            {
                 break;
             }
             // Sender-side SWS avoidance when Nagle is off: still send
@@ -783,6 +842,9 @@ impl TcpSocket {
             h.flags |= TcpFlags::PSH;
         }
         self.snd_nxt = self.snd_nxt.add(len);
+        if len < self.effective_mss() {
+            self.small_unacked = Some(self.snd_nxt);
+        }
         self.stats.bytes_out += len as u64;
         // time this segment if nothing else is being timed (Karn)
         if self.rtt_sample.is_none() && !self.backoff {
@@ -877,6 +939,7 @@ impl TcpSocket {
             self.send_ack_now(ev);
         }
         self.try_output(now, ev);
+        self.observe("poll");
     }
 
     /// The earliest time a timer could fire.
@@ -1027,6 +1090,10 @@ impl TcpSocket {
     }
 
     fn emit(&mut self, header: TcpHeader, payload: &[u8], ev: &mut Vec<TcpEvent>) {
+        if let Some(mut m) = self.monitor.take() {
+            m.observe_emit(self.view(), &header, payload.len());
+            self.monitor = Some(m);
+        }
         self.stats.segs_out += 1;
         self.last_adv_wnd = header.window as u32;
         let segment = header.build(self.local.0, self.remote.0, payload, self.cfg.compute_checksum);

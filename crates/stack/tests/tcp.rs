@@ -434,6 +434,82 @@ fn zero_window_then_probe_reopens() {
 }
 
 #[test]
+fn persist_timer_arms_when_window_closes_mid_burst() {
+    // The window slams shut in the middle of a burst (2048 of 6000
+    // bytes accepted). The persist timer must arm and actually probe —
+    // without it the connection deadlocks if the reopening window
+    // update is lost.
+    let cfg = TcpConfig { recv_buf: 2048, delayed_ack: false, ..Default::default() };
+    let mut net = Net::new(cfg);
+    let (a_id, b_id) = net.establish();
+    let data = pattern(6000);
+    let (n, evs) = net.a.send(net.now, a_id, &data);
+    net.absorb(true, evs);
+    assert_eq!(n, 6000, "send buffer should accept the whole burst");
+    net.run(SimDuration::from_secs(2));
+    let st = net.a.socket(a_id).unwrap().stats();
+    assert!(st.zero_window_probes >= 1, "persist timer never fired: {st:?}");
+    assert!(
+        net.a.next_wakeup().is_some(),
+        "persist timer must stay armed while the window is closed"
+    );
+    // probes must not have pushed data past the closed window
+    assert_eq!(net.b.socket(b_id).unwrap().readable(), 2048);
+    // the application finally drains; the transfer must still complete
+    let mut got = net.b.recv(b_id, usize::MAX);
+    let evs = net.b.poll(net.now);
+    net.absorb(false, evs);
+    // Net::run deadlines are absolute, and the window re-closes after
+    // every drained burst, so widen the horizon each spin.
+    let mut spins = 0u64;
+    while got.len() < data.len() {
+        net.run(SimDuration::from_secs(30 * (spins + 1)));
+        got.extend(net.b.recv(b_id, usize::MAX));
+        let evs = net.b.poll(net.now);
+        net.absorb(false, evs);
+        spins += 1;
+        assert!(spins < 1000, "stalled at {}/{} bytes", got.len(), data.len());
+    }
+    assert_eq!(got, data);
+}
+
+#[test]
+fn persist_timer_clears_when_window_reopens_before_probing() {
+    // Same mid-burst closure, but the reader drains before the first
+    // probe deadline (earliest possible: rto_min = 10 ms). The armed
+    // persist timer must be cancelled by the window update — the
+    // transfer finishes without a single probe, and the connection
+    // goes fully quiescent (no timer left ticking).
+    let cfg = TcpConfig { recv_buf: 2048, delayed_ack: false, ..Default::default() };
+    let mut net = Net::new(cfg);
+    let (a_id, b_id) = net.establish();
+    let data = pattern(4096);
+    let (n, evs) = net.a.send(net.now, a_id, &data);
+    net.absorb(true, evs);
+    assert_eq!(n, 4096);
+    net.run(SimDuration::from_millis(2));
+    assert!(net.a.next_wakeup().is_some(), "persist timer should be armed");
+    assert_eq!(net.a.socket(a_id).unwrap().stats().zero_window_probes, 0);
+    let mut got = net.b.recv(b_id, usize::MAX);
+    let evs = net.b.poll(net.now);
+    net.absorb(false, evs);
+    let mut spins = 0u64;
+    while got.len() < data.len() {
+        net.run(SimDuration::from_secs(30 * (spins + 1)));
+        got.extend(net.b.recv(b_id, usize::MAX));
+        let evs = net.b.poll(net.now);
+        net.absorb(false, evs);
+        spins += 1;
+        assert!(spins < 1000, "stalled at {}/{} bytes", got.len(), data.len());
+    }
+    assert_eq!(got, data);
+    net.run(SimDuration::from_secs(30 * spins + 60));
+    let st = net.a.socket(a_id).unwrap().stats();
+    assert_eq!(st.zero_window_probes, 0, "window reopened before any probe was due: {st:?}");
+    assert!(net.a.next_wakeup().is_none(), "all timers must be disarmed once the burst is acked");
+}
+
+#[test]
 fn mss_negotiation_limits_segments() {
     let cfg_a = TcpConfig { mss: 4016, ..Default::default() };
     let mut net = Net::new(cfg_a);

@@ -19,16 +19,25 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 cargo test --workspace -q
 
-# chaos smoke: randomized fault schedules against the 26-host fabric.
-# The in-tree test already runs 20 cases; this stage re-runs a quick
-# sweep standalone so a failure prints its replay seed prominently
-# (rerun one case with NECTAR_CHECK_SEED=<seed>). --full widens it.
+# conformance: packetdrill-style wire scripts against the TCP/IP stack,
+# with the per-socket oracle enabled (see DESIGN.md §11). Runs inside
+# the workspace pass too; this standalone stage makes a script failure
+# print its hex-dump diff prominently.
+echo "ci: conformance script suite (crates/stack/tests/scripts/*.pkt)"
+cargo test -q -p nectar-stack --test conformance
+
+# chaos smoke: randomized fault schedules against the 26-host fabric,
+# with the conformance oracle armed on every socket (NECTAR_ORACLE=1
+# keeps it on even for a release-profile run). The in-tree test already
+# runs 20 cases; this stage re-runs a quick sweep standalone so a
+# failure prints its replay seed prominently (rerun one case with
+# NECTAR_CHECK_SEED=<seed>). --full widens it.
 chaos_cases=5
 if [[ "${1:-}" == "--full" ]]; then
     chaos_cases=40
 fi
-echo "ci: chaos sweep (${chaos_cases} cases; replay failures with NECTAR_CHECK_SEED=<seed>)"
-NECTAR_CHAOS_CASES="$chaos_cases" cargo test -q -p nectar-integration --test chaos \
+echo "ci: chaos sweep (${chaos_cases} cases, oracle on; replay failures with NECTAR_CHECK_SEED=<seed>)"
+NECTAR_ORACLE=1 NECTAR_CHAOS_CASES="$chaos_cases" cargo test -q -p nectar-integration --test chaos \
     -- chaos_randomized_fault_schedules_preserve_invariants
 
 # simspeed smoke: a quick-mode run must emit a well-formed JSON artifact.

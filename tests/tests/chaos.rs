@@ -53,6 +53,12 @@ fn chaos_config(seed: u64) -> Config {
     let mut config = Config { seed, ..Config::default() };
     config.rmp.rto_max = SimDuration::from_millis(20);
     config.rmp.max_retries = 64;
+    // Every chaos case runs with the conformance oracle armed: on top
+    // of the four harness invariants below, each socket carries its
+    // own monitor (sequence-space sanity, legal state transitions,
+    // emission bounds) and reassembly/RMP delivery are cross-checked,
+    // all panicking with a replay seed on violation.
+    config.oracle = Some(true);
     config
 }
 
@@ -174,6 +180,15 @@ fn chaos_randomized_fault_schedules_preserve_invariants() {
             );
         }
     });
+}
+
+#[test]
+fn chaos_runs_with_the_oracle_armed() {
+    // `chaos_config` must force the conformance oracle on, so the sweep
+    // exercises the per-socket monitors even in release builds (where
+    // the oracle defaults off).
+    let (_world, _sim) = World::new(chaos_config(1), Topology::two_hubs(26));
+    assert!(nectar_stack::conform::enabled(), "chaos must run with the conformance oracle enabled");
 }
 
 #[test]
