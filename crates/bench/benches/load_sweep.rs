@@ -1,0 +1,55 @@
+//! Capacity sweep: multi-client offered-load steps per transport with
+//! coordinated-omission-correct SLO reporting (the nectar-load engine).
+//!
+//!     cargo bench -p nectar-bench --bench load_sweep [-- --quick]
+//!
+//! Each transport is driven by an open-loop Poisson client fleet at
+//! increasing aggregate request rates; every point reports goodput and
+//! p50/p90/p99/p99.9 latency measured from each request's *intended*
+//! start time, and the sweep locates the capacity knee (last step still
+//! served at ≥95% of offered). Results land in `BENCH_load.json` (in
+//! `$NECTAR_BENCH_DIR` when set, else the current directory) plus a
+//! markdown table on stdout. `--quick` (or `NECTAR_LOAD_QUICK=1`) runs
+//! the two-transport CI smoke configuration.
+//!
+//! Determinism contract: the JSON is integer-valued and schedule-
+//! derived only, so two runs with the same seed produce byte-identical
+//! files — CI double-runs the quick sweep and diffs the bytes.
+
+use nectar_load::sweep::{run_sweep, SweepConfig};
+
+const SEED: u64 = 0x10ad_5eed;
+
+fn main() {
+    let quick =
+        std::env::args().any(|a| a == "--quick") || std::env::var("NECTAR_LOAD_QUICK").is_ok();
+    let cfg = if quick { SweepConfig::quick(SEED) } else { SweepConfig::full(SEED) };
+
+    println!(
+        "load_sweep: {} transports x {} load steps, {} clients/point, {} ms measured, oracle armed",
+        cfg.transports.len(),
+        cfg.offered_rps.len(),
+        cfg.clients,
+        cfg.measure.as_nanos() / 1_000_000,
+    );
+    let result = run_sweep(&cfg);
+    print!("{}", result.to_markdown());
+    for s in &result.sweeps {
+        println!("  {} capacity knee: {} rps", s.transport.name(), s.knee_rps());
+    }
+
+    let dir = std::env::var("NECTAR_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    let dir = std::path::Path::new(&dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("load_sweep: cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let path = dir.join("BENCH_load.json");
+    match std::fs::write(&path, result.to_json()) {
+        Ok(()) => println!("  wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("load_sweep: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}

@@ -329,10 +329,26 @@ pub fn run_rmp_send_actions(cx: &mut Cx<'_>, acts: Vec<RmpSendAction>) {
     }
 }
 
-/// Issue a request-response call from this CAB.
+/// Issue a request-response call from this CAB. Returns the request id,
+/// or 0 when the call was rejected (the reply mailbox is bound to a
+/// different server with calls still outstanding).
 pub fn rr_call(cx: &mut Cx<'_>, req: SendReq, payload: &[u8]) -> u32 {
     let cfg = cx.proto.rr_cfg;
     let now = cx.now();
+    // A reply mailbox binds to exactly one (cab, service mailbox):
+    // replies carry only (reply_mbox, req_id), so calls to two servers
+    // through one mailbox would collide on req_id. Rebind an idle
+    // client; refuse while calls are outstanding — silently reusing the
+    // old binding would send the request to the *previous* server.
+    if let Some(existing) = cx.proto.rr_clients.get(&req.src_mbox) {
+        if existing.server() != (req.dst_cab, req.dst_mbox) {
+            if existing.outstanding() > 0 {
+                cx.proto.stats.bad_requests += 1;
+                return 0;
+            }
+            cx.proto.rr_clients.remove(&req.src_mbox);
+        }
+    }
     let client = cx
         .proto
         .rr_clients
@@ -340,11 +356,12 @@ pub fn rr_call(cx: &mut Cx<'_>, req: SendReq, payload: &[u8]) -> u32 {
         .or_insert_with(|| RrClient::new(req.dst_cab, req.dst_mbox, req.src_mbox, cfg));
     let mut acts = Vec::new();
     let id = client.call(now, payload.to_vec(), &mut acts);
-    run_rr_client_actions(cx, acts);
+    run_rr_client_actions(cx, req.src_mbox, acts);
     id
 }
 
-fn run_rr_client_actions(cx: &mut Cx<'_>, acts: Vec<RrClientAction>) {
+/// Apply client actions for the client bound to `reply_mbox`.
+fn run_rr_client_actions(cx: &mut Cx<'_>, reply_mbox: u16, acts: Vec<RrClientAction>) {
     for act in acts {
         match act {
             RrClientAction::Transmit { dst_cab, packet } => {
@@ -354,10 +371,10 @@ fn run_rr_client_actions(cx: &mut Cx<'_>, acts: Vec<RrClientAction>) {
             RrClientAction::Response { req_id, payload } => {
                 // responses are normally delivered by the interrupt
                 // handler straight into the reply mailbox; this arm is
-                // reached for loopback calls
+                // reached for loopback calls, which must land in the
+                // *calling* client's mailbox — not an arbitrary one
                 let prefix = req_id.to_be_bytes();
-                let mbox = cx.proto.rr_clients.keys().next().copied().unwrap_or(0);
-                deliver_to_mbox(cx, mbox, &prefix, &payload);
+                deliver_to_mbox(cx, reply_mbox, &prefix, &payload);
             }
             RrClientAction::Failed { req_id } => {
                 let _ = req_id;
@@ -578,7 +595,10 @@ impl CabThread for RmpThread {
         }
         // retransmission timers
         let now = cx.now();
-        let keys: Vec<(u16, u16, u16)> = cx.proto.rmp_tx.keys().copied().collect();
+        // Deterministic retransmit order under many concurrent senders:
+        // HashMap iteration order differs between runs.
+        let mut keys: Vec<(u16, u16, u16)> = cx.proto.rmp_tx.keys().copied().collect();
+        keys.sort_unstable();
         for key in keys {
             let mut acts = Vec::new();
             if let Some(s) = cx.proto.rmp_tx.get_mut(&key) {
@@ -671,13 +691,17 @@ impl CabThread for RrThread {
         }
         // client retransmission timers
         let now = cx.now();
-        let mboxes: Vec<u16> = cx.proto.rr_clients.keys().copied().collect();
+        // Sorted so that retransmit order is deterministic and fair by
+        // mailbox id: HashMap iteration order varies across runs, which
+        // would reorder datalink sends under multi-client contention.
+        let mut mboxes: Vec<u16> = cx.proto.rr_clients.keys().copied().collect();
+        mboxes.sort_unstable();
         for mb in mboxes {
             let mut acts = Vec::new();
             if let Some(c) = cx.proto.rr_clients.get_mut(&mb) {
                 c.poll(now, &mut acts);
             }
-            run_rr_client_actions(cx, acts);
+            run_rr_client_actions(cx, mb, acts);
         }
         let wake = cx.proto.rr_clients.values().filter_map(|c| c.next_wakeup()).min();
         match wake {
@@ -1047,13 +1071,16 @@ impl CabThread for TcpThread {
         let now = cx.now();
         let events = cx.proto.tcp.poll(now);
         Self::handle_events(cx, events);
-        let ids: Vec<SocketId> = cx
+        // Sorted: pump order affects segment emission order, and HashMap
+        // iteration order is not stable across runs.
+        let mut ids: Vec<SocketId> = cx
             .proto
             .tcp_conns
             .iter()
             .filter(|(_, c)| !c.pending.is_empty())
             .map(|(&id, _)| id)
             .collect();
+        ids.sort_unstable();
         for id in ids {
             Self::pump_pending(cx, id);
         }

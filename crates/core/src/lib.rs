@@ -54,7 +54,7 @@ pub use fault::{
     FaultEngine, FaultScript, GilbertElliott, LinkId, LinkPlan, NodeOutage, NodeRef, Verdict,
 };
 pub use topology::{Attachment, Topology};
-pub use world::{NetStats, Sim, World};
+pub use world::{LoadLedger, NetStats, SharedLoadLedger, Sim, World};
 
 // Re-export the substrate crates so downstream users need only one
 // dependency.

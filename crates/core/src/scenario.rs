@@ -36,14 +36,18 @@ pub type SharedFlag = Rc<Cell<bool>>;
 /// Shared byte counter.
 pub type SharedCount = Rc<Cell<u64>>;
 
-fn encode_reply_addr(cab: u16, mbox_or_port: u16) -> [u8; 4] {
+/// Encode the 4-byte reply address every echo payload starts with:
+/// the requester's CAB id and its reply mailbox (or UDP port). Public
+/// so external workload drivers (nectar-load) speak the same format.
+pub fn encode_reply_addr(cab: u16, mbox_or_port: u16) -> [u8; 4] {
     let mut b = [0u8; 4];
     b[..2].copy_from_slice(&cab.to_be_bytes());
     b[2..].copy_from_slice(&mbox_or_port.to_be_bytes());
     b
 }
 
-fn decode_reply_addr(b: &[u8]) -> Option<(u16, u16)> {
+/// Inverse of [`encode_reply_addr`].
+pub fn decode_reply_addr(b: &[u8]) -> Option<(u16, u16)> {
     if b.len() < 4 {
         return None;
     }
@@ -1045,6 +1049,143 @@ impl CabThread for CabTcpListener {
             }
             Err(WouldBlock::Empty(c)) | Err(WouldBlock::NoSpace(c)) => Step::Block(c),
         }
+    }
+}
+
+/// A CAB thread echoing UDP datagrams from its own bound port — the
+/// UDP echo service behind the multi-client load engine (nectar-load).
+/// Unlike [`CabEcho`] with [`Transport::Udp`] (which answers traffic
+/// already routed to an existing binding), this thread owns its port:
+/// it binds `port → recv_mbox` on first run and replies with the
+/// request bytes from that same port.
+pub struct CabUdpEcho {
+    pub port: u16,
+    pub recv_mbox: MboxId,
+    started: bool,
+}
+
+impl CabUdpEcho {
+    pub fn new(port: u16, recv_mbox: MboxId) -> Self {
+        CabUdpEcho { port, recv_mbox, started: false }
+    }
+}
+
+impl CabThread for CabUdpEcho {
+    fn name(&self) -> &'static str {
+        "cab-udp-echo"
+    }
+
+    fn run(&mut self, cx: &mut Cx<'_>) -> Step {
+        if !self.started {
+            self.started = true;
+            cx.proto.udp.bind(self.port, self.recv_mbox as u32);
+        }
+        for _ in 0..8 {
+            match cx.begin_get(self.recv_mbox) {
+                Err(WouldBlock::Empty(c)) | Err(WouldBlock::NoSpace(c)) => return Step::Block(c),
+                Ok(msg) => {
+                    let bytes = cx.shared.msg_bytes(&msg).to_vec();
+                    cx.end_get(self.recv_mbox, msg);
+                    if let Some((cab, port)) = decode_reply_addr(&bytes) {
+                        cx.charge(cx.costs.udp_proc);
+                        let src = cx.proto.addr();
+                        let dst = proto::ip_for_cab(cab);
+                        let dgram = cx.proto.udp.output(src, self.port, dst, port, &bytes);
+                        cx.charge(cx.costs.checksum(dgram.len()));
+                        proto::ip_output(cx, dst, nectar_wire::ipv4::IpProtocol::UDP, &dgram);
+                    }
+                }
+            }
+        }
+        Step::Yield
+    }
+}
+
+/// One accepted connection of a [`CabTcpEchoServer`].
+struct TcpEchoConn {
+    id: nectar_stack::tcp::SocketId,
+    mbox: MboxId,
+    /// Echo data accepted from the mailbox but not yet admitted into
+    /// the socket's send buffer (peer window or buffer full).
+    pending: std::collections::VecDeque<Vec<u8>>,
+}
+
+/// A CAB thread accepting any number of TCP connections on `port` and
+/// echoing every received byte back on the same connection — the TCP
+/// echo service behind the multi-client load engine. Each accepted
+/// connection gets its own data mailbox, created on the TCP condition
+/// so one blocked wait covers accepts, data arrival and window
+/// openings alike.
+///
+/// `accept_mbox` must have been created on the CAB's TCP condition
+/// (`create_mailbox_on(..., proto.tcp_cond)`), or the thread can miss
+/// accept notifications while blocked.
+pub struct CabTcpEchoServer {
+    pub port: u16,
+    pub accept_mbox: MboxId,
+    started: bool,
+    conns: Vec<TcpEchoConn>,
+}
+
+impl CabTcpEchoServer {
+    pub fn new(port: u16, accept_mbox: MboxId) -> Self {
+        CabTcpEchoServer { port, accept_mbox, started: false, conns: Vec::new() }
+    }
+}
+
+impl CabThread for CabTcpEchoServer {
+    fn name(&self) -> &'static str {
+        "cab-tcp-echo"
+    }
+
+    fn run(&mut self, cx: &mut Cx<'_>) -> Step {
+        if !self.started {
+            self.started = true;
+            cx.proto.tcp.listen(self.port);
+            cx.proto.tcp_accepts.insert(self.port, self.accept_mbox);
+            return Step::Block(cx.proto.tcp_cond);
+        }
+        // new connections: give each a data mailbox on the TCP
+        // condition and attach it through the TCP thread (which also
+        // drains anything already buffered in the socket)
+        while let Ok(msg) = cx.begin_get(self.accept_mbox) {
+            let bytes = cx.shared.msg_bytes(&msg).to_vec();
+            cx.end_get(self.accept_mbox, msg);
+            if let Some((_port, conn)) = reqs::tcp_accept_decode(&bytes) {
+                let tc = cx.proto.tcp_cond;
+                let mbox =
+                    cx.shared.create_mailbox_on(false, nectar_cab::HostOpMode::SharedMemory, tc);
+                let ctl = TcpCtl::Attach { conn, recv_mbox: mbox };
+                let _ = cx.put_message(reqs::MB_TCP_CTL, &ctl.encode());
+                self.conns.push(TcpEchoConn {
+                    id: conn as nectar_stack::tcp::SocketId,
+                    mbox,
+                    pending: std::collections::VecDeque::new(),
+                });
+            }
+        }
+        // echo: drain each connection's mailbox, then pump as much as
+        // the socket will take; the remainder waits for window opening
+        let now = cx.now();
+        for c in &mut self.conns {
+            while let Ok(msg) = cx.begin_get(c.mbox) {
+                let bytes = cx.shared.msg_bytes(&msg).to_vec();
+                cx.end_get(c.mbox, msg);
+                if !bytes.is_empty() {
+                    c.pending.push_back(bytes);
+                }
+            }
+            while let Some(chunk) = c.pending.pop_front() {
+                cx.charge(cx.costs.tcp_proc);
+                let (n, events) = cx.proto.tcp.send(now, c.id, &chunk);
+                handle_tcp_events_inline(cx, events);
+                if n < chunk.len() {
+                    c.pending.push_front(chunk[n..].to_vec());
+                    break;
+                }
+            }
+        }
+        Step::Block(cx.proto.tcp_cond)
     }
 }
 

@@ -8,6 +8,9 @@
 //! [`World::run_until`] / [`World::run_for`] drivers used by tests,
 //! examples and the benchmark harness.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use nectar_cab::{Cab, CabEffect, StepStatus};
 use nectar_host::{Host, HostEffect, HostStepStatus};
 use nectar_hub::{Hub, HubDecision};
@@ -36,6 +39,46 @@ pub struct NetStats {
     pub frames_dead_end: u64,
     pub bytes_dead_end: u64,
 }
+
+/// Aggregate request accounting for workload drivers (nectar-load).
+/// One shared ledger per world; every load client updates it inline,
+/// and [`World::publish_metrics`] surfaces it as `net/load/*` when
+/// attached. The counters form a conservation identity the load tests
+/// pin:
+///
+/// ```text
+/// responses + timeouts + failures <= requests_sent <= requests_intended
+/// ```
+///
+/// with equality on the left once every outstanding request has either
+/// completed or timed out (drive the world past the last deadline),
+/// and on the right once every intended request was dispatched.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LoadLedger {
+    /// Requests the open/closed-loop schedules called for.
+    pub requests_intended: u64,
+    /// Requests actually dispatched onto a transport.
+    pub requests_sent: u64,
+    /// Requests answered by a matching response.
+    pub responses: u64,
+    /// Requests abandoned at their client-side deadline.
+    pub timeouts: u64,
+    /// Requests the transport refused outright (e.g. a rejected call).
+    pub failures: u64,
+    /// Responses that arrived after their request had timed out.
+    pub stale_replies: u64,
+    /// Dispatches that ran late relative to their intended start (the
+    /// coordinated-omission signal: latency is still measured from the
+    /// intended time).
+    pub late_dispatch: u64,
+    /// Application payload bytes sent with requests.
+    pub bytes_sent: u64,
+    /// Application payload bytes received in responses.
+    pub bytes_received: u64,
+}
+
+/// Shared handle to a [`LoadLedger`].
+pub type SharedLoadLedger = Rc<RefCell<LoadLedger>>;
 
 /// The complete simulated Nectar installation.
 pub struct World {
@@ -69,6 +112,11 @@ pub struct World {
     /// accounting. With no script installed it reproduces the legacy
     /// global-plan draws bit for bit.
     pub faults: FaultEngine,
+    /// Aggregate load-driver accounting, attached by
+    /// [`World::attach_load_ledger`]. `None` keeps the metric snapshot
+    /// on the legacy key set (no `net/load/*`), which the pinned
+    /// fixtures depend on.
+    pub load: Option<SharedLoadLedger>,
 }
 
 impl World {
@@ -115,6 +163,7 @@ impl World {
             sched: sim.stats(),
             cab_wake: vec![None; n],
             host_wake: vec![None; n],
+            load: None,
         };
         // boot every CAB and host (threads initialize, then idle)
         for i in 0..n {
@@ -127,6 +176,13 @@ impl World {
     /// Convenience single-HUB constructor.
     pub fn single_hub(config: Config, hosts: usize) -> (World, Sim) {
         World::new(config, Topology::single_hub(hosts))
+    }
+
+    /// Attach (or return the already-attached) load ledger. Workload
+    /// drivers clone the handle into every client; attaching also
+    /// switches [`World::publish_metrics`] to include `net/load/*`.
+    pub fn attach_load_ledger(&mut self) -> SharedLoadLedger {
+        self.load.get_or_insert_with(Default::default).clone()
     }
 
     /// Install a per-link [`FaultScript`], replacing any previous one.
@@ -240,6 +296,22 @@ impl World {
                 r.publish(&p("fifo_flushed_frames"), st.fifo_flushed_frames);
                 r.publish(&p("fifo_flushed_bytes"), st.fifo_flushed_bytes);
             }
+        }
+
+        // Workload-driver accounting, only while a ledger is attached:
+        // plain worlds keep the legacy key set (same gating rationale
+        // as the fault keys above).
+        if let Some(l) = &self.load {
+            let l = l.borrow();
+            r.publish("net/load/requests_intended", l.requests_intended);
+            r.publish("net/load/requests_sent", l.requests_sent);
+            r.publish("net/load/responses", l.responses);
+            r.publish("net/load/timeouts", l.timeouts);
+            r.publish("net/load/failures", l.failures);
+            r.publish("net/load/stale_replies", l.stale_replies);
+            r.publish("net/load/late_dispatch", l.late_dispatch);
+            r.publish("net/load/bytes_sent", l.bytes_sent);
+            r.publish("net/load/bytes_received", l.bytes_received);
         }
 
         // a nonzero value means some cost model produced a timestamp in

@@ -1,0 +1,378 @@
+//! The load client: a CAB-resident thread issuing request-response
+//! traffic over one transport, one outstanding request at a time.
+//!
+//! Request framing: every payload starts with the 4-byte reply address
+//! (`nectar::scenario::encode_reply_addr`) followed by a 4-byte
+//! big-endian sequence number. Echo services return the payload
+//! verbatim, so the client matches responses to requests by sequence
+//! number — replies that arrive after their request timed out are
+//! counted as stale and dropped rather than being mistaken for the
+//! current response.
+//!
+//! Coordinated omission: the dispatch loop consumes intended start
+//! times from the arrival schedule. With one outstanding request, a
+//! slow system makes dispatches run *late*; latency is still measured
+//! from the intended start, so server-side stalls surface as tail
+//! latency instead of silently shrinking the sample set.
+
+use nectar::scenario::{encode_reply_addr, handle_tcp_events_inline};
+use nectar::world::SharedLoadLedger;
+use nectar_cab::proto::{self, rmp_submit, rr_call};
+use nectar_cab::reqs::SendReq;
+use nectar_cab::{CabThread, Cx, HostOpMode, MboxId, Step, WouldBlock};
+use nectar_sim::{Pcg32, SimDuration, SimTime};
+use nectar_stack::tcp::SocketId;
+use nectar_wire::datalink::DatalinkProto;
+use nectar_wire::nectar::DatagramHeader;
+
+use crate::recorder::SharedRecorder;
+use crate::workload::{Arrival, SizeDist};
+use crate::LoadTransport;
+
+/// Everything that parameterizes one client.
+#[derive(Clone, Debug)]
+pub struct ClientSpec {
+    pub transport: LoadTransport,
+    /// `(cab, mailbox)` for the Nectar transports, `(cab, port)` for
+    /// UDP and TCP.
+    pub server: (u16, u16),
+    pub arrival: Arrival,
+    pub size: SizeDist,
+    /// Client-side deadline per request; a request unanswered by then
+    /// is abandoned and counted as a timeout.
+    pub timeout: SimDuration,
+    /// First intended start is drawn after this time.
+    pub start: SimTime,
+    /// No new requests are issued at or after this time.
+    pub stop: SimTime,
+    /// Local UDP port (UDP transport only); must be unique per client.
+    pub udp_port: u16,
+    /// Private RNG stream (fork one per client).
+    pub rng: Pcg32,
+}
+
+enum State {
+    Init,
+    /// TCP only: active open issued, waiting for establishment.
+    Connecting,
+    Idle,
+    Waiting {
+        intended: SimTime,
+        seq: u32,
+        deadline: SimTime,
+        /// TCP: echoed bytes expected for this request.
+        expect: usize,
+        /// TCP: echoed bytes received so far.
+        got: usize,
+    },
+    Finished,
+}
+
+/// One simulated client, runnable as a CAB thread.
+pub struct LoadClient {
+    spec: ClientSpec,
+    rec: SharedRecorder,
+    ledger: SharedLoadLedger,
+    state: State,
+    my_mbox: MboxId,
+    conn: Option<SocketId>,
+    next_intended: SimTime,
+    seq: u32,
+    /// TCP: echoed bytes still owed from timed-out requests; absorbed
+    /// before counting bytes toward the current request so stream
+    /// positions stay aligned.
+    tcp_deficit: usize,
+    /// TCP: request bytes accepted only partially by the socket.
+    tcp_unsent: Vec<u8>,
+}
+
+impl LoadClient {
+    pub fn new(spec: ClientSpec, rec: SharedRecorder, ledger: SharedLoadLedger) -> LoadClient {
+        LoadClient {
+            spec,
+            rec,
+            ledger,
+            state: State::Init,
+            my_mbox: 0,
+            conn: None,
+            next_intended: SimTime::ZERO,
+            seq: 0,
+            tcp_deficit: 0,
+            tcp_unsent: Vec::new(),
+        }
+    }
+
+    fn payload(&mut self, cab_id: u16, seq: u32) -> Vec<u8> {
+        let reply_id = if self.spec.transport == LoadTransport::Udp {
+            self.spec.udp_port
+        } else {
+            self.my_mbox
+        };
+        let size = self.spec.size.draw(&mut self.spec.rng);
+        let mut p = Vec::with_capacity(size);
+        p.extend_from_slice(&encode_reply_addr(cab_id, reply_id));
+        p.extend_from_slice(&seq.to_be_bytes());
+        while p.len() < size {
+            p.push((p.len() * 13) as u8);
+        }
+        p
+    }
+
+    /// Sequence number carried by a response message, per transport
+    /// framing (ReqResp responses are prefixed with the request id).
+    fn response_seq(&self, bytes: &[u8]) -> Option<u32> {
+        let off = if self.spec.transport == LoadTransport::ReqResp { 8 } else { 4 };
+        let s = bytes.get(off..off + 4)?;
+        Some(u32::from_be_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Dispatch the request for the current intended slot. Returns
+    /// `false` if the transport refused it (counted as a failure).
+    fn dispatch(&mut self, cx: &mut Cx<'_>, seq: u32) -> bool {
+        let (cab, id) = self.spec.server;
+        let payload = self.payload(cx.cab_id, seq);
+        let t = self.spec.transport;
+        let len = payload.len() as u64;
+        let ok = match t {
+            LoadTransport::Datagram => {
+                let pkt = DatagramHeader { dst_mbox: id, src_mbox: self.my_mbox }.build(&payload);
+                cx.charge(cx.costs.datagram_proc);
+                cx.datalink_send(cab, DatalinkProto::Datagram, 0, &pkt);
+                true
+            }
+            LoadTransport::Rmp => {
+                let req = SendReq { dst_cab: cab, dst_mbox: id, src_mbox: self.my_mbox };
+                rmp_submit(cx, req, &payload);
+                true
+            }
+            LoadTransport::ReqResp => {
+                let req = SendReq { dst_cab: cab, dst_mbox: id, src_mbox: self.my_mbox };
+                rr_call(cx, req, &payload) != 0
+            }
+            LoadTransport::Udp => {
+                cx.charge(cx.costs.udp_proc);
+                let src = cx.proto.addr();
+                let dst = proto::ip_for_cab(cab);
+                let dgram = cx.proto.udp.output(src, self.spec.udp_port, dst, id, &payload);
+                cx.charge(cx.costs.checksum(dgram.len()));
+                proto::ip_output(cx, dst, nectar_wire::ipv4::IpProtocol::UDP, &dgram);
+                true
+            }
+            LoadTransport::Tcp => match self.conn {
+                Some(conn) => {
+                    let now = cx.now();
+                    cx.charge(cx.costs.tcp_proc);
+                    let (n, events) = cx.proto.tcp.send(now, conn, &payload);
+                    handle_tcp_events_inline(cx, events);
+                    if n < payload.len() {
+                        self.tcp_unsent = payload[n..].to_vec();
+                    }
+                    true
+                }
+                None => false,
+            },
+        };
+        if ok {
+            let mut led = self.ledger.borrow_mut();
+            led.requests_sent += 1;
+            led.bytes_sent += len;
+            let mut rec = self.rec.borrow_mut();
+            let r = rec.record_mut(t);
+            r.requests_sent += 1;
+            r.bytes_sent += len;
+        } else {
+            self.ledger.borrow_mut().failures += 1;
+            self.rec.borrow_mut().record_mut(t).failures += 1;
+        }
+        ok
+    }
+
+    /// Push any still-unsent TCP request bytes into the socket.
+    fn tcp_pump(&mut self, cx: &mut Cx<'_>) {
+        if self.tcp_unsent.is_empty() {
+            return;
+        }
+        let Some(conn) = self.conn else { return };
+        let now = cx.now();
+        let chunk = std::mem::take(&mut self.tcp_unsent);
+        let (n, events) = cx.proto.tcp.send(now, conn, &chunk);
+        handle_tcp_events_inline(cx, events);
+        if n < chunk.len() {
+            self.tcp_unsent = chunk[n..].to_vec();
+        }
+    }
+
+    /// Complete the current request (response fully received).
+    fn complete(&mut self, cx: &mut Cx<'_>, intended: SimTime, bytes: u64) {
+        let now = cx.now();
+        let latency = now.saturating_since(intended);
+        self.ledger.borrow_mut().responses += 1;
+        self.ledger.borrow_mut().bytes_received += bytes;
+        self.rec.borrow_mut().response(self.spec.transport, latency, bytes);
+        self.next_intended = self.spec.arrival.next_after(intended, now, &mut self.spec.rng);
+        self.state = State::Idle;
+    }
+
+    fn timeout(&mut self, cx: &mut Cx<'_>, expect: usize, got: usize) {
+        let now = cx.now();
+        self.ledger.borrow_mut().timeouts += 1;
+        self.rec.borrow_mut().record_mut(self.spec.transport).timeouts += 1;
+        if self.spec.transport == LoadTransport::Tcp {
+            // the echo stream still owes these bytes; absorb them
+            // before counting toward the next request
+            self.tcp_deficit += expect - got;
+        }
+        if !self.spec.arrival.is_open() {
+            // a closed-loop client thinks from the abandonment
+            self.next_intended =
+                self.spec.arrival.next_after(self.next_intended, now, &mut self.spec.rng);
+        }
+        self.state = State::Idle;
+    }
+}
+
+impl CabThread for LoadClient {
+    fn name(&self) -> &'static str {
+        "load-client"
+    }
+
+    fn run(&mut self, cx: &mut Cx<'_>) -> Step {
+        loop {
+            match self.state {
+                State::Init => {
+                    self.my_mbox = cx.shared.create_mailbox(false, HostOpMode::SharedMemory);
+                    self.next_intended =
+                        self.spec.start + self.spec.arrival.draw_gap(&mut self.spec.rng);
+                    match self.spec.transport {
+                        LoadTransport::Udp => {
+                            cx.proto.udp.bind(self.spec.udp_port, self.my_mbox as u32);
+                            self.state = State::Idle;
+                        }
+                        LoadTransport::Tcp => {
+                            let now = cx.now();
+                            let remote =
+                                (proto::ip_for_cab(self.spec.server.0), self.spec.server.1);
+                            let (id, events) = cx.proto.tcp.connect(now, remote, None);
+                            cx.proto.tcp_conns.entry(id).or_default().recv_mbox =
+                                Some(self.my_mbox);
+                            self.conn = Some(id);
+                            handle_tcp_events_inline(cx, events);
+                            self.state = State::Connecting;
+                            return Step::Block(cx.proto.tcp_cond);
+                        }
+                        _ => self.state = State::Idle,
+                    }
+                }
+                State::Connecting => {
+                    let established = self
+                        .conn
+                        .and_then(|c| cx.proto.tcp_conns.get(&c))
+                        .map(|c| c.established)
+                        .unwrap_or(false);
+                    if !established {
+                        return Step::Block(cx.proto.tcp_cond);
+                    }
+                    self.state = State::Idle;
+                }
+                State::Idle => {
+                    if self.next_intended >= self.spec.stop {
+                        self.state = State::Finished;
+                        continue;
+                    }
+                    let now = cx.now();
+                    if now < self.next_intended {
+                        return Step::Sleep(self.next_intended);
+                    }
+                    let intended = self.next_intended;
+                    {
+                        let mut led = self.ledger.borrow_mut();
+                        led.requests_intended += 1;
+                        if now > intended {
+                            led.late_dispatch += 1;
+                        }
+                    }
+                    if now > intended {
+                        self.rec.borrow_mut().record_mut(self.spec.transport).late_dispatch += 1;
+                    }
+                    let seq = self.seq;
+                    self.seq = self.seq.wrapping_add(1);
+                    // expected echo size is fixed by the payload draw
+                    // inside dispatch; recompute after it runs
+                    let sent_before = self.rec.borrow().record(self.spec.transport).bytes_sent;
+                    if self.dispatch(cx, seq) {
+                        let sent_after = self.rec.borrow().record(self.spec.transport).bytes_sent;
+                        let expect = (sent_after - sent_before) as usize;
+                        self.state = State::Waiting {
+                            intended,
+                            seq,
+                            deadline: now + self.spec.timeout,
+                            expect,
+                            got: 0,
+                        };
+                        // open-loop: the schedule advances from the
+                        // intended start, regardless of completion
+                        if self.spec.arrival.is_open() {
+                            self.next_intended =
+                                self.spec.arrival.next_after(intended, now, &mut self.spec.rng);
+                        }
+                        return Step::Yield;
+                    }
+                    // refused outright: consume the slot and move on
+                    self.next_intended =
+                        self.spec.arrival.next_after(intended, now, &mut self.spec.rng);
+                }
+                State::Waiting { intended, seq, deadline, expect, got } => {
+                    self.tcp_pump(cx);
+                    match cx.begin_get(self.my_mbox) {
+                        Ok(msg) => {
+                            let bytes = cx.shared.msg_bytes(&msg).to_vec();
+                            cx.end_get(self.my_mbox, msg);
+                            if self.spec.transport == LoadTransport::Tcp {
+                                if bytes.is_empty() {
+                                    // EOF: the echo connection died
+                                    self.ledger.borrow_mut().failures += 1;
+                                    self.rec
+                                        .borrow_mut()
+                                        .record_mut(self.spec.transport)
+                                        .failures += 1;
+                                    self.state = State::Finished;
+                                    continue;
+                                }
+                                let mut n = bytes.len();
+                                if self.tcp_deficit > 0 {
+                                    let absorbed = self.tcp_deficit.min(n);
+                                    self.tcp_deficit -= absorbed;
+                                    n -= absorbed;
+                                }
+                                let got = got + n;
+                                if got >= expect {
+                                    self.complete(cx, intended, expect as u64);
+                                } else {
+                                    self.state =
+                                        State::Waiting { intended, seq, deadline, expect, got };
+                                }
+                            } else if self.response_seq(&bytes) == Some(seq) {
+                                self.complete(cx, intended, bytes.len() as u64);
+                            } else {
+                                self.ledger.borrow_mut().stale_replies += 1;
+                                self.rec
+                                    .borrow_mut()
+                                    .record_mut(self.spec.transport)
+                                    .stale_replies += 1;
+                            }
+                        }
+                        Err(WouldBlock::Empty(c)) | Err(WouldBlock::NoSpace(c)) => {
+                            let now = cx.now();
+                            if now >= deadline {
+                                self.timeout(cx, expect, got);
+                                continue;
+                            }
+                            return Step::BlockTimeout(c, deadline);
+                        }
+                    }
+                }
+                State::Finished => return Step::Done,
+            }
+        }
+    }
+}

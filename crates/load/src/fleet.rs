@@ -1,0 +1,189 @@
+//! Fleet deployment: pick a topology, install one echo service per
+//! transport, and place clients across the remaining CABs.
+//!
+//! Setup order is fixed — servers first (one CAB each, in mix order),
+//! then clients in ascending global index, each with an RNG stream
+//! forked from the plan seed in that same order — so two fleets built
+//! from the same plan evolve bit-identically.
+
+use nectar::scenario::{CabEcho, CabTcpEchoServer, CabUdpEcho, Transport};
+use nectar::world::{SharedLoadLedger, World};
+use nectar::Topology;
+use nectar_cab::HostOpMode;
+use nectar_sim::{Pcg32, SimDuration, SimTime};
+
+use crate::client::{ClientSpec, LoadClient};
+use crate::recorder::{LoadRecorder, SharedRecorder};
+use crate::workload::{Arrival, SizeDist};
+use crate::LoadTransport;
+
+/// Well-known ports for the fleet's echo services.
+pub const UDP_LOAD_PORT: u16 = 7;
+pub const TCP_LOAD_PORT: u16 = 5000;
+/// Each UDP client binds `UDP_CLIENT_PORT_BASE + global index`.
+pub const UDP_CLIENT_PORT_BASE: u16 = 9000;
+
+/// A declarative fleet: how many clients per transport, how they
+/// arrive, and how long they run.
+#[derive(Clone, Debug)]
+pub struct FleetPlan {
+    pub seed: u64,
+    /// `(transport, client count)` — one echo-service CAB per entry.
+    pub mix: Vec<(LoadTransport, usize)>,
+    /// Clients packed onto each client CAB.
+    pub clients_per_cab: usize,
+    pub arrival: Arrival,
+    pub size: SizeDist,
+    pub timeout: SimDuration,
+    pub start: SimTime,
+    pub stop: SimTime,
+}
+
+impl FleetPlan {
+    pub fn total_clients(&self) -> usize {
+        self.mix.iter().map(|(_, n)| n).sum()
+    }
+
+    /// CABs the plan needs: one per mix entry (echo service) plus the
+    /// client CABs.
+    pub fn cabs(&self) -> usize {
+        let clients = self.total_clients();
+        self.mix.len() + clients.div_ceil(self.clients_per_cab.max(1))
+    }
+
+    /// The topology this plan should run on.
+    pub fn topology(&self) -> Topology {
+        fleet_topology(self.cabs())
+    }
+}
+
+/// Smallest standard topology fitting `cabs` boards: one HUB up to its
+/// port budget, two bridged HUBs past that, then a HUB chain.
+pub fn fleet_topology(cabs: usize) -> Topology {
+    if cabs <= 16 {
+        Topology::single_hub(cabs)
+    } else if cabs <= 30 {
+        Topology::two_hubs(cabs)
+    } else {
+        Topology::chain(cabs.div_ceil(14), 14)
+    }
+}
+
+/// Handles shared by a deployed fleet.
+pub struct Fleet {
+    pub recorder: SharedRecorder,
+    pub ledger: SharedLoadLedger,
+    pub total_clients: usize,
+    /// `(transport, (cab, mailbox-or-port))` per echo service.
+    pub servers: Vec<(LoadTransport, (u16, u16))>,
+}
+
+/// Deploy the plan onto a world built over (at least) `plan.cabs()`
+/// boards: echo services on CABs `0..mix.len()`, clients packed onto
+/// the CABs after them.
+pub fn deploy_fleet(world: &mut World, plan: &FleetPlan) -> Fleet {
+    assert!(
+        world.topo.cabs() >= plan.cabs(),
+        "fleet needs {} CABs, topology has {}",
+        plan.cabs(),
+        world.topo.cabs()
+    );
+    let recorder = LoadRecorder::shared();
+    let ledger = world.attach_load_ledger();
+
+    let mut servers = Vec::with_capacity(plan.mix.len());
+    for (si, (t, _)) in plan.mix.iter().enumerate() {
+        let s = si as u16;
+        let cab = &mut world.cabs[si];
+        let addr = match t {
+            LoadTransport::Datagram | LoadTransport::Rmp | LoadTransport::ReqResp => {
+                let mbox = cab.shared.create_mailbox(false, HostOpMode::SharedMemory);
+                let transport = match t {
+                    LoadTransport::Datagram => Transport::Datagram,
+                    LoadTransport::Rmp => Transport::Rmp,
+                    _ => Transport::ReqResp,
+                };
+                cab.fork_app(Box::new(CabEcho { transport, recv_mbox: mbox }));
+                (s, mbox)
+            }
+            LoadTransport::Udp => {
+                let mbox = cab.shared.create_mailbox(false, HostOpMode::SharedMemory);
+                cab.fork_app(Box::new(CabUdpEcho::new(UDP_LOAD_PORT, mbox)));
+                (s, UDP_LOAD_PORT)
+            }
+            LoadTransport::Tcp => {
+                let tc = cab.proto.tcp_cond;
+                let accept = cab.shared.create_mailbox_on(false, HostOpMode::SharedMemory, tc);
+                cab.fork_app(Box::new(CabTcpEchoServer::new(TCP_LOAD_PORT, accept)));
+                (s, TCP_LOAD_PORT)
+            }
+        };
+        servers.push((*t, addr));
+    }
+
+    let n_servers = plan.mix.len();
+    let mut master = Pcg32::seeded(plan.seed ^ 0x10ad);
+    let mut i = 0usize;
+    for (mi, (t, count)) in plan.mix.iter().enumerate() {
+        let server = servers[mi].1;
+        for _ in 0..*count {
+            let cab = n_servers + i / plan.clients_per_cab.max(1);
+            let spec = ClientSpec {
+                transport: *t,
+                server,
+                arrival: plan.arrival,
+                size: plan.size,
+                timeout: plan.timeout,
+                start: plan.start,
+                stop: plan.stop,
+                udp_port: UDP_CLIENT_PORT_BASE + i as u16,
+                rng: master.fork(i as u64),
+            };
+            world.cabs[cab].fork_app(Box::new(LoadClient::new(
+                spec,
+                recorder.clone(),
+                ledger.clone(),
+            )));
+            i += 1;
+        }
+    }
+
+    Fleet { recorder, ledger, total_clients: i, servers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(mix: Vec<(LoadTransport, usize)>) -> FleetPlan {
+        FleetPlan {
+            seed: 1,
+            mix,
+            clients_per_cab: 12,
+            arrival: Arrival::Open { mean_gap: SimDuration::from_micros(500) },
+            size: SizeDist::Fixed(64),
+            timeout: SimDuration::from_millis(50),
+            start: SimTime::ZERO,
+            stop: SimTime::ZERO + SimDuration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn plan_counts_cabs_for_servers_and_clients() {
+        let p = plan(vec![(LoadTransport::ReqResp, 24), (LoadTransport::Udp, 13)]);
+        assert_eq!(p.total_clients(), 37);
+        // 2 servers + ceil(37/12)=4 client CABs
+        assert_eq!(p.cabs(), 6);
+        assert_eq!(p.topology().cabs(), 6);
+    }
+
+    #[test]
+    fn topology_scales_with_fleet_size() {
+        assert_eq!(fleet_topology(8).hubs, 1);
+        assert_eq!(fleet_topology(16).hubs, 1);
+        assert_eq!(fleet_topology(25).hubs, 2);
+        let big = fleet_topology(40);
+        assert!(big.hubs >= 3);
+        assert!(big.cabs() >= 40);
+    }
+}

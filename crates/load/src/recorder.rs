@@ -1,0 +1,95 @@
+//! The coordinated-omission-correct latency recorder.
+//!
+//! Every latency sample is measured from the request's *intended*
+//! start time (schedule-derived), not from the moment the client
+//! actually managed to dispatch it. A stalled CAB that delays a
+//! client's dispatch therefore shows up as queueing delay in the
+//! recorded tail, exactly as a real user would experience it — the
+//! correction popularized by wrk2/HdrHistogram workloads.
+//!
+//! Samples land in a bounded-memory [`BucketHist`] (≤ 0.8% relative
+//! percentile error, see `nectar_sim::stats`), so fleets of thousands
+//! of clients over long horizons record in O(1) space per transport.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use nectar_sim::{BucketHist, SimDuration};
+
+use crate::LoadTransport;
+
+/// Per-transport accounting and the latency histogram.
+#[derive(Clone, Debug, Default)]
+pub struct TransportRecord {
+    /// Latency from intended start to response completion.
+    pub latency: BucketHist,
+    pub requests_sent: u64,
+    pub responses: u64,
+    pub timeouts: u64,
+    pub failures: u64,
+    /// Replies that arrived after their request had timed out.
+    pub stale_replies: u64,
+    /// Dispatches that ran late relative to their intended start.
+    pub late_dispatch: u64,
+    pub bytes_sent: u64,
+    pub bytes_received: u64,
+}
+
+/// Recorder shared by every client of a fleet.
+#[derive(Clone, Debug, Default)]
+pub struct LoadRecorder {
+    per: [TransportRecord; LoadTransport::COUNT],
+}
+
+/// Shared handle to a [`LoadRecorder`].
+pub type SharedRecorder = Rc<RefCell<LoadRecorder>>;
+
+impl LoadRecorder {
+    pub fn new() -> LoadRecorder {
+        LoadRecorder::default()
+    }
+
+    pub fn shared() -> SharedRecorder {
+        Rc::new(RefCell::new(LoadRecorder::new()))
+    }
+
+    pub fn record(&self, t: LoadTransport) -> &TransportRecord {
+        &self.per[t.index()]
+    }
+
+    pub fn record_mut(&mut self, t: LoadTransport) -> &mut TransportRecord {
+        &mut self.per[t.index()]
+    }
+
+    /// A completed request: `latency` measured from the intended start.
+    pub fn response(&mut self, t: LoadTransport, latency: SimDuration, bytes: u64) {
+        let r = self.record_mut(t);
+        r.latency.record(latency);
+        r.responses += 1;
+        r.bytes_received += bytes;
+    }
+
+    /// Transports with at least one request sent, in enum order.
+    pub fn active(&self) -> Vec<LoadTransport> {
+        LoadTransport::ALL.iter().copied().filter(|t| self.record(*t).requests_sent > 0).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_recorded_per_transport() {
+        let mut rec = LoadRecorder::new();
+        rec.response(LoadTransport::ReqResp, SimDuration::from_micros(100), 64);
+        rec.response(LoadTransport::ReqResp, SimDuration::from_micros(300), 64);
+        rec.response(LoadTransport::Udp, SimDuration::from_micros(50), 32);
+        assert_eq!(rec.record(LoadTransport::ReqResp).responses, 2);
+        assert_eq!(rec.record(LoadTransport::Udp).responses, 1);
+        assert_eq!(rec.record(LoadTransport::Tcp).responses, 0);
+        let p50 = rec.record(LoadTransport::ReqResp).latency.median();
+        assert!(p50 >= SimDuration::from_micros(99));
+        assert_eq!(rec.active(), Vec::<LoadTransport>::new()); // no sends recorded
+    }
+}

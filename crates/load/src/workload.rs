@@ -1,0 +1,140 @@
+//! Workload models: when each client issues its next request and how
+//! large the request is.
+//!
+//! Both models draw from the deterministic sim RNG ([`Pcg32`]), so two
+//! fleets built from the same seed produce bit-identical schedules.
+//!
+//! * **Open loop** — the request *schedule* is fixed in advance: the
+//!   next intended start is always `previous intended + Exp(mean)`,
+//!   whether or not the previous request has completed. When the
+//!   system falls behind, dispatches run late but their latency is
+//!   still measured from the intended time (see
+//!   [`crate::recorder`]) — the wrk2-style coordinated-omission
+//!   correction.
+//! * **Closed loop** — the classic interactive client: the next
+//!   request starts a think time after the previous one *completes*.
+//!   A closed-loop client can never fall behind, so its intended and
+//!   actual start coincide by construction.
+
+use nectar_sim::{Pcg32, SimDuration, SimTime};
+
+/// Arrival model for one client.
+#[derive(Clone, Copy, Debug)]
+pub enum Arrival {
+    /// Open-loop Poisson arrivals with the given mean inter-arrival
+    /// gap. The schedule advances from each *intended* start.
+    Open { mean_gap: SimDuration },
+    /// Closed-loop with exponential think time between a completion
+    /// and the next request.
+    Closed { mean_think: SimDuration },
+}
+
+impl Arrival {
+    /// Draw the gap to the next intended start.
+    pub fn draw_gap(&self, rng: &mut Pcg32) -> SimDuration {
+        let mean = match self {
+            Arrival::Open { mean_gap } => mean_gap.as_nanos() as f64,
+            Arrival::Closed { mean_think } => mean_think.as_nanos() as f64,
+        };
+        // clamp to >= 1ns so schedules always advance
+        SimDuration::from_nanos((rng.exp(mean) as u64).max(1))
+    }
+
+    /// True for the open-loop model (schedule advances from intended
+    /// starts; dispatches can run late).
+    pub fn is_open(&self) -> bool {
+        matches!(self, Arrival::Open { .. })
+    }
+
+    /// Advance the schedule after a dispatch at `intended` /
+    /// completion at `completed`.
+    pub fn next_after(&self, intended: SimTime, completed: SimTime, rng: &mut Pcg32) -> SimTime {
+        match self {
+            Arrival::Open { .. } => intended + self.draw_gap(rng),
+            Arrival::Closed { .. } => completed + self.draw_gap(rng),
+        }
+    }
+}
+
+/// Per-request payload size distribution. Draws are clamped to at
+/// least [`MIN_PAYLOAD`] bytes: every request carries a 4-byte reply
+/// address and a 4-byte sequence number.
+#[derive(Clone, Copy, Debug)]
+pub enum SizeDist {
+    Fixed(usize),
+    /// Uniform over `[lo, hi)`.
+    Uniform(usize, usize),
+}
+
+/// Smallest payload a load request can carry (reply address + seq).
+pub const MIN_PAYLOAD: usize = 8;
+
+impl SizeDist {
+    pub fn draw(&self, rng: &mut Pcg32) -> usize {
+        let n = match *self {
+            SizeDist::Fixed(n) => n,
+            SizeDist::Uniform(lo, hi) => {
+                if lo + 1 >= hi {
+                    lo
+                } else {
+                    rng.range(lo, hi)
+                }
+            }
+        };
+        n.max(MIN_PAYLOAD)
+    }
+
+    /// Mean of the distribution (after clamping), for offered-load
+    /// bookkeeping.
+    pub fn mean(&self) -> usize {
+        match *self {
+            SizeDist::Fixed(n) => n.max(MIN_PAYLOAD),
+            SizeDist::Uniform(lo, hi) => ((lo + hi.max(lo + 1)) / 2).max(MIN_PAYLOAD),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_loop_schedule_is_independent_of_completions() {
+        let a = Arrival::Open { mean_gap: SimDuration::from_micros(100) };
+        let mut r1 = Pcg32::seeded(7);
+        let mut r2 = Pcg32::seeded(7);
+        let i0 = SimTime::from_nanos(1_000);
+        // completion time must not influence the next intended start
+        let n1 = a.next_after(i0, SimTime::from_nanos(5_000_000), &mut r1);
+        let n2 = a.next_after(i0, SimTime::from_nanos(2_000), &mut r2);
+        assert_eq!(n1, n2);
+        assert!(n1 > i0);
+    }
+
+    #[test]
+    fn closed_loop_schedule_follows_completions() {
+        let a = Arrival::Closed { mean_think: SimDuration::from_micros(100) };
+        let mut r1 = Pcg32::seeded(7);
+        let mut r2 = Pcg32::seeded(7);
+        let i0 = SimTime::from_nanos(1_000);
+        let c1 = SimTime::from_nanos(50_000);
+        let c2 = SimTime::from_nanos(90_000);
+        let n1 = a.next_after(i0, c1, &mut r1);
+        let n2 = a.next_after(i0, c2, &mut r2);
+        assert_eq!(n2.as_nanos() - n1.as_nanos(), 40_000);
+    }
+
+    #[test]
+    fn sizes_respect_minimum() {
+        let mut rng = Pcg32::seeded(3);
+        for d in [SizeDist::Fixed(1), SizeDist::Uniform(0, 4), SizeDist::Uniform(64, 256)] {
+            for _ in 0..100 {
+                assert!(d.draw(&mut rng) >= MIN_PAYLOAD);
+            }
+        }
+        let d = SizeDist::Uniform(64, 256);
+        for _ in 0..100 {
+            assert!(d.draw(&mut rng) < 256);
+        }
+    }
+}

@@ -25,6 +25,6 @@ pub mod trace;
 pub use metrics::{CpuMeter, Gauge, MetricCounter, MetricsRegistry, MetricsSnapshot};
 pub use queue::{EventCall, EventFn, SchedStats, Scheduler, TimerId};
 pub use rng::Pcg32;
-pub use stats::{Counter, Histogram, RateMeter};
+pub use stats::{BucketHist, Counter, Histogram, RateMeter};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent};

@@ -90,6 +90,14 @@ impl RrClient {
         self.pending.len()
     }
 
+    /// The server this client is bound to, as `(cab, service mailbox)`.
+    /// One reply mailbox can serve only one binding at a time: replies
+    /// carry just `(reply_mbox, req_id)`, so calls to distinct servers
+    /// through one mailbox could not be told apart on the wire.
+    pub fn server(&self) -> (u16, u16) {
+        (self.server_cab, self.server_mbox)
+    }
+
     fn request_packet(&self, req_id: u32, payload: &[u8]) -> Vec<u8> {
         ReqRespHeader {
             kind: ReqRespKind::Request,

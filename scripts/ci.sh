@@ -54,4 +54,32 @@ for key in ("events_executed", "wall_seconds", "events_per_sec", "sim_wire_bytes
 print("ci: simspeed artifact ok:", r["events_executed"], "events")
 EOF
 
+# load smoke: the quick capacity sweep (small fleet, tens of ms of sim
+# time) must produce a well-formed BENCH_load.json, and — the
+# determinism contract — two runs must emit byte-identical files.
+# --full runs the whole five-transport sweep instead.
+load_args=(--quick)
+if [[ "${1:-}" == "--full" ]]; then
+    load_args=()
+fi
+echo "ci: load sweep smoke (double run, byte-compared)"
+NECTAR_BENCH_DIR="$smoke_dir/load1" \
+    cargo bench -p nectar-bench --bench load_sweep -- "${load_args[@]+"${load_args[@]}"}"
+NECTAR_BENCH_DIR="$smoke_dir/load2" \
+    cargo bench -p nectar-bench --bench load_sweep -- "${load_args[@]+"${load_args[@]}"}"
+cmp "$smoke_dir/load1/BENCH_load.json" "$smoke_dir/load2/BENCH_load.json" \
+    || { echo "ci: BENCH_load.json differs between same-seed runs"; exit 1; }
+python3 - "$smoke_dir/load1/BENCH_load.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+assert r["transports"], "BENCH_load.json: no transports"
+for t in r["transports"]:
+    assert t["points"], f"{t['transport']}: no load points"
+    assert any(p["responses"] > 0 for p in t["points"]), f"{t['transport']}: served nothing"
+    assert t["knee_rps"] > 0, f"{t['transport']}: no capacity knee"
+print("ci: load artifact ok:", ", ".join(
+    f"{t['transport']} knee {t['knee_rps']} rps" for t in r["transports"]))
+EOF
+
 echo "ci: all green"
