@@ -1,11 +1,20 @@
-//! Wall-clock simulation speed on the paper's production deployment.
+//! Wall-clock simulation speed on the paper's production deployment,
+//! across the sharded-kernel execution modes.
 //!
 //! Every other bench in this harness reports *simulated* time; this one
 //! measures how fast the simulator itself runs. It builds the §6
 //! deployment (26 hosts on 2 HUBs), saturates it with 13 pairwise
-//! RMP/TCP streams, runs a fixed window of simulated time, and reports
-//! wall-clock events/sec and simulated-bytes/sec so kernel changes are
-//! measured instead of guessed at.
+//! RMP/TCP streams, runs a fixed window of simulated time under each
+//! mode, and reports wall-clock events/sec and simulated-bytes/sec so
+//! kernel changes are measured instead of guessed at:
+//!
+//! * `single`  — the plain unsharded event loop (the baseline).
+//! * `det @ k` — the deterministic sharded merge (`ShardedWorld`) at
+//!   k = 1 and 2. The k = 2 snapshot is byte-compared against k = 1
+//!   in-process; a mismatch aborts the bench, so the artifact can
+//!   honestly claim `det_shard_invariant`.
+//! * `fast @ k` — the threaded conservative runner (`run_fast`) at
+//!   k = 1, 2, 4, which promises per-shard determinism only.
 //!
 //!     cargo bench -p nectar-bench --bench simspeed [-- --quick]
 //!
@@ -17,63 +26,179 @@ use std::time::Instant;
 
 use nectar::config::Config;
 use nectar::scenario::two_hub_pair_load;
+use nectar::shard::{run_fast, ShardedWorld};
 use nectar::topology::Topology;
-use nectar::world::World;
+use nectar::world::{Sim, World};
 use nectar_sim::{SimDuration, SimTime};
 
 /// Message/chunk size for every stream: the paper's largest Figure 7
 /// point, so frames are MTU-sized and the DMA path is exercised.
 const MSG_SIZE: usize = 4096;
 
-fn run_window(window: SimDuration) -> (u64, f64, u64, u64) {
-    let topo = Topology::two_hubs(26);
-    let (mut world, mut sim) = World::new(Config::default(), topo);
+fn mk() -> (World, Sim) {
+    let (mut world, sim) = World::new(Config::default(), Topology::two_hubs(26));
     // effectively unbounded: streams stay active for the whole window
+    let _handles = two_hub_pair_load(&mut world, u64::MAX / 2, MSG_SIZE);
+    (world, sim)
+}
+
+struct Entry {
+    mode: &'static str,
+    shards: usize,
+    events: u64,
+    wall: f64,
+    wire_bytes: u64,
+    delivered: u64,
+}
+
+impl Entry {
+    fn report(&self) {
+        println!(
+            "  {:>6} @ {} shard(s): {:>9} events in {:.3} s = {:>9.0} ev/s, {} wire bytes",
+            self.mode,
+            self.shards,
+            self.events,
+            self.wall,
+            self.events as f64 / self.wall,
+            self.wire_bytes,
+        );
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"mode\": \"{}\",\n",
+                "      \"shards\": {},\n",
+                "      \"events_executed\": {},\n",
+                "      \"wall_seconds\": {:.6},\n",
+                "      \"events_per_sec\": {:.0},\n",
+                "      \"sim_wire_bytes\": {},\n",
+                "      \"sim_bytes_per_sec\": {:.0},\n",
+                "      \"delivered_payload_bytes\": {}\n",
+                "    }}"
+            ),
+            self.mode,
+            self.shards,
+            self.events,
+            self.wall,
+            self.events as f64 / self.wall,
+            self.wire_bytes,
+            self.wire_bytes as f64 / self.wall,
+            self.delivered,
+        )
+    }
+}
+
+/// The unsharded baseline.
+fn run_single(deadline: SimTime) -> Entry {
+    let (mut world, mut sim) = World::new(Config::default(), Topology::two_hubs(26));
     let handles = two_hub_pair_load(&mut world, u64::MAX / 2, MSG_SIZE);
     let t0 = Instant::now();
-    world.run_until(&mut sim, SimTime::ZERO + window);
+    world.run_until(&mut sim, deadline);
     let wall = t0.elapsed().as_secs_f64();
-    let delivered: u64 = handles.iter().map(|(received, _)| received.get()).sum();
-    (sim.executed(), wall, world.stats.bytes_launched, delivered)
+    Entry {
+        mode: "single",
+        shards: 1,
+        events: sim.executed(),
+        wall,
+        wire_bytes: world.stats.bytes_launched,
+        delivered: handles.iter().map(|(received, _)| received.get()).sum(),
+    }
+}
+
+/// Deterministic merged execution; also returns the snapshot for the
+/// in-process shard-invariance comparison. Event counts include the
+/// ownership-guarded no-op boot duplicates on non-owner shards.
+fn run_det(shards: usize, deadline: SimTime) -> (Entry, String) {
+    let mut sw = ShardedWorld::build(shards, mk);
+    let t0 = Instant::now();
+    sw.run_until(deadline);
+    let wall = t0.elapsed().as_secs_f64();
+    let entry = Entry {
+        mode: "det",
+        shards,
+        events: sw.executed(),
+        wall,
+        wire_bytes: sw.worlds.iter().map(|w| w.stats.bytes_launched).sum(),
+        delivered: 0,
+    };
+    (entry, sw.metrics_json())
+}
+
+/// The threaded conservative runner.
+fn run_fast_mode(shards: usize, deadline: SimTime) -> Entry {
+    let topo = Topology::two_hubs(26);
+    let t0 = Instant::now();
+    let parts =
+        run_fast(shards, &topo, deadline, mk, |_, w, sim| (sim.executed(), w.stats.bytes_launched));
+    let wall = t0.elapsed().as_secs_f64();
+    Entry {
+        mode: "fast",
+        shards,
+        events: parts.iter().map(|(e, _)| e).sum(),
+        wall,
+        wire_bytes: parts.iter().map(|(_, b)| b).sum(),
+        delivered: 0,
+    }
 }
 
 fn main() {
     let quick =
         std::env::args().any(|a| a == "--quick") || std::env::var("NECTAR_SIMSPEED_QUICK").is_ok();
     let window_ms: u64 = if quick { 5 } else { 1000 };
-    let window = SimDuration::from_millis(window_ms);
+    let deadline = SimTime::ZERO + SimDuration::from_millis(window_ms);
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
-    println!("simspeed: 26 hosts / 2 HUBs / 13 streams, {window_ms} ms simulated");
+    println!(
+        "simspeed: 26 hosts / 2 HUBs / 13 streams, {window_ms} ms simulated, \
+         {host_cores} host core(s)"
+    );
     if !quick {
         // one throwaway window so page faults and lazy allocation don't
-        // pollute the measured run
-        let _ = run_window(SimDuration::from_millis(25));
+        // pollute the measured runs
+        let _ = run_single(SimTime::ZERO + SimDuration::from_millis(25));
     }
-    let (events, wall, wire_bytes, delivered) = run_window(window);
-    let events_per_sec = events as f64 / wall;
-    let sim_bytes_per_sec = wire_bytes as f64 / wall;
-    println!("  events executed      : {events}");
-    println!("  wall clock           : {wall:.3} s");
-    println!("  events/sec (wall)    : {events_per_sec:.0}");
-    println!("  sim wire bytes       : {wire_bytes}");
-    println!("  sim bytes/sec (wall) : {sim_bytes_per_sec:.0}");
-    println!("  payload delivered    : {delivered}");
 
+    let mut entries = Vec::new();
+    entries.push(run_single(deadline));
+    let (det1, snap1) = run_det(1, deadline);
+    entries.push(det1);
+    let (det2, snap2) = run_det(2, deadline);
+    assert!(
+        snap1 == snap2,
+        "deterministic mode diverged between 1 and 2 shards — shard-invariance broken"
+    );
+    entries.push(det2);
+    for shards in [1, 2, 4] {
+        entries.push(run_fast_mode(shards, deadline));
+    }
+    for e in &entries {
+        e.report();
+    }
+
+    let body: Vec<String> = entries.iter().map(|e| e.json()).collect();
     let json = format!(
         concat!(
             "{{\n",
             "  \"scenario\": \"two_hub_26host_13stream\",\n",
             "  \"quick\": {},\n",
             "  \"sim_window_ms\": {},\n",
-            "  \"events_executed\": {},\n",
-            "  \"wall_seconds\": {:.6},\n",
-            "  \"events_per_sec\": {:.0},\n",
-            "  \"sim_wire_bytes\": {},\n",
-            "  \"sim_bytes_per_sec\": {:.0},\n",
-            "  \"delivered_payload_bytes\": {}\n",
+            "  \"host_cores\": {},\n",
+            "  \"det_shard_invariant\": true,\n",
+            "  \"note\": \"det events include no-op boot duplicates on non-owner shards; \
+             det/fast entries report wire bytes only (delivered-payload handles are \
+             per-shard app state). \
+             Fast-mode speedup needs >= `shards` host cores; on a single-core host the \
+             threaded runner measures synchronization overhead, not scaling. \
+             Regenerate with: cargo bench -p nectar-bench --bench simspeed\",\n",
+            "  \"entries\": [\n{}\n  ]\n",
             "}}\n"
         ),
-        quick, window_ms, events, wall, events_per_sec, wire_bytes, sim_bytes_per_sec, delivered
+        quick,
+        window_ms,
+        host_cores,
+        body.join(",\n")
     );
     let dir = std::env::var("NECTAR_BENCH_DIR").unwrap_or_else(|_| ".".into());
     let dir = std::path::Path::new(&dir);

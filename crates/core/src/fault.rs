@@ -10,13 +10,22 @@
 //! out for a window (a dead CAB neither transmits nor receives, and
 //! its input FIFO is flushed like a power-cycled board's).
 //!
-//! Everything draws from the same deterministic [`Pcg32`] stream the
-//! legacy plan used (`Pcg32::new(seed, 0xfa)`), and when no script is
-//! installed the engine performs *exactly* the legacy draws in the
-//! legacy order — same-seed runs stay bit-identical, and the default
-//! (fault-free) configuration reproduces the pinned metrics fixture
-//! byte for byte, because `Pcg32::chance` consumes no state for
-//! probabilities of 0 or 1.
+//! Randomness is *strand-local*: every fiber direction (cab3→hub0 and
+//! hub0→cab3 are separate strands of the same [`LinkId`], just as a
+//! duplex fiber is two light paths) owns an independent [`Pcg32`]
+//! stream and its own Gilbert–Elliott channel state, and the legacy
+//! global-plan entry draws come from a per-CAB stream. This is what
+//! makes fault schedules *shard-invariant*: under the sharded kernel
+//! (`crate::shard`) each shard owns a disjoint set of transmitting
+//! nodes, so the strands it advances are exactly the strands an
+//! unsharded run would advance with the same frame sequence — a draw
+//! on one strand can never perturb another strand's future, no matter
+//! how the strands interleave globally. A single shared stream (the
+//! pre-shard design) breaks this: two frames on unrelated fibers
+//! would consume from one sequence, making every verdict depend on
+//! the global frame order. The default (fault-free) configuration
+//! still reproduces the pinned metrics fixture byte for byte, because
+//! `Pcg32::chance` consumes no state for probabilities of 0 or 1.
 //!
 //! Every injected fault is counted per link/node and surfaced through
 //! [`crate::world::World::metrics`] under `net/link/<a>-<b>/…` and
@@ -283,20 +292,54 @@ pub struct FaultStats {
     pub fifo_flushed_bytes: u64,
 }
 
+/// One direction of a fiber: its private RNG stream plus the
+/// Gilbert–Elliott channel state riding on that stream.
+#[derive(Debug)]
+struct DirState {
+    rng: Pcg32,
+    /// Gilbert–Elliott channel state: true while Bad.
+    in_bad: bool,
+}
+
 #[derive(Debug)]
 struct LinkState {
     plan: LinkPlan,
-    /// Gilbert–Elliott channel state: true while Bad.
-    in_bad: bool,
+    /// `[0]` = frames transmitted by the link's first (canonical-order
+    /// lower) endpoint, `[1]` = by the second.
+    dirs: [DirState; 2],
     stats: LinkFaultStats,
 }
 
-/// The world's fault authority. Owns the fault RNG stream (the same
-/// `Pcg32::new(seed, 0xfa)` the legacy global plan drew from) plus the
-/// installed script and all fault accounting.
+/// A collision-free `Pcg32` stream id for one node. CABs and HUBs live
+/// in disjoint 17-bit ranges.
+fn node_code(n: NodeRef) -> u64 {
+    match n {
+        NodeRef::Cab(i) => i as u64,
+        NodeRef::Hub(h) => (1 << 16) | h as u64,
+    }
+}
+
+/// Stream id for one fiber direction: link endpoints in canonical
+/// order plus which endpoint transmits. Distinct from every per-CAB
+/// entry stream (different tag bits).
+fn strand_stream(id: LinkId, sender_is_second: bool) -> u64 {
+    (0x1fa_u64 << 52) | (node_code(id.0) << 35) | (node_code(id.1) << 18) | sender_is_second as u64
+}
+
+/// Stream id for one CAB's legacy global-plan entry draws.
+fn entry_stream(cab: u16) -> u64 {
+    (0xfa_u64 << 32) | cab as u64
+}
+
+/// The world's fault authority. Owns the per-strand fault RNG streams,
+/// the installed script and all fault accounting.
 #[derive(Debug)]
 pub struct FaultEngine {
-    rng: Pcg32,
+    /// Base seed every strand stream derives from.
+    seed: u64,
+    /// Per-CAB streams for the legacy global-plan draws at network
+    /// entry (lazily created on a CAB's first transmitted frame).
+    entry_rngs: BTreeMap<u16, Pcg32>,
     /// The legacy global plan, always evaluated first in the legacy
     /// draw order.
     plan: FaultPlan,
@@ -310,7 +353,8 @@ pub struct FaultEngine {
 impl FaultEngine {
     pub fn new(seed: u64, plan: FaultPlan) -> FaultEngine {
         FaultEngine {
-            rng: Pcg32::new(seed, 0xfau64),
+            seed,
+            entry_rngs: BTreeMap::new(),
             plan,
             enabled: false,
             links: BTreeMap::new(),
@@ -339,9 +383,13 @@ impl FaultEngine {
             if plan.is_noop() {
                 continue;
             }
-            let e = self.links.entry(*id).or_insert(LinkState {
+            let seed = self.seed;
+            let e = self.links.entry(*id).or_insert_with(|| LinkState {
                 plan: LinkPlan::default(),
-                in_bad: false,
+                dirs: [false, true].map(|second| DirState {
+                    rng: Pcg32::new(seed, strand_stream(*id, second)),
+                    in_bad: false,
+                }),
                 stats: LinkFaultStats::default(),
             });
             // merging repeated clauses for one link: last probabilistic
@@ -413,18 +461,23 @@ impl FaultEngine {
             self.note_node_down_drop(NodeRef::Cab(cab), wire_len);
             return Verdict::Down;
         }
-        // legacy draws, exact order — this is the compatibility spine
-        if self.rng.chance(self.plan.loss) {
+        // legacy draws, exact order, from this CAB's private stream —
+        // a fault-free plan consumes no state, and an active plan's
+        // draws for one CAB never depend on other CABs' traffic
+        let (seed, plan) = (self.seed, self.plan);
+        let rng = self.entry_rngs.entry(cab).or_insert_with(|| Pcg32::new(seed, entry_stream(cab)));
+        if rng.chance(plan.loss) {
             return Verdict::Lose;
         }
-        if self.plan.corrupt > 0.0 && self.rng.chance(self.plan.corrupt) {
-            let bit = self.rng.range(0, wire_len * 8);
+        if plan.corrupt > 0.0 && rng.chance(plan.corrupt) {
+            let bit = rng.range(0, wire_len * 8);
             return Verdict::Corrupt(bit);
         }
         if !self.enabled {
             return Verdict::Deliver;
         }
-        self.link_verdict(LinkId::new(NodeRef::Cab(cab), NodeRef::Hub(hub)), at, wire_len)
+        let sender = NodeRef::Cab(cab);
+        self.link_verdict(LinkId::new(sender, NodeRef::Hub(hub)), sender, at, wire_len)
     }
 
     /// Checkpoint where a HUB forwards a frame onto the fiber toward
@@ -441,13 +494,23 @@ impl FaultEngine {
         if !self.enabled {
             return Verdict::Deliver;
         }
-        self.link_verdict(LinkId::new(NodeRef::Hub(hub), dst), at, wire_len)
+        let sender = NodeRef::Hub(hub);
+        self.link_verdict(LinkId::new(sender, dst), sender, at, wire_len)
     }
 
-    /// Evaluate one fiber's plan for one frame. Draw order is fixed
+    /// Evaluate one fiber's plan for one frame transmitted by `sender`.
+    /// All randomness comes from the `(link, direction)` strand's
+    /// private stream; draw order within the strand is fixed
     /// (down-window, uniform loss, burst transition, burst loss,
-    /// corruption) so same-seed runs replay identically.
-    fn link_verdict(&mut self, id: LinkId, at: SimTime, wire_len: usize) -> Verdict {
+    /// corruption) so same-seed runs replay identically regardless of
+    /// how other strands' frames interleave.
+    fn link_verdict(
+        &mut self,
+        id: LinkId,
+        sender: NodeRef,
+        at: SimTime,
+        wire_len: usize,
+    ) -> Verdict {
         let Some(st) = self.links.get_mut(&id) else { return Verdict::Deliver };
         if st.plan.is_down(at) {
             st.stats.frames_down_dropped += 1;
@@ -459,34 +522,35 @@ impl FaultEngine {
         if st.plan.until.is_some_and(|u| at >= u) {
             return Verdict::Deliver; // probabilistic clauses healed
         }
-        if self.rng.chance(st.plan.loss) {
+        let dir = &mut st.dirs[(sender == id.1) as usize];
+        if dir.rng.chance(st.plan.loss) {
             st.stats.frames_lost += 1;
             st.stats.bytes_lost += wire_len as u64;
             return Verdict::Lose;
         }
         if let Some(ge) = st.plan.burst {
-            let flip = if st.in_bad {
-                self.rng.chance(ge.p_bad_to_good)
+            let flip = if dir.in_bad {
+                dir.rng.chance(ge.p_bad_to_good)
             } else {
-                let entered = self.rng.chance(ge.p_good_to_bad);
+                let entered = dir.rng.chance(ge.p_good_to_bad);
                 if entered {
                     st.stats.burst_entries += 1;
                 }
                 entered
             };
             if flip {
-                st.in_bad = !st.in_bad;
+                dir.in_bad = !dir.in_bad;
             }
-            let p = if st.in_bad { ge.loss_bad } else { ge.loss_good };
-            if self.rng.chance(p) {
+            let p = if dir.in_bad { ge.loss_bad } else { ge.loss_good };
+            if dir.rng.chance(p) {
                 st.stats.frames_lost += 1;
                 st.stats.bytes_lost += wire_len as u64;
                 return Verdict::Lose;
             }
         }
-        if st.plan.corrupt > 0.0 && self.rng.chance(st.plan.corrupt) {
+        if st.plan.corrupt > 0.0 && dir.rng.chance(st.plan.corrupt) {
             st.stats.frames_corrupted += 1;
-            let bit = self.rng.range(0, wire_len * 8);
+            let bit = dir.rng.range(0, wire_len * 8);
             return Verdict::Corrupt(bit);
         }
         Verdict::Deliver
@@ -545,22 +609,81 @@ mod tests {
     }
 
     #[test]
-    fn disabled_engine_replays_legacy_draw_stream() {
-        // same seed: the engine with no script must consume the RNG
-        // exactly as the legacy inline code did
+    fn disabled_engine_replays_per_cab_draw_stream() {
+        // the engine with no script performs the legacy global-plan
+        // draws in the legacy order, from the transmitting CAB's
+        // private stream
         let plan = FaultPlan { loss: 0.3, corrupt: 0.2 };
-        let mut legacy = Pcg32::new(99, 0xfau64);
+        let mut reference = Pcg32::new(99, entry_stream(3));
         let mut e = FaultEngine::new(99, plan);
         for _ in 0..200 {
             let wire_len = 120;
-            let expect = if legacy.chance(plan.loss) {
+            let expect = if reference.chance(plan.loss) {
                 Verdict::Lose
-            } else if plan.corrupt > 0.0 && legacy.chance(plan.corrupt) {
-                Verdict::Corrupt(legacy.range(0, wire_len * 8))
+            } else if plan.corrupt > 0.0 && reference.chance(plan.corrupt) {
+                Verdict::Corrupt(reference.range(0, wire_len * 8))
             } else {
                 Verdict::Deliver
             };
             assert_eq!(e.entry_verdict(3, 0, t(1), wire_len), expect);
+        }
+    }
+
+    /// Shard-invariance pin (ISSUE 6): the verdict sequence one CAB
+    /// observes must not depend on other CABs' traffic, because under
+    /// the sharded kernel another CAB's frames may be interleaved in a
+    /// completely different global order (or happen on another shard's
+    /// engine instance entirely).
+    #[test]
+    fn entry_draws_are_independent_per_cab() {
+        let plan = FaultPlan { loss: 0.3, corrupt: 0.2 };
+        // engine A: cab 3 alone; engine B: cab 3's frames interleaved
+        // with heavy traffic from cabs 1 and 7
+        let mut a = FaultEngine::new(4242, plan);
+        let mut b = FaultEngine::new(4242, plan);
+        for i in 0..300 {
+            let expect = a.entry_verdict(3, 0, t(i), 90);
+            let _ = b.entry_verdict(1, 0, t(i), 90);
+            let _ = b.entry_verdict(7, 1, t(i), 90);
+            assert_eq!(b.entry_verdict(3, 0, t(i), 90), expect);
+            let _ = b.entry_verdict(1, 0, t(i), 90);
+        }
+    }
+
+    /// The same independence for scripted links, per *direction*: the
+    /// cab→hub strand and the hub→cab strand of one fiber are separate
+    /// light paths with separate streams and separate burst state, and
+    /// neither is perturbed by traffic on other fibers.
+    #[test]
+    fn link_strands_are_independent_per_direction() {
+        let ge = GilbertElliott {
+            p_good_to_bad: 0.1,
+            p_bad_to_good: 0.2,
+            loss_good: 0.05,
+            loss_bad: 0.9,
+        };
+        let script = |links: Vec<LinkId>| FaultScript {
+            links: links
+                .into_iter()
+                .map(|l| (l, LinkPlan { corrupt: 0.1, burst: Some(ge), ..LinkPlan::default() }))
+                .collect(),
+            outages: vec![],
+        };
+        let fiber = LinkId::new(NodeRef::Cab(2), NodeRef::Hub(0));
+        let other = LinkId::new(NodeRef::Cab(5), NodeRef::Hub(0));
+        let trunk = LinkId::new(NodeRef::Hub(0), NodeRef::Hub(1));
+        // engine A sees only hub0→cab2 traffic; engine B additionally
+        // carries the reverse direction, another fiber, and a trunk
+        let mut a = FaultEngine::new(77, FaultPlan::default());
+        a.install(&script(vec![fiber]));
+        let mut b = FaultEngine::new(77, FaultPlan::default());
+        b.install(&script(vec![fiber, other, trunk]));
+        for i in 0..400 {
+            let expect = a.forward_verdict(0, NodeRef::Cab(2), t(i), 80);
+            let _ = b.entry_verdict(2, 0, t(i), 80); // reverse strand
+            let _ = b.entry_verdict(5, 0, t(i), 80); // other fiber
+            let _ = b.forward_verdict(0, NodeRef::Hub(1), t(i), 80); // trunk
+            assert_eq!(b.forward_verdict(0, NodeRef::Cab(2), t(i), 80), expect);
         }
     }
 
@@ -679,7 +802,7 @@ mod tests {
         for i in 0..50 {
             assert_eq!(e.entry_verdict(0, 0, t(i), 64), Verdict::Down);
         }
-        let mut reference = Pcg32::new(123, 0xfau64);
+        let mut reference = Pcg32::new(123, entry_stream(0));
         for i in 100..200 {
             let expect = if reference.chance(plan.loss) { Verdict::Lose } else { Verdict::Deliver };
             assert_eq!(e.entry_verdict(0, 0, t(i), 64), expect);

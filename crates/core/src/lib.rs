@@ -46,6 +46,7 @@ pub mod config;
 pub mod fault;
 pub mod netdev;
 pub mod scenario;
+pub mod shard;
 pub mod topology;
 pub mod world;
 
@@ -53,6 +54,7 @@ pub use config::{Config, FaultPlan};
 pub use fault::{
     FaultEngine, FaultScript, GilbertElliott, LinkId, LinkPlan, NodeOutage, NodeRef, Verdict,
 };
+pub use shard::{run_fast, ShardPlan, ShardedWorld};
 pub use topology::{Attachment, Topology};
 pub use world::{LoadLedger, NetStats, SharedLoadLedger, Sim, World};
 

@@ -1,0 +1,707 @@
+//! Sharded parallel simulation with conservative lookahead
+//! synchronization (DESIGN.md §13).
+//!
+//! The world is partitioned into **shards** — per HUB domain when the
+//! shard count allows it, per node otherwise — and the only coupling
+//! between shards is fiber: every cross-shard frame rides a link with
+//! known serialization + propagation delay. That delay is the
+//! *lookahead* a conservative parallel discrete-event simulation
+//! exploits (Chandy–Misra–Bryant): a shard may safely execute every
+//! event strictly before `min(neighbor horizons)`, where each neighbor
+//! continuously promises the earliest instant it could still emit a
+//! frame across the boundary.
+//!
+//! Two execution modes share the same boundary plumbing:
+//!
+//! * **Deterministic** ([`ShardedWorld`]): every shard builds the full
+//!   world from the identical recipe, all schedulers adopt one shared
+//!   sequence counter, and a sequential merge loop executes the
+//!   globally minimal `(time, seq)` event across shards. Cross-shard
+//!   frames draw their sequence number at *send* time
+//!   ([`nectar_sim::Scheduler::alloc_seq`]) and are injected with it
+//!   ([`nectar_sim::Scheduler::at_seq`]), so the event order — and
+//!   therefore every metric snapshot — is bit-for-bit the single-thread
+//!   order at any shard count. This is the mode all fixtures and tests
+//!   pin.
+//! * **Fast** ([`run_fast`]): one OS thread per shard, horizons in
+//!   atomics, frames in mutex-protected lanes, blocking doorbells for
+//!   progress. Promises only per-shard determinism: each shard's event
+//!   sequence is reproducible run-to-run (cross-shard frames carry
+//!   canonical sequence numbers from [`MSG_SEQ_BASE`] space), but no
+//!   global interleaving is defined.
+//!
+//! Why conservative rather than optimistic: world state here is a deep
+//! web of protocol machines, slab arenas and `Rc` graphs with no
+//! snapshot/rollback story, and the fiber lookahead (300 ns propagation
+//! against ~100 ns event spacing) is large enough that null messages
+//! keep shards busy. Optimistic execution would buy little and cost a
+//! full state-saving layer.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use nectar_sim::{MetricsSnapshot, SimTime};
+use nectar_wire::datalink::Frame;
+
+use crate::topology::{Attachment, Topology};
+use crate::world::{Sim, World};
+
+/// Cross-shard messages live in a disjoint sequence-number space above
+/// every locally allocated number, so a same-instant local event always
+/// orders before a same-instant injected frame in fast mode. Layout:
+/// `1 << 63 | src_shard << 44 | per-shard message index`.
+pub const MSG_SEQ_BASE: u64 = 1 << 63;
+
+/// Static node→shard assignment.
+///
+/// With `shards <= hubs`, shards align with HUB domains: HUB `h` goes
+/// to shard `h % shards` and every CAB follows its HUB, so the only
+/// cross-shard links are inter-HUB trunks. With more shards than HUBs
+/// the assignment falls back to per-node round-robin, which also cuts
+/// CAB↔HUB fibers (still fiber, still lookahead).
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    pub shards: usize,
+    /// Shard owning each CAB (and its attached host).
+    pub cab_shard: Vec<usize>,
+    /// Shard owning each HUB.
+    pub hub_shard: Vec<usize>,
+}
+
+impl ShardPlan {
+    pub fn assign(topo: &Topology, shards: usize) -> ShardPlan {
+        assert!(shards >= 1, "need at least one shard");
+        let hub_shard: Vec<usize> = (0..topo.hubs).map(|h| h % shards).collect();
+        let cab_shard: Vec<usize> = if shards <= topo.hubs {
+            topo.cab_port.iter().map(|&(h, _)| hub_shard[h as usize]).collect()
+        } else {
+            (0..topo.cabs()).map(|c| c % shards).collect()
+        };
+        ShardPlan { shards, cab_shard, hub_shard }
+    }
+}
+
+/// What a frame crossing a shard boundary becomes: plain bytes plus the
+/// delivery coordinates. Everything is `Send` so fast mode can move it
+/// between threads; [`Frame::into_bytes`]/[`Frame::from_bytes`]
+/// round-trip exactly (including the route cursor).
+#[derive(Debug)]
+pub enum MsgKind {
+    /// A frame reaching a HUB input port (CAB transmit or trunk hop).
+    HubArrival { hub: u16, in_port: u8, frame: Vec<u8> },
+    /// A frame leaving a HUB for a CAB's receive fiber.
+    CabDeliver { cab: u16, frame: Vec<u8> },
+    /// The §6.3 Ethernet comparison link (deterministic mode only: the
+    /// host-to-host link has zero lookahead).
+    EthDeliver { host: u16, packet: Vec<u8> },
+}
+
+/// A timestamped, sequence-stamped cross-shard message.
+#[derive(Debug)]
+pub struct OutMsg {
+    pub dst: usize,
+    pub at: SimTime,
+    pub seq: u64,
+    pub kind: MsgKind,
+}
+
+/// Per-shard context hung off the [`World`]. Its presence switches the
+/// world glue into sharded routing: kicks for foreign nodes become
+/// no-ops and boundary-crossing frames divert into `outbox` instead of
+/// the local event queue.
+pub struct ShardCtx {
+    pub me: usize,
+    pub plan: ShardPlan,
+    /// Deterministic mode: cross-shard sequence numbers come from the
+    /// shared scheduler counter; fast mode stamps canonical ones.
+    pub det: bool,
+    /// Boundary frames generated by the event just executed; the shard
+    /// runner drains this after every step (det) or burst (fast).
+    pub outbox: Vec<OutMsg>,
+    msg_count: u64,
+}
+
+impl ShardCtx {
+    pub fn new(me: usize, plan: ShardPlan, det: bool) -> ShardCtx {
+        assert!(me < plan.shards);
+        ShardCtx { me, plan, det, outbox: Vec::new(), msg_count: 0 }
+    }
+
+    /// Fast mode: the canonical sequence number for this shard's next
+    /// cross-shard message. Assigned at *send* time from a per-shard
+    /// counter, so the stamp is independent of when the receiver drains
+    /// its lane — the key to per-shard run-to-run determinism.
+    pub(crate) fn next_msg_seq(&mut self) -> u64 {
+        let n = self.msg_count;
+        self.msg_count += 1;
+        debug_assert!(n < 1 << 44 && (self.me as u64) < 1 << 19);
+        MSG_SEQ_BASE | (self.me as u64) << 44 | n
+    }
+}
+
+/// Stamp a boundary-crossing event and park it in the outbox. Called by
+/// the world glue wherever a frame's destination lives on another shard.
+pub(crate) fn divert(w: &mut World, sim: &mut Sim, at: SimTime, kind: MsgKind) {
+    debug_assert!(at >= sim.now(), "boundary frame scheduled in the past");
+    let det = w.shard.as_ref().expect("boundary diversion without a shard context").det;
+    // Deterministic mode draws from the shared counter exactly where
+    // the single-thread run would have drawn it (this very sim.at call
+    // site); fast mode stamps from the canonical message space.
+    let seq = if det { sim.alloc_seq() } else { w.shard.as_mut().unwrap().next_msg_seq() };
+    let ctx = w.shard.as_mut().unwrap();
+    let dst = match &kind {
+        MsgKind::HubArrival { hub, .. } => ctx.plan.hub_shard[*hub as usize],
+        MsgKind::CabDeliver { cab, .. } => ctx.plan.cab_shard[*cab as usize],
+        MsgKind::EthDeliver { host, .. } => {
+            assert!(
+                ctx.det,
+                "Ethernet links have zero lookahead and cannot cross shard \
+                 boundaries in fast mode; use deterministic mode"
+            );
+            ctx.plan.cab_shard[*host as usize]
+        }
+    };
+    debug_assert_ne!(dst, ctx.me, "diverted a frame the shard itself owns");
+    ctx.outbox.push(OutMsg { dst, at, seq, kind });
+}
+
+/// Inject a cross-shard message into the destination shard's queue,
+/// preserving its `(time, seq)` key.
+pub fn apply_msg(sim: &mut Sim, msg: OutMsg) {
+    let OutMsg { at, seq, kind, .. } = msg;
+    match kind {
+        MsgKind::HubArrival { hub, in_port, frame } => {
+            sim.at_seq(at, seq, move |w, s| {
+                crate::world::hub_frame_arrival(
+                    w,
+                    s,
+                    hub as usize,
+                    in_port,
+                    Frame::from_bytes(frame),
+                );
+            });
+        }
+        MsgKind::CabDeliver { cab, frame } => {
+            sim.at_seq(at, seq, move |w, s| {
+                crate::world::deliver_frame_to_cab(w, s, cab as usize, Frame::from_bytes(frame));
+            });
+        }
+        MsgKind::EthDeliver { host, packet } => {
+            sim.at_seq(at, seq, move |w, s| {
+                crate::netdev::eth_deliver(w, s, host as usize, packet);
+            });
+        }
+    }
+}
+
+/// The deterministic sharded runner: `shards` full worlds built from
+/// one recipe, one shared sequence counter, and a merge loop that
+/// executes the globally minimal `(time, seq)` event. Shard count is
+/// unobservable — metrics merge to the single-thread snapshot byte for
+/// byte.
+///
+/// Every world is built by the *same* closure (no shard index in
+/// sight), so construction-time sequence draws are identical across
+/// shards; [`ShardedWorld::build`] asserts it. Boot events therefore
+/// exist on every shard with identical keys: the owner's copy does the
+/// work, foreign copies hit the ownership guard in the kick paths and
+/// return without touching state or drawing sequence numbers.
+pub struct ShardedWorld {
+    pub plan: ShardPlan,
+    pub worlds: Vec<World>,
+    pub sims: Vec<Sim>,
+    /// Cached `peek_next` per shard; `dirty` marks shards whose queue
+    /// changed (stepped, or received an injection) since the cache was
+    /// refreshed.
+    cache: Vec<Option<(SimTime, u64)>>,
+    dirty: Vec<bool>,
+}
+
+impl ShardedWorld {
+    /// Build `shards` identical worlds and wire them for deterministic
+    /// merged execution. `mk` must be a fixed recipe: same config, same
+    /// topology, same load deployment on every call.
+    pub fn build(shards: usize, mut mk: impl FnMut() -> (World, Sim)) -> ShardedWorld {
+        assert!(shards >= 1, "need at least one shard");
+        let mut worlds = Vec::with_capacity(shards);
+        let mut sims = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (w, s) = mk();
+            worlds.push(w);
+            sims.push(s);
+        }
+        let plan = ShardPlan::assign(&worlds[0].topo, shards);
+        let n0 = sims[0].next_seq();
+        for s in sims.iter() {
+            assert_eq!(
+                s.next_seq(),
+                n0,
+                "shard worlds diverged during construction; the build recipe must be identical"
+            );
+        }
+        let src: Rc<Cell<u64>> = sims[0].seq_source();
+        for sim in sims.iter_mut().skip(1) {
+            sim.share_seq_source(Rc::clone(&src));
+        }
+        for (me, w) in worlds.iter_mut().enumerate() {
+            w.shard = Some(Box::new(ShardCtx::new(me, plan.clone(), true)));
+        }
+        let cache = vec![None; shards];
+        let dirty = vec![true; shards];
+        ShardedWorld { plan, worlds, sims, cache, dirty }
+    }
+
+    /// Execute the globally minimal `(time, seq)` event until every
+    /// queue head lies past `deadline`, then advance all shard clocks
+    /// to it. Ties (boot duplicates) resolve to the lowest shard index;
+    /// duplicates are ownership-guarded no-ops, so tie order is
+    /// unobservable.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            for i in 0..self.sims.len() {
+                if self.dirty[i] {
+                    self.cache[i] = self.sims[i].peek_next();
+                    self.dirty[i] = false;
+                }
+            }
+            let mut best: Option<(SimTime, u64, usize)> = None;
+            for (i, c) in self.cache.iter().enumerate() {
+                if let Some((t, q)) = *c {
+                    if best.is_none_or(|(bt, bq, _)| (t, q) < (bt, bq)) {
+                        best = Some((t, q, i));
+                    }
+                }
+            }
+            let Some((t, _, i)) = best else { break };
+            if t > deadline {
+                break;
+            }
+            self.sims[i].step(&mut self.worlds[i]);
+            self.dirty[i] = true;
+            self.deliver_outbox(i);
+        }
+        for (w, sim) in self.worlds.iter_mut().zip(self.sims.iter_mut()) {
+            // every head is past the deadline: this only advances clocks
+            sim.run_until(w, deadline);
+        }
+        for d in self.dirty.iter_mut() {
+            *d = true; // run_until may have discarded cancelled heads
+        }
+    }
+
+    fn deliver_outbox(&mut self, i: usize) {
+        let outbox = {
+            let ctx = self.worlds[i].shard.as_mut().expect("sharded world lost its context");
+            std::mem::take(&mut ctx.outbox)
+        };
+        for msg in outbox {
+            let dst = msg.dst;
+            apply_msg(&mut self.sims[dst], msg);
+            self.dirty[dst] = true;
+        }
+    }
+
+    /// Total live events across all shards.
+    pub fn pending(&self) -> usize {
+        self.sims.iter().map(|s| s.pending()).sum()
+    }
+
+    /// Total events executed across all shards (includes the no-op boot
+    /// duplicates on non-owner shards).
+    pub fn executed(&self) -> u64 {
+        self.sims.iter().map(|s| s.executed()).sum()
+    }
+
+    /// The merged snapshot: key-wise sum over shards. Every counter is
+    /// accounted on exactly one shard (foreign nodes never step, so
+    /// they publish zeros), making the sum byte-identical to the
+    /// single-thread snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let parts: Vec<MetricsSnapshot> = self.worlds.iter().map(|w| w.metrics()).collect();
+        MetricsSnapshot::merge_sum(&parts)
+    }
+
+    pub fn metrics_json(&self) -> String {
+        self.metrics().to_json()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fast mode: one thread per shard, horizons in atomics, frames in lanes.
+// ---------------------------------------------------------------------------
+
+/// One directed cross-shard edge: the sender's promise (earliest future
+/// frame arrival time, in nanoseconds) and the frames themselves.
+/// Senders push under the mutex *then* store the horizon; receivers
+/// load the horizon *then* drain, so every frame older than an observed
+/// promise is visible.
+struct Lane {
+    horizon: AtomicU64,
+    queue: Mutex<Vec<OutMsg>>,
+}
+
+/// A boundary emitter feeding one lane: the occupancy floor under the
+/// sender's promise.
+enum Source {
+    /// A CAB whose transmit fiber lands on a foreign HUB:
+    /// `first_byte >= max(exec_time, tx_busy_until)`.
+    CabFiber(usize),
+    /// A HUB output port driving a foreign CAB or HUB:
+    /// `first_byte_out >= max(exec_time, busy_until)`.
+    HubPort { hub: usize, port: usize },
+}
+
+struct EgressLane {
+    lane: usize,
+    dst: usize,
+    sources: Vec<Source>,
+}
+
+/// A blocking wakeup channel with a generation counter, so a ring
+/// between "decide to sleep" and "sleep" is never lost.
+struct Doorbell {
+    gen: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Doorbell {
+    fn new() -> Doorbell {
+        Doorbell { gen: Mutex::new(0), cv: Condvar::new() }
+    }
+
+    fn generation(&self) -> u64 {
+        *self.gen.lock().unwrap()
+    }
+
+    fn ring(&self) {
+        *self.gen.lock().unwrap() += 1;
+        self.cv.notify_all();
+    }
+
+    /// Sleep until rung past `seen`. Bounded, so the abort flag stays
+    /// observable even if a peer dies without ringing.
+    fn wait_past(&self, seen: u64) {
+        let g = self.gen.lock().unwrap();
+        if *g > seen {
+            return;
+        }
+        let _unused = self.cv.wait_timeout(g, std::time::Duration::from_millis(10)).unwrap();
+    }
+}
+
+/// The shared fabric between fast-mode shard threads.
+struct FastNet {
+    lanes: Vec<Lane>,
+    /// `lane_idx[src][dst]`, `None` when no boundary link exists.
+    lane_idx: Vec<Vec<Option<usize>>>,
+    /// Per shard: lanes it receives on / sends on.
+    ingress: Vec<Vec<usize>>,
+    egress: Vec<Vec<EgressLane>>,
+    bells: Vec<Doorbell>,
+    abort: AtomicBool,
+}
+
+impl FastNet {
+    fn build(topo: &Topology, plan: &ShardPlan) -> FastNet {
+        let k = plan.shards;
+        // directed (src, dst) -> boundary emitters, in deterministic order
+        let mut sources: BTreeMap<(usize, usize), Vec<Source>> = BTreeMap::new();
+        for (c, &(h, p)) in topo.cab_port.iter().enumerate() {
+            let (si, sj) = (plan.cab_shard[c], plan.hub_shard[h as usize]);
+            if si != sj {
+                sources.entry((si, sj)).or_default().push(Source::CabFiber(c));
+                sources
+                    .entry((sj, si))
+                    .or_default()
+                    .push(Source::HubPort { hub: h as usize, port: p as usize });
+            }
+        }
+        for (h, ports) in topo.port_map.iter().enumerate() {
+            for (p, att) in ports.iter().enumerate() {
+                if let Attachment::Hub { hub: h2, .. } = att {
+                    let (si, sj) = (plan.hub_shard[h], plan.hub_shard[*h2 as usize]);
+                    if si != sj {
+                        sources
+                            .entry((si, sj))
+                            .or_default()
+                            .push(Source::HubPort { hub: h, port: p });
+                    }
+                }
+            }
+        }
+        let mut lanes = Vec::new();
+        let mut lane_idx = vec![vec![None; k]; k];
+        let mut ingress: Vec<Vec<usize>> = vec![Vec::new(); k];
+        let mut egress: Vec<Vec<EgressLane>> = (0..k).map(|_| Vec::new()).collect();
+        for ((src, dst), srcs) in sources {
+            let idx = lanes.len();
+            lanes.push(Lane { horizon: AtomicU64::new(0), queue: Mutex::new(Vec::new()) });
+            lane_idx[src][dst] = Some(idx);
+            ingress[dst].push(idx);
+            egress[src].push(EgressLane { lane: idx, dst, sources: srcs });
+        }
+        FastNet {
+            lanes,
+            lane_idx,
+            ingress,
+            egress,
+            bells: (0..k).map(|_| Doorbell::new()).collect(),
+            abort: AtomicBool::new(false),
+        }
+    }
+}
+
+/// On panic, wake every peer so no thread blocks on a doorbell that
+/// will never ring again.
+struct AbortGuard<'a> {
+    net: &'a FastNet,
+}
+
+impl Drop for AbortGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.net.abort.store(true, Ordering::SeqCst);
+            for b in &self.net.bells {
+                b.ring();
+            }
+        }
+    }
+}
+
+/// Run `shards` worlds in parallel to `deadline` and return
+/// `extract(shard, world, sim)` per shard, in shard order.
+///
+/// Per-shard deterministic: each shard's event sequence (and thus its
+/// extracted result) is reproducible run-to-run; no global event
+/// interleaving is defined. Each thread builds its own world from `mk`
+/// — the recipe should match the deterministic mode's for comparable
+/// results. Panics if any world registers an Ethernet port while
+/// `shards > 1` (the host-to-host link has zero lookahead).
+pub fn run_fast<R, F, X>(
+    shards: usize,
+    topo: &Topology,
+    deadline: SimTime,
+    mk: F,
+    extract: X,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn() -> (World, Sim) + Sync,
+    X: Fn(usize, &World, &Sim) -> R + Sync,
+{
+    assert!(shards >= 1, "need at least one shard");
+    let plan = ShardPlan::assign(topo, shards);
+    let net = FastNet::build(topo, &plan);
+    let deadline_n = deadline.as_nanos();
+    let results: Vec<Option<R>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(shards);
+        for me in 0..shards {
+            let plan = plan.clone();
+            let (net, mk, extract) = (&net, &mk, &extract);
+            handles.push(scope.spawn(move || {
+                let _guard = AbortGuard { net };
+                let (mut world, mut sim) = mk();
+                assert!(
+                    shards == 1 || world.eth_ports.iter().all(|p| p.is_none()),
+                    "fast mode cannot shard a world with Ethernet ports (zero lookahead)"
+                );
+                world.shard = Some(Box::new(ShardCtx::new(me, plan, false)));
+                if fast_shard_loop(me, &mut world, &mut sim, net, deadline_n) {
+                    Some(extract(me, &world, &sim))
+                } else {
+                    None // a peer panicked; its unwind carries the error
+                }
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(p) => std::panic::resume_unwind(p),
+            })
+            .collect()
+    });
+    results.into_iter().map(|r| r.expect("shard aborted without a panic")).collect()
+}
+
+/// One shard's conservative execution loop. Returns `false` on abort.
+fn fast_shard_loop(
+    me: usize,
+    world: &mut World,
+    sim: &mut Sim,
+    net: &FastNet,
+    deadline_n: u64,
+) -> bool {
+    let prop = world.config.link.fiber_propagation.as_nanos();
+    let mut last_pub: Vec<u64> = vec![0; net.egress[me].len()];
+    loop {
+        if net.abort.load(Ordering::SeqCst) {
+            return false;
+        }
+        let seen = net.bells[me].generation();
+        // Ingress: load promises first (horizon stores are release-side
+        // of the lane pushes), then drain the frames they cover.
+        let mut h_in = u64::MAX;
+        for &l in &net.ingress[me] {
+            h_in = h_in.min(net.lanes[l].horizon.load(Ordering::SeqCst));
+        }
+        for &l in &net.ingress[me] {
+            let msgs = std::mem::take(&mut *net.lanes[l].queue.lock().unwrap());
+            for m in msgs {
+                apply_msg(sim, m);
+            }
+        }
+        let t_next = sim.peek_next().map(|(t, _)| t.as_nanos()).unwrap_or(u64::MAX);
+        // Publish egress promises (the null messages of CMB): nothing
+        // can cross lane L before min over L's emitters of
+        // max(earliest future execution, occupancy floor) + propagation.
+        // `base` and every busy-until are monotone, so frames emitted
+        // later always satisfy the promise published now.
+        let base = t_next.min(h_in);
+        for (k, eg) in net.egress[me].iter().enumerate() {
+            let mut hz = u64::MAX;
+            for s in &eg.sources {
+                let busy = match *s {
+                    Source::CabFiber(c) => world.cabs[c].net.tx_busy_until.as_nanos(),
+                    Source::HubPort { hub, port } => {
+                        world.hubs[hub].port_busy_until(port).as_nanos()
+                    }
+                };
+                hz = hz.min(base.max(busy).saturating_add(prop));
+            }
+            if hz > last_pub[k] {
+                last_pub[k] = hz;
+                net.lanes[eg.lane].horizon.store(hz, Ordering::SeqCst);
+                net.bells[eg.dst].ring();
+            }
+        }
+        if t_next < h_in.min(deadline_n.saturating_add(1)) {
+            // safe burst: everything strictly before the horizon and at
+            // or before the deadline
+            while let Some((t, _)) = sim.peek_next() {
+                let tn = t.as_nanos();
+                if tn >= h_in || tn > deadline_n {
+                    break;
+                }
+                sim.step(world);
+            }
+            let outbox = {
+                let ctx = world.shard.as_mut().expect("fast shard lost its context");
+                std::mem::take(&mut ctx.outbox)
+            };
+            let mut rang = vec![false; net.bells.len()];
+            for msg in outbox {
+                let dst = msg.dst;
+                let lane = net.lane_idx[me][dst].expect("boundary frame without a lane");
+                net.lanes[lane].queue.lock().unwrap().push(msg);
+                rang[dst] = true;
+            }
+            for (dst, r) in rang.iter().enumerate() {
+                if *r {
+                    net.bells[dst].ring();
+                }
+            }
+            continue;
+        }
+        if h_in > deadline_n {
+            // nothing local within the deadline and nothing can arrive:
+            // promise silence forever and retire
+            for (k, eg) in net.egress[me].iter().enumerate() {
+                if last_pub[k] < u64::MAX {
+                    last_pub[k] = u64::MAX;
+                    net.lanes[eg.lane].horizon.store(u64::MAX, Ordering::SeqCst);
+                    net.bells[eg.dst].ring();
+                }
+            }
+            sim.run_until(world, SimTime::from_nanos(deadline_n));
+            return true;
+        }
+        net.bells[me].wait_past(seen);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+
+    #[test]
+    fn plan_follows_hub_domains_when_possible() {
+        let topo = Topology::two_hubs(26);
+        let plan = ShardPlan::assign(&topo, 2);
+        for (c, &(h, _)) in topo.cab_port.iter().enumerate() {
+            assert_eq!(plan.cab_shard[c], plan.hub_shard[h as usize]);
+        }
+        assert_eq!(plan.hub_shard, vec![0, 1]);
+        // single shard owns everything
+        let p1 = ShardPlan::assign(&topo, 1);
+        assert!(p1.cab_shard.iter().all(|&s| s == 0));
+        assert!(p1.hub_shard.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn plan_falls_back_to_per_node_beyond_hub_count() {
+        let topo = Topology::two_hubs(26);
+        let plan = ShardPlan::assign(&topo, 4);
+        for c in 0..topo.cabs() {
+            assert_eq!(plan.cab_shard[c], c % 4);
+        }
+        assert_eq!(plan.hub_shard, vec![0, 1]);
+        // every shard owns something on this topology
+        for s in 0..4 {
+            assert!(plan.cab_shard.contains(&s));
+        }
+    }
+
+    #[test]
+    fn canonical_message_seqs_are_disjoint_from_local_space() {
+        let topo = Topology::two_hubs(4);
+        let plan = ShardPlan::assign(&topo, 2);
+        let mut ctx = ShardCtx::new(1, plan, false);
+        let a = ctx.next_msg_seq();
+        let b = ctx.next_msg_seq();
+        assert!(a >= MSG_SEQ_BASE && b >= MSG_SEQ_BASE);
+        assert!(a < b, "message seqs must be strictly increasing");
+        let mut ctx0 = ShardCtx::new(0, ShardPlan::assign(&topo, 2), false);
+        assert_ne!(ctx0.next_msg_seq(), a, "different shards stamp disjoint seqs");
+    }
+
+    #[test]
+    fn det_idle_world_merges_to_single_thread_snapshot() {
+        // boot-only worlds (no load): the merge machinery alone must
+        // reproduce the unsharded snapshot
+        let mk = || World::new(Config::default(), Topology::two_hubs(6));
+        let (mut w, mut sim) = mk();
+        let deadline = SimTime::from_nanos(2_000_000);
+        w.run_until(&mut sim, deadline);
+        let want = w.metrics_json();
+        for shards in [1, 2, 4] {
+            let mut sw = ShardedWorld::build(shards, mk);
+            sw.run_until(deadline);
+            assert_eq!(sw.metrics_json(), want, "det mode diverged at {shards} shards");
+            assert_eq!(sw.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn fast_idle_world_terminates_and_matches() {
+        // no cross-shard traffic, but the full horizon protocol runs:
+        // a liveness test for the lane/doorbell plumbing
+        let topo = Topology::two_hubs(6);
+        let deadline = SimTime::from_nanos(2_000_000);
+        let parts = run_fast(
+            2,
+            &topo,
+            deadline,
+            || World::new(Config::default(), Topology::two_hubs(6)),
+            |_, w, _| w.metrics(),
+        );
+        let merged = MetricsSnapshot::merge_sum(&parts);
+        let (mut w, mut sim) = World::new(Config::default(), Topology::two_hubs(6));
+        w.run_until(&mut sim, deadline);
+        assert_eq!(merged.to_json(), w.metrics_json());
+    }
+}

@@ -19,6 +19,7 @@ use nectar_wire::datalink::Frame;
 
 use crate::config::Config;
 use crate::fault::{FaultEngine, FaultScript, NodeRef, Verdict};
+use crate::shard::{MsgKind, ShardCtx};
 use crate::topology::{Attachment, Topology};
 
 /// The event queue specialized to this world.
@@ -117,6 +118,10 @@ pub struct World {
     /// on the legacy key set (no `net/load/*`), which the pinned
     /// fixtures depend on.
     pub load: Option<SharedLoadLedger>,
+    /// Sharded-run context (see [`crate::shard`]). `None` — the
+    /// default — is plain single-threaded execution: every node is
+    /// owned and no frame ever diverts.
+    pub(crate) shard: Option<Box<ShardCtx>>,
 }
 
 impl World {
@@ -164,6 +169,7 @@ impl World {
             cab_wake: vec![None; n],
             host_wake: vec![None; n],
             load: None,
+            shard: None,
         };
         // boot every CAB and host (threads initialize, then idle)
         for i in 0..n {
@@ -197,6 +203,11 @@ impl World {
             if let NodeRef::Cab(c) = o.node {
                 let c = c as usize;
                 sim.at(o.from, move |w, _s| {
+                    // sharded runs schedule this on every shard for
+                    // identical boot seqs; only the owner flushes
+                    if !w.owns_cab(c) {
+                        return;
+                    }
                     let (frames, bytes) = w.cabs[c].flush_rx_fifo();
                     if frames > 0 {
                         w.faults.note_fifo_flush(NodeRef::Cab(c as u16), frames, bytes);
@@ -204,6 +215,17 @@ impl World {
                 });
             }
         }
+    }
+
+    /// Does this shard own CAB `c` (and its host)? Unsharded worlds own
+    /// everything.
+    pub(crate) fn owns_cab(&self, c: usize) -> bool {
+        self.shard.as_ref().is_none_or(|s| s.plan.cab_shard[c] == s.me)
+    }
+
+    /// Does this shard own HUB `h`?
+    pub(crate) fn owns_hub(&self, h: usize) -> bool {
+        self.shard.as_ref().is_none_or(|s| s.plan.hub_shard[h] == s.me)
     }
 
     /// Run until the queue drains or `deadline` passes.
@@ -465,6 +487,13 @@ fn kick_cab_event(w: &mut World, sim: &mut Sim, i: u64) {
 /// stack. With the flag off the stale wakeup still fires as a redundant
 /// poll, reproducing the legacy schedule exactly.
 pub fn kick_cab(w: &mut World, sim: &mut Sim, i: usize) {
+    // Sharded runs boot every world from the identical recipe, so the
+    // boot kicks for foreign nodes exist here too; they (and only
+    // they) hit this guard and do nothing — no state touched, no
+    // sequence numbers drawn.
+    if !w.owns_cab(i) {
+        return;
+    }
     if let Some(id) = w.cab_wake[i].take() {
         if w.config.coalesce_wakeups {
             sim.cancel(id);
@@ -500,6 +529,10 @@ fn kick_host_event(w: &mut World, sim: &mut Sim, i: u64) {
 /// Run one host burst against its CAB's shared memory and route the
 /// effects. Pending-wakeup handling mirrors [`kick_cab`].
 pub fn kick_host(w: &mut World, sim: &mut Sim, i: usize) {
+    // host i rides with CAB i; the same boot-duplicate guard applies
+    if !w.owns_cab(i) {
+        return;
+    }
     if let Some(id) = w.host_wake[i].take() {
         if w.config.coalesce_wakeups {
             sim.cancel(id);
@@ -530,10 +563,19 @@ pub fn kick_host(w: &mut World, sim: &mut Sim, i: usize) {
             HostEffect::EthTransmit { dst_host, packet, first_byte } => {
                 // the 10 Mbit/s comparison interface: direct host link
                 let prop = SimDuration::from_micros(5);
-                let at = first_byte + prop;
-                sim.at(at.max(now), move |w, s| {
-                    crate::netdev::eth_deliver(w, s, dst_host as usize, packet);
-                });
+                let at = (first_byte + prop).max(now);
+                if w.owns_cab(dst_host as usize) {
+                    sim.at(at, move |w, s| {
+                        crate::netdev::eth_deliver(w, s, dst_host as usize, packet);
+                    });
+                } else {
+                    crate::shard::divert(
+                        w,
+                        sim,
+                        at,
+                        MsgKind::EthDeliver { host: dst_host, packet },
+                    );
+                }
             }
         }
     }
@@ -580,9 +622,18 @@ fn route_cab_effects(
                 }
                 let prop = w.config.link.fiber_propagation;
                 let at = first_byte + prop;
-                sim.at(at, move |w, s| {
-                    hub_frame_arrival(w, s, hub as usize, port, frame);
-                });
+                if w.owns_hub(hub as usize) {
+                    sim.at(at, move |w, s| {
+                        hub_frame_arrival(w, s, hub as usize, port, frame);
+                    });
+                } else {
+                    crate::shard::divert(
+                        w,
+                        sim,
+                        at,
+                        MsgKind::HubArrival { hub, in_port: port, frame: frame.into_bytes() },
+                    );
+                }
             }
             CabEffect::InterruptHost => {
                 // host index == cab index in this world
@@ -597,7 +648,14 @@ fn route_cab_effects(
     }
 }
 
-fn hub_frame_arrival(w: &mut World, sim: &mut Sim, hub: usize, in_port: u8, mut frame: Frame) {
+pub(crate) fn hub_frame_arrival(
+    w: &mut World,
+    sim: &mut Sim,
+    hub: usize,
+    in_port: u8,
+    mut frame: Frame,
+) {
+    debug_assert!(w.owns_hub(hub), "frame arrived at a HUB this shard does not own");
     let now = sim.now();
     let wire_len = frame.wire_len();
     // a blacked-out HUB is dark: frames reaching any of its ports vanish
@@ -633,16 +691,18 @@ fn hub_frame_arrival(w: &mut World, sim: &mut Sim, hub: usize, in_port: u8, mut 
                         Verdict::Deliver => {}
                     }
                     let c = c as usize;
-                    sim.at(at, move |w, s| {
-                        let t = s.now();
-                        // a dark destination board receives nothing
-                        if w.faults.node_is_down(NodeRef::Cab(c as u16), t) {
-                            w.faults.note_node_down_drop(NodeRef::Cab(c as u16), frame.wire_len());
-                            return;
-                        }
-                        w.cabs[c].deliver_frame(t, frame);
-                        kick_cab(w, s, c);
-                    });
+                    if w.owns_cab(c) {
+                        sim.at(at, move |w, s| {
+                            deliver_frame_to_cab(w, s, c, frame);
+                        });
+                    } else {
+                        crate::shard::divert(
+                            w,
+                            sim,
+                            at,
+                            MsgKind::CabDeliver { cab: c as u16, frame: frame.into_bytes() },
+                        );
+                    }
                 }
                 Attachment::Hub { hub: h2, in_port: p2 } => {
                     match w.faults.forward_verdict(
@@ -663,9 +723,18 @@ fn hub_frame_arrival(w: &mut World, sim: &mut Sim, hub: usize, in_port: u8, mut 
                         }
                         Verdict::Deliver => {}
                     }
-                    sim.at(at, move |w, s| {
-                        hub_frame_arrival(w, s, h2 as usize, p2, frame);
-                    });
+                    if w.owns_hub(h2 as usize) {
+                        sim.at(at, move |w, s| {
+                            hub_frame_arrival(w, s, h2 as usize, p2, frame);
+                        });
+                    } else {
+                        crate::shard::divert(
+                            w,
+                            sim,
+                            at,
+                            MsgKind::HubArrival { hub: h2, in_port: p2, frame: frame.into_bytes() },
+                        );
+                    }
                 }
                 Attachment::None => {
                     w.stats.frames_dead_end += 1;
@@ -677,4 +746,19 @@ fn hub_frame_arrival(w: &mut World, sim: &mut Sim, hub: usize, in_port: u8, mut 
             w.stats.frames_hub_dropped += 1;
         }
     }
+}
+
+/// A frame's last hop: off the fiber into the destination CAB's input
+/// FIFO (unless the board is blacked out), then a kick to process it.
+/// Shared by the local delivery path and cross-shard injection.
+pub(crate) fn deliver_frame_to_cab(w: &mut World, sim: &mut Sim, c: usize, frame: Frame) {
+    debug_assert!(w.owns_cab(c), "frame delivered to a CAB this shard does not own");
+    let t = sim.now();
+    // a dark destination board receives nothing
+    if w.faults.node_is_down(NodeRef::Cab(c as u16), t) {
+        w.faults.note_node_down_drop(NodeRef::Cab(c as u16), frame.wire_len());
+        return;
+    }
+    w.cabs[c].deliver_frame(t, frame);
+    kick_cab(w, sim, c);
 }

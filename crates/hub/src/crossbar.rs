@@ -224,6 +224,14 @@ impl Hub {
         &self.out_ports[out_port].stats
     }
 
+    /// The instant this output port's serializer frees up. Monotone
+    /// non-decreasing; a parallel shard runner uses it as an occupancy
+    /// floor when promising how soon this port could emit another
+    /// frame (`first_byte_out = (now + latency).max(busy_until)`).
+    pub fn port_busy_until(&self, out_port: usize) -> SimTime {
+        self.out_ports[out_port].busy_until
+    }
+
     /// Execute a controller command.
     pub fn execute(&mut self, cmd: HubCommand) -> HubReply {
         match cmd {

@@ -40,7 +40,17 @@ echo "ci: chaos sweep (${chaos_cases} cases, oracle on; replay failures with NEC
 NECTAR_ORACLE=1 NECTAR_CHAOS_CASES="$chaos_cases" cargo test -q -p nectar-integration --test chaos \
     -- chaos_randomized_fault_schedules_preserve_invariants
 
-# simspeed smoke: a quick-mode run must emit a well-formed JSON artifact.
+# parallel smoke: the deterministic sharded kernel must reproduce the
+# committed fixture and a fresh single-thread run byte-for-byte at
+# shards = 1/2/4. A diff here means shard count became observable.
+echo "ci: parallel smoke (det sharded runs byte-compared against single-thread)"
+cargo test -q -p nectar-integration --test shards \
+    -- det_mode_reproduces_twohub_fixture_at_any_shard_count \
+       det_mode_matches_unsharded_run_exactly
+
+# simspeed smoke: a quick-mode run must emit a well-formed JSON artifact
+# with one entry per (mode, shard count); the bench itself asserts the
+# det 2-shard snapshot equals the det 1-shard one before writing.
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
 NECTAR_BENCH_DIR="$smoke_dir" NECTAR_SIMSPEED_QUICK=1 \
@@ -49,9 +59,15 @@ python3 - "$smoke_dir/BENCH_simspeed.json" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     r = json.load(f)
-for key in ("events_executed", "wall_seconds", "events_per_sec", "sim_wire_bytes"):
-    assert r[key] > 0, f"BENCH_simspeed.json: {key} not positive"
-print("ci: simspeed artifact ok:", r["events_executed"], "events")
+assert r["det_shard_invariant"] is True, "BENCH_simspeed.json: shard invariance not asserted"
+modes = {(e["mode"], e["shards"]) for e in r["entries"]}
+for want in (("single", 1), ("det", 1), ("det", 2), ("fast", 1), ("fast", 2), ("fast", 4)):
+    assert want in modes, f"BENCH_simspeed.json: missing entry {want}"
+for e in r["entries"]:
+    for key in ("events_executed", "wall_seconds", "events_per_sec", "sim_wire_bytes"):
+        assert e[key] > 0, f"BENCH_simspeed.json: {e['mode']}@{e['shards']}: {key} not positive"
+print("ci: simspeed artifact ok:", ", ".join(
+    f"{e['mode']}@{e['shards']} {e['events_per_sec']:.0f} ev/s" for e in r["entries"]))
 EOF
 
 # load smoke: the quick capacity sweep (small fleet, tens of ms of sim
