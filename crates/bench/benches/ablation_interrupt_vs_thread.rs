@@ -26,4 +26,25 @@ fn main() {
     println!("(two extra context switches per direction at 20 us each would");
     println!(" predict ~80 us; the measured cost reflects actual scheduling)");
     assert!(in_thread > at_interrupt, "thread mode must pay for its context switches");
+
+    // Batched host I/O on the same ping-pong: with a single message in
+    // flight there is never a doorbell to suppress nor a second mailbox
+    // entry to batch, so the fast path must be latency-neutral here —
+    // its win is throughput under load (the load_sweep knees), and this
+    // pins that the knobs cost nothing when idle.
+    println!();
+    println!("Batched host I/O (doorbell coalescing + mailbox burst 16):");
+    let batched = host_rtt(
+        Config { doorbell_coalesce: true, mailbox_burst: 16, ..Default::default() },
+        Transport::Udp,
+        32,
+        50,
+    );
+    println!("UDP RTT, batching off:          {at_interrupt:>7.1} us");
+    println!("UDP RTT, batching on:           {batched:>7.1} us");
+    assert!(
+        batched <= at_interrupt,
+        "batching must not add latency to an idle ping-pong \
+         (off {at_interrupt:.1} us, on {batched:.1} us)"
+    );
 }

@@ -16,15 +16,17 @@ fn main() {
     println!("Figure 7: CAB-to-CAB throughput (Mbit/s) vs message size");
     println!();
     print_size_header(&sizes);
-    for (proto, label) in [
-        (StreamProto::Tcp, "TCP/IP"),
-        (StreamProto::TcpNoChecksum, "TCP w/o checksum"),
-        (StreamProto::Rmp, "RMP"),
+    // the fast-path RMP window: same protocol, 8 messages in flight
+    let mut windowed = Config::default();
+    windowed.rmp.window = 8;
+    for (proto, cfg, label) in [
+        (StreamProto::Tcp, Config::default(), "TCP/IP"),
+        (StreamProto::TcpNoChecksum, Config::default(), "TCP w/o checksum"),
+        (StreamProto::Rmp, Config::default(), "RMP"),
+        (StreamProto::Rmp, windowed, "RMP window=8"),
     ] {
-        let vals: Vec<f64> = sizes
-            .iter()
-            .map(|&s| cab_throughput(Config::default(), proto, s, volume_for(s)))
-            .collect();
+        let vals: Vec<f64> =
+            sizes.iter().map(|&s| cab_throughput(cfg, proto, s, volume_for(s))).collect();
         print_series(label, &sizes, &vals);
     }
     println!();

@@ -16,7 +16,7 @@
 //! derived only, so two runs with the same seed produce byte-identical
 //! files — CI double-runs the quick sweep and diffs the bytes.
 
-use nectar_load::sweep::{run_sweep, SweepConfig};
+use nectar_load::sweep::{run_sweep, variants_json, SweepConfig};
 
 const SEED: u64 = 0x10ad_5eed;
 
@@ -26,16 +26,37 @@ fn main() {
     let cfg = if quick { SweepConfig::quick(SEED) } else { SweepConfig::full(SEED) };
 
     println!(
-        "load_sweep: {} transports x {} load steps, {} clients/point, {} ms measured, oracle armed",
+        "load_sweep: {} transports x {} load steps, {} clients/point, {} ms measured, oracle armed, baseline + fastpath",
         cfg.transports.len(),
         cfg.offered_rps.len(),
         cfg.clients,
         cfg.measure.as_nanos() / 1_000_000,
     );
-    let result = run_sweep(&cfg);
-    print!("{}", result.to_markdown());
-    for s in &result.sweeps {
-        println!("  {} capacity knee: {} rps", s.transport.name(), s.knee_rps());
+    let mut results = Vec::new();
+    for cfg in [cfg.clone(), cfg.fastpath()] {
+        let result = run_sweep(&cfg);
+        println!("--- {}", cfg.variant);
+        print!("{}", result.to_markdown());
+        for s in &result.sweeps {
+            println!("  {} capacity knee: {} rps", s.transport.name(), s.knee_rps());
+        }
+        results.push(result);
+    }
+    // knee movement summary: the fast path must not regress a knee
+    for (b, f) in results[0].sweeps.iter().zip(&results[1].sweeps) {
+        println!(
+            "  {}: knee {} -> {} rps ({})",
+            b.transport.name(),
+            b.knee_rps(),
+            f.knee_rps(),
+            if f.knee_rps() > b.knee_rps() {
+                "up"
+            } else if f.knee_rps() == b.knee_rps() {
+                "flat"
+            } else {
+                "DOWN"
+            }
+        );
     }
 
     let dir = std::env::var("NECTAR_BENCH_DIR").unwrap_or_else(|_| ".".into());
@@ -45,7 +66,7 @@ fn main() {
         std::process::exit(1);
     }
     let path = dir.join("BENCH_load.json");
-    match std::fs::write(&path, result.to_json()) {
+    match std::fs::write(&path, variants_json(&results)) {
         Ok(()) => println!("  wrote {}", path.display()),
         Err(e) => {
             eprintln!("load_sweep: cannot write {}: {e}", path.display());

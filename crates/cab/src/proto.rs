@@ -114,6 +114,11 @@ pub struct ProtoState {
     pub ip_in_thread: bool,
     /// Datalink payload limit for IP packets.
     pub mtu: usize,
+    /// How many mailbox entries a server thread dequeues per burst
+    /// before yielding. The legacy value [`BURST_LIMIT`] keeps bursts
+    /// short for interrupt latency; the batched host-I/O fast path
+    /// raises it to amortize context switches under load.
+    pub burst_limit: usize,
     pub stats: ProtoStats,
     /// Shared reader conditions for the server threads.
     pub tcp_cond: CondId,
@@ -183,6 +188,7 @@ pub fn init_protocols(
         ping_mbox: None,
         ip_in_thread: false,
         mtu,
+        burst_limit: BURST_LIMIT,
         stats: ProtoStats::default(),
         tcp_cond,
         udp_cond,
@@ -533,7 +539,7 @@ impl CabThread for DatagramSendThread {
     }
 
     fn run(&mut self, cx: &mut Cx<'_>) -> Step {
-        for _ in 0..BURST_LIMIT {
+        for _ in 0..cx.proto.burst_limit {
             match cx.begin_get(reqs::MB_DG_SEND) {
                 Err(WouldBlock::Empty(c)) => return Step::Block(c),
                 Err(WouldBlock::NoSpace(c)) => return Step::Block(c),
@@ -578,7 +584,7 @@ impl CabThread for RmpThread {
     }
 
     fn run(&mut self, cx: &mut Cx<'_>) -> Step {
-        for _ in 0..BURST_LIMIT {
+        for _ in 0..cx.proto.burst_limit {
             match cx.begin_get(reqs::MB_RMP_SEND) {
                 Err(_) => break,
                 Ok(msg) => {
@@ -624,7 +630,7 @@ impl CabThread for RrThread {
     }
 
     fn run(&mut self, cx: &mut Cx<'_>) -> Step {
-        for _ in 0..BURST_LIMIT {
+        for _ in 0..cx.proto.burst_limit {
             match cx.begin_get(reqs::MB_RR_SEND) {
                 Err(_) => break,
                 Ok(msg) => {
@@ -639,7 +645,7 @@ impl CabThread for RrThread {
                 }
             }
         }
-        for _ in 0..BURST_LIMIT {
+        for _ in 0..cx.proto.burst_limit {
             match cx.begin_get(reqs::MB_RR_REPLY) {
                 Err(_) => break,
                 Ok(msg) => {
@@ -724,7 +730,7 @@ impl CabThread for IpThread {
         // network-device mode (§5.1): "to send a packet the driver
         // writes the packet into a free buffer in the output pool and
         // notifies the server that the packet should be sent"
-        for _ in 0..BURST_LIMIT {
+        for _ in 0..cx.proto.burst_limit {
             match cx.begin_get(reqs::MB_RAW_SEND) {
                 Err(_) => break,
                 Ok(msg) => {
@@ -738,7 +744,7 @@ impl CabThread for IpThread {
                 }
             }
         }
-        for _ in 0..BURST_LIMIT {
+        for _ in 0..cx.proto.burst_limit {
             match cx.begin_get(reqs::MB_IP_IN) {
                 Err(WouldBlock::Empty(c)) | Err(WouldBlock::NoSpace(c)) => return Step::Block(c),
                 Ok(msg) => {
@@ -809,7 +815,7 @@ impl CabThread for UdpThread {
             cx.end_get(reqs::MB_UDP_CTL, msg);
         }
         // input packets
-        for _ in 0..BURST_LIMIT {
+        for _ in 0..cx.proto.burst_limit {
             match cx.begin_get(reqs::MB_UDP_IN) {
                 Err(_) => break,
                 Ok(msg) => {
@@ -836,7 +842,7 @@ impl CabThread for UdpThread {
             }
         }
         // send requests
-        for _ in 0..BURST_LIMIT {
+        for _ in 0..cx.proto.burst_limit {
             match cx.begin_get(reqs::MB_UDP_SEND) {
                 Err(_) => break,
                 Ok(msg) => {
@@ -1025,7 +1031,7 @@ impl CabThread for TcpThread {
             }
         }
         // 2. input segments
-        for _ in 0..BURST_LIMIT {
+        for _ in 0..cx.proto.burst_limit {
             match cx.begin_get(reqs::MB_TCP_IN) {
                 Err(_) => break,
                 Ok(msg) => {
@@ -1045,7 +1051,7 @@ impl CabThread for TcpThread {
             }
         }
         // 3. send requests
-        for _ in 0..BURST_LIMIT {
+        for _ in 0..cx.proto.burst_limit {
             match cx.begin_get(reqs::MB_TCP_SEND) {
                 Err(_) => break,
                 Ok(msg) => {

@@ -195,6 +195,15 @@ impl<'a> Cx<'a> {
         self.shared.end_put(mbox, msg);
     }
 
+    /// Whether a mailbox has queued messages. A plain read of the
+    /// count word in CAB memory — no Begin_Get transaction, so no
+    /// mailbox-op charge. Lets a thread serving many mailboxes skip
+    /// the empty ones instead of paying a failed Begin_Get on each
+    /// (the select()-before-read idiom).
+    pub fn mbox_pending(&self, mbox: MboxId) -> bool {
+        !self.shared.mailboxes[mbox as usize].queue.is_empty()
+    }
+
     pub fn begin_get(&mut self, mbox: MboxId) -> Result<MsgRef, WouldBlock> {
         self.charge(self.costs.mbox_begin_get);
         self.shared.begin_get(mbox)
@@ -331,7 +340,7 @@ struct ThreadSlot {
 }
 
 /// Kinds of pending interrupt work, ordered by arrival time.
-#[derive(Debug)]
+#[derive(Clone, Copy, Debug)]
 pub(crate) enum PendingIntr {
     /// First byte of a frame reached the input FIFO.
     StartOfPacket(u32),
@@ -357,6 +366,10 @@ pub struct Runtime {
     /// this flag is for threads that explicitly disable them).
     pub ctx_switches: u64,
     pub interrupts_taken: u64,
+    /// Frame events handled under another interrupt's entry (interrupt
+    /// moderation, [`Config::doorbell_coalesce`]): each one saved an
+    /// interrupt entry/exit.
+    pub interrupts_coalesced: u64,
     pub upcalls_run: u64,
     /// Total CPU time charged across every burst — the serial-resource
     /// busy-time meter (`node/<id>/cab/cpu_busy_ns`).
@@ -382,6 +395,7 @@ impl Runtime {
             cursor: SimTime::ZERO,
             ctx_switches: 0,
             interrupts_taken: 0,
+            interrupts_coalesced: 0,
             upcalls_run: 0,
             cpu_busy: SimDuration::ZERO,
         }
@@ -481,6 +495,23 @@ impl Runtime {
             .iter()
             .enumerate()
             .filter(|(_, &(at, _, _))| at <= t)
+            .min_by_key(|(_, &(at, seq, _))| (at, seq))
+            .map(|(i, _)| i)?;
+        Some(self.intr_queue.remove(idx).2)
+    }
+
+    /// Earliest due *network* interrupt (start/end-of-packet) at or
+    /// before `t` — the interrupt-moderation drain: while one network
+    /// interrupt is being serviced, every frame event already due can
+    /// be handled under the same interrupt entry.
+    pub(crate) fn pop_due_net_interrupt(&mut self, t: SimTime) -> Option<PendingIntr> {
+        let idx = self
+            .intr_queue
+            .iter()
+            .enumerate()
+            .filter(|(_, &(at, _, k))| {
+                at <= t && matches!(k, PendingIntr::StartOfPacket(_) | PendingIntr::EndOfPacket(_))
+            })
             .min_by_key(|(_, &(at, seq, _))| (at, seq))
             .map(|(i, _)| i)?;
         Some(self.intr_queue.remove(idx).2)

@@ -53,6 +53,20 @@ pub struct Config {
     /// changes same-seed metric snapshots. It never changes what is
     /// delivered — only when nodes are (re)polled.
     pub coalesce_wakeups: bool,
+    /// Batched host I/O, part 1: coalesce doorbell interrupts. When a
+    /// doorbell is already in flight toward a node (scheduled but not
+    /// yet delivered), a second ring within that window is dropped
+    /// instead of scheduled — safe because both interrupt handlers
+    /// drain their *entire* signal queue per interrupt, so one delivery
+    /// observes everything the suppressed ones would have. Off by
+    /// default: the legacy schedule takes (and pays for) every
+    /// interrupt, which the pinned fixtures record.
+    pub doorbell_coalesce: bool,
+    /// Batched host I/O, part 2: how many mailbox entries a CAB system
+    /// thread dequeues per scheduling burst. The legacy value 4 models
+    /// the paper's tight loop; raising it amortizes context switches
+    /// under load at the cost of per-thread latency fairness.
+    pub mailbox_burst: usize,
     /// Master seed: ISNs, fault injection, workloads.
     pub seed: u64,
     /// Record a stage trace (Figure 6).
@@ -78,6 +92,8 @@ impl Default for Config {
             faults: FaultPlan::default(),
             ip_in_thread: false,
             coalesce_wakeups: false,
+            doorbell_coalesce: false,
+            mailbox_burst: 4,
             seed: 0x5eca_1ab1,
             trace: false,
             oracle: None,

@@ -621,7 +621,7 @@ impl CabThread for CabEcho {
     }
 
     fn run(&mut self, cx: &mut Cx<'_>) -> Step {
-        for _ in 0..4 {
+        for _ in 0..cx.proto.burst_limit {
             match cx.begin_get(self.recv_mbox) {
                 Err(WouldBlock::Empty(c)) | Err(WouldBlock::NoSpace(c)) => return Step::Block(c),
                 Ok(msg) => {
@@ -1148,7 +1148,8 @@ impl CabThread for CabTcpEchoServer {
         // new connections: give each a data mailbox on the TCP
         // condition and attach it through the TCP thread (which also
         // drains anything already buffered in the socket)
-        while let Ok(msg) = cx.begin_get(self.accept_mbox) {
+        while cx.mbox_pending(self.accept_mbox) {
+            let Ok(msg) = cx.begin_get(self.accept_mbox) else { break };
             let bytes = cx.shared.msg_bytes(&msg).to_vec();
             cx.end_get(self.accept_mbox, msg);
             if let Some((_port, conn)) = reqs::tcp_accept_decode(&bytes) {
@@ -1165,10 +1166,14 @@ impl CabThread for CabTcpEchoServer {
             }
         }
         // echo: drain each connection's mailbox, then pump as much as
-        // the socket will take; the remainder waits for window opening
+        // the socket will take; the remainder waits for window opening.
+        // One wake covers every connection, so check queue depth before
+        // issuing a Begin_Get — with many attached clients the failed
+        // probes on idle mailboxes would otherwise dominate the burst.
         let now = cx.now();
         for c in &mut self.conns {
-            while let Ok(msg) = cx.begin_get(c.mbox) {
+            while cx.mbox_pending(c.mbox) {
+                let Ok(msg) = cx.begin_get(c.mbox) else { break };
                 let bytes = cx.shared.msg_bytes(&msg).to_vec();
                 cx.end_get(c.mbox, msg);
                 if !bytes.is_empty() {

@@ -108,6 +108,15 @@ pub struct World {
     cab_wake: Vec<Option<TimerId>>,
     /// Same, for the hosts.
     host_wake: Vec<Option<TimerId>>,
+    /// Doorbell coalescing ([`Config::doorbell_coalesce`]): true while
+    /// a host→CAB doorbell interrupt is scheduled but not yet
+    /// delivered, per CAB. Ringing again inside that window is a no-op
+    /// — safe because the interrupt handler drains the entire signal
+    /// queue, so the one in-flight delivery observes everything the
+    /// suppressed rings would have announced.
+    cab_doorbell_pending: Vec<bool>,
+    /// Same, for CAB→host doorbells.
+    host_doorbell_pending: Vec<bool>,
     /// The fault authority: owns the fault RNG stream, the installed
     /// [`FaultScript`] (if any) and all per-link/per-node fault
     /// accounting. With no script installed it reproduces the legacy
@@ -150,6 +159,9 @@ impl World {
             cab.proto.rmp_cfg.rto = config.rmp.rto;
             cab.proto.rmp_cfg.rto_max = config.rmp.rto_max;
             cab.proto.rmp_cfg.max_retries = config.rmp.max_retries;
+            cab.proto.rmp_cfg.window = config.rmp.window;
+            cab.proto.burst_limit = config.mailbox_burst;
+            cab.rx_coalesce = config.doorbell_coalesce;
             cabs.push(cab);
         }
         let hosts = (0..n as u16).map(|i| Host::new(i, i, config.host_costs)).collect();
@@ -168,6 +180,8 @@ impl World {
             sched: sim.stats(),
             cab_wake: vec![None; n],
             host_wake: vec![None; n],
+            cab_doorbell_pending: vec![false; n],
+            host_doorbell_pending: vec![false; n],
             load: None,
             shard: None,
         };
@@ -409,6 +423,13 @@ impl World {
             r.publish(&p("tcp/timeouts"), ts.timeouts);
             r.publish(&p("tcp/checksum_drops"), tss.checksum_drops);
             r.publish(&p("tcp/no_socket_drops"), tss.no_socket_drops);
+            // SACK counters exist only when the feature can be on:
+            // gating keeps the default-config fixture key set (and
+            // therefore its bytes) unchanged.
+            if self.config.tcp.sack {
+                r.publish(&p("tcp/sack_blocks_in"), ts.sack_blocks_in);
+                r.publish(&p("tcp/sack_retransmits"), ts.sack_retransmits);
+            }
 
             let mut frags_sent = 0u64;
             let mut rmp_retx = 0u64;
@@ -554,7 +575,14 @@ pub fn kick_host(w: &mut World, sim: &mut Sim, i: usize) {
     for e in fx {
         match e {
             HostEffect::InterruptCab => {
+                if w.config.doorbell_coalesce {
+                    if w.cab_doorbell_pending[cab_id] {
+                        continue; // a delivery is in flight; it will drain this signal too
+                    }
+                    w.cab_doorbell_pending[cab_id] = true;
+                }
                 sim.at(burst_end + doorbell, move |w, s| {
+                    w.cab_doorbell_pending[cab_id] = false;
                     let t = s.now();
                     w.cabs[cab_id].host_interrupt(t);
                     kick_cab(w, s, cab_id);
@@ -638,7 +666,14 @@ fn route_cab_effects(
             CabEffect::InterruptHost => {
                 // host index == cab index in this world
                 let host = i;
+                if w.config.doorbell_coalesce {
+                    if w.host_doorbell_pending[host] {
+                        continue;
+                    }
+                    w.host_doorbell_pending[host] = true;
+                }
                 sim.at(burst_end + w.config.doorbell_latency, move |w, s| {
+                    w.host_doorbell_pending[host] = false;
                     let t = s.now();
                     w.hosts[host].cab_interrupt(t);
                     kick_host(w, s, host);

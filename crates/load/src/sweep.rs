@@ -46,6 +46,14 @@ pub struct SweepConfig {
     /// Arm the conformance oracle (`nectar_stack::conform`) during the
     /// sweep: any TCP transition violation aborts the run.
     pub oracle: bool,
+    /// Base world configuration for every load point. `seed` and
+    /// `oracle` are overridden per point; everything else (transport
+    /// knobs, host-I/O batching) carries through, which is how the
+    /// fast-path variant sweeps run.
+    pub base: Config,
+    /// Variant label rendered into the JSON (`"baseline"`,
+    /// `"fastpath"`), so one artifact can hold both sweeps.
+    pub variant: &'static str,
 }
 
 impl SweepConfig {
@@ -62,10 +70,16 @@ impl SweepConfig {
             timeout: SimDuration::from_millis(25),
             slo_p99: SimDuration::from_millis(5),
             oracle: true,
+            base: Config::default(),
+            variant: "baseline",
         }
     }
 
-    /// The full benchmark sweep behind `BENCH_load.json`.
+    /// The full benchmark sweep behind `BENCH_load.json`. The step
+    /// grid is deliberately uneven: it clusters points around each
+    /// transport's observed knee region (tcp ~3.5k, udp ~4k, rmp
+    /// ~6-7k, reqresp ~8-9k, datagram ~12-16k) so a one-step knee
+    /// shift is resolvable, with sparse anchors below and above.
     pub fn full(seed: u64) -> SweepConfig {
         SweepConfig {
             seed,
@@ -78,13 +92,41 @@ impl SweepConfig {
             ],
             clients: 48,
             clients_per_cab: 12,
-            offered_rps: vec![1_000, 2_000, 5_000, 10_000, 20_000, 40_000],
+            offered_rps: vec![
+                1_000, 2_000, 3_400, 3_600, 4_000, 5_000, 6_000, 7_000, 8_000, 9_000, 10_000,
+                12_000, 14_000, 16_000, 20_000,
+            ],
             size: SizeDist::Fixed(256),
             measure: SimDuration::from_millis(400),
             timeout: SimDuration::from_millis(50),
             slo_p99: SimDuration::from_millis(10),
             oracle: true,
+            base: Config::default(),
+            variant: "baseline",
         }
+    }
+
+    /// The modern transport fast path on top of this sweep: windowed
+    /// RMP, TCP SACK + window scaling, and batched I/O (doorbell/RX
+    /// interrupt coalescing + larger mailbox bursts). Same transports,
+    /// steps and SLO — only the world configuration and the variant
+    /// label change.
+    ///
+    /// The RTO floor is also raised to 250ms (RFC 6298's suggested
+    /// granularity): the seed's 10ms LAN floor sits *inside* the
+    /// peer's delayed-ack window, so every echo reply whose ack rides
+    /// on the client's next request (~1/rate later) spuriously
+    /// retransmits under load. A floor above the 200ms delack timeout
+    /// eliminates those retransmits without extra ack traffic.
+    pub fn fastpath(mut self) -> SweepConfig {
+        self.base.rmp.window = 8;
+        self.base.tcp.sack = true;
+        self.base.tcp.wscale = Some(2);
+        self.base.tcp.rto_min = SimDuration::from_millis(250);
+        self.base.doorbell_coalesce = true;
+        self.base.mailbox_burst = 16;
+        self.variant = "fastpath";
+        self
     }
 }
 
@@ -130,6 +172,7 @@ impl TransportSweep {
 #[derive(Clone, Debug)]
 pub struct SweepResult {
     pub seed: u64,
+    pub variant: &'static str,
     pub clients: u64,
     pub measure_ns: u64,
     pub slo_p99_ns: u64,
@@ -152,10 +195,14 @@ pub fn run_point(cfg: &SweepConfig, t: LoadTransport, offered_rps: u64) -> LoadP
         arrival: Arrival::Open { mean_gap: SimDuration::from_nanos(gap_ns) },
         size: cfg.size,
         timeout: cfg.timeout,
-        start: SimTime::ZERO + SimDuration::from_millis(1),
-        stop: SimTime::ZERO + SimDuration::from_millis(1) + cfg.measure,
+        // 20ms warmup before the first intended start: the whole fleet
+        // connects at t=0, and the TCP handshake storm alone leaves
+        // ~10ms of server backlog. Measuring from t=1ms would fold
+        // that setup transient into the p99 of every mid-load point.
+        start: SimTime::ZERO + SimDuration::from_millis(20),
+        stop: SimTime::ZERO + SimDuration::from_millis(20) + cfg.measure,
     };
-    let config = Config { seed: plan.seed, oracle: Some(cfg.oracle), ..Config::default() };
+    let config = Config { seed: plan.seed, oracle: Some(cfg.oracle), ..cfg.base };
     let (mut world, mut sim) = World::new(config, plan.topology());
     let fleet = deploy_fleet(&mut world, &plan);
     // run past the stop time so in-flight requests resolve or time out
@@ -223,11 +270,24 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepResult {
     }
     SweepResult {
         seed: cfg.seed,
+        variant: cfg.variant,
         clients: cfg.clients as u64,
         measure_ns: cfg.measure.as_nanos(),
         slo_p99_ns: cfg.slo_p99.as_nanos(),
         sweeps,
     }
+}
+
+/// Render several sweep variants (e.g. baseline + fastpath) into one
+/// deterministic JSON artifact — the `BENCH_load.json` layout.
+pub fn variants_json(results: &[SweepResult]) -> String {
+    let mut out = String::from("{\n\"variants\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(r.to_json().trim_end());
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n}\n");
+    out
 }
 
 impl LoadPoint {
@@ -264,8 +324,8 @@ impl SweepResult {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{{\n  \"seed\": {},\n  \"clients\": {},\n  \"measure_ns\": {},\n  \"slo_p99_ns\": {},\n  \"transports\": [\n",
-            self.seed, self.clients, self.measure_ns, self.slo_p99_ns
+            "{{\n  \"seed\": {},\n  \"variant\": \"{}\",\n  \"clients\": {},\n  \"measure_ns\": {},\n  \"slo_p99_ns\": {},\n  \"transports\": [\n",
+            self.seed, self.variant, self.clients, self.measure_ns, self.slo_p99_ns
         ));
         for (i, s) in self.sweeps.iter().enumerate() {
             out.push_str(&format!(
@@ -330,6 +390,8 @@ mod tests {
             timeout: SimDuration::from_millis(10),
             slo_p99: SimDuration::from_millis(5),
             oracle: false,
+            base: Config::default(),
+            variant: "baseline",
         };
         let p = run_point(&cfg, LoadTransport::Datagram, 1_000);
         assert!(p.responses > 0, "no responses at a trivial load: {p:?}");
@@ -352,10 +414,45 @@ mod tests {
             timeout: SimDuration::from_millis(5),
             slo_p99: SimDuration::from_millis(5),
             oracle: false,
+            base: Config::default(),
+            variant: "baseline",
         };
         let a = run_sweep(&cfg).to_json();
         let b = run_sweep(&cfg).to_json();
         assert_eq!(a, b);
         assert!(a.contains("\"transport\": \"udp\""));
+        assert!(a.contains("\"variant\": \"baseline\""));
+    }
+
+    #[test]
+    fn fastpath_flips_exactly_the_transport_knobs() {
+        let base = SweepConfig::quick(1);
+        let fast = SweepConfig::quick(1).fastpath();
+        assert_eq!(fast.variant, "fastpath");
+        assert_eq!(fast.base.rmp.window, 8);
+        assert!(fast.base.tcp.sack);
+        assert_eq!(fast.base.tcp.wscale, Some(2));
+        assert_eq!(fast.base.tcp.rto_min, SimDuration::from_millis(250));
+        assert!(fast.base.doorbell_coalesce);
+        assert_eq!(fast.base.mailbox_burst, 16);
+        // the sweep shape itself is untouched: same steps, same SLO
+        assert_eq!(fast.offered_rps, base.offered_rps);
+        assert_eq!(fast.slo_p99, base.slo_p99);
+        assert_eq!(fast.measure, base.measure);
+    }
+
+    #[test]
+    fn variants_json_wraps_both_sweeps() {
+        let mut cfg = SweepConfig::quick(3);
+        cfg.transports = vec![LoadTransport::Udp];
+        cfg.offered_rps = vec![500];
+        cfg.measure = SimDuration::from_millis(10);
+        cfg.oracle = false;
+        let base = run_sweep(&cfg);
+        let fast = run_sweep(&cfg.clone().fastpath());
+        let json = variants_json(&[base, fast]);
+        assert!(json.contains("\"variants\": ["));
+        assert!(json.contains("\"variant\": \"baseline\""));
+        assert!(json.contains("\"variant\": \"fastpath\""));
     }
 }

@@ -87,6 +87,12 @@ pub struct TcpView {
     pub peer_fin_processed: bool,
     pub local: (Ipv4Addr, u16),
     pub remote: (Ipv4Addr, u16),
+    /// SACK was negotiated on both SYNs: only then may segments carry
+    /// SACK blocks.
+    pub sack_ok: bool,
+    /// Window-scale shift applied to windows this socket advertises
+    /// (0 when scaling was not negotiated).
+    pub rcv_wscale: u8,
 }
 
 impl TcpView {
@@ -298,10 +304,16 @@ impl TcpMonitor {
                     ),
                 );
             }
-            // receiver never reneges: ack + window moves right only
-            let right = hdr.ack.add(hdr.window as usize);
+            // receiver never reneges: ack + window moves right only.
+            // Windows in SYN segments are never scaled (RFC 7323 §2.2);
+            // with scaling active the advertised value is quantized to
+            // 2^shift, so allow the right edge to wobble by up to one
+            // quantum before calling it a renege.
+            let shift = if hdr.flags.contains(TcpFlags::SYN) { 0 } else { v.rcv_wscale as usize };
+            let right = hdr.ack.add((hdr.window as usize) << shift);
+            let slack = (1usize << shift) - 1;
             if let Some(prev_right) = self.adv_right {
-                if right.before(prev_right) {
+                if right.add(slack).before(prev_right) {
                     violation(
                         "tcp/window",
                         format!(
@@ -315,6 +327,32 @@ impl TcpMonitor {
                 }
             }
             self.adv_right = Some(right);
+        }
+        // SACK legality: blocks only on connections that negotiated
+        // them, each non-empty and strictly above the cumulative ack
+        // (a block at or below the ack would be acknowledging data
+        // twice; RFC 2018 §3).
+        if !hdr.sack.is_empty() {
+            if !v.sack_ok {
+                violation(
+                    "tcp/sack",
+                    format!("{}: SACK blocks emitted without negotiation", v.who()),
+                );
+            }
+            for (l, r) in hdr.sack.iter() {
+                if !r.after(l) || !l.after(hdr.ack) {
+                    violation(
+                        "tcp/sack",
+                        format!(
+                            "{}: illegal SACK block [{}, {}) against ack {}",
+                            v.who(),
+                            l,
+                            r,
+                            hdr.ack
+                        ),
+                    );
+                }
+            }
         }
         if payload_len > 0 {
             if let Some(fin) = v.fin_seq {

@@ -32,7 +32,12 @@
 //! Commands: `connect`, `listen`, `send N`, `recv N`, `close`, `abort`,
 //! `state NAME`, `quiet` (assert nothing was emitted up to this time),
 //! `tolerance SECS`, and `opt k=v …` (config overrides; must precede
-//! the open).
+//! the open — including `sack=1`, `wscale=N` and `cc=newreno|cubic`).
+//!
+//! Segment lines may also carry `wscale=N` and `sackok=1` (SYN
+//! options) and `sack=L-R/L-R…` (SACK blocks, edges relative with the
+//! same base as `ack=`): on `<` lines they are injected, on `>` lines
+//! asserted.
 //!
 //! # IP scripts
 //!
@@ -51,7 +56,7 @@ use nectar_wire::ipv4::{IpProtocol, Ipv4Header};
 use nectar_wire::tcp::{SeqNum, TcpFlags, TcpHeader};
 
 use crate::ip::{IpEndpoint, IpInput};
-use crate::tcp::{SocketId, TcpConfig, TcpStack, TcpStackEvent, TcpState};
+use crate::tcp::{CcAlgorithm, SocketId, TcpConfig, TcpStack, TcpStackEvent, TcpState};
 
 /// The scripted endpoint's address.
 const LOCAL: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
@@ -117,6 +122,12 @@ struct Fields {
     win: Option<u16>,
     mss: Option<u16>,
     len: usize,
+    /// Window-scale option (`wscale=N`, SYN segments only).
+    wscale: Option<u8>,
+    /// SACK-permitted option (`sackok=1`, SYN segments only).
+    sackok: bool,
+    /// SACK blocks (`sack=l-r/l-r…`), edges relative like `ack=`.
+    sack: Option<Vec<(u32, u32)>>,
 }
 
 fn parse_fields(line_no: usize, line: &str, toks: &[&str]) -> Fields {
@@ -125,6 +136,23 @@ fn parse_fields(line_no: usize, line: &str, toks: &[&str]) -> Fields {
         let Some((k, v)) = t.split_once('=') else {
             fail(line_no, line, format!("expected k=v, got `{t}`"));
         };
+        if k == "sack" {
+            let mut blocks = Vec::new();
+            for part in v.split('/') {
+                let Some((l, r)) = part.split_once('-') else {
+                    fail(line_no, line, format!("sack block `{part}` is not L-R"));
+                };
+                let l: u32 = l
+                    .parse()
+                    .unwrap_or_else(|_| fail(line_no, line, format!("bad number in `{t}`")));
+                let r: u32 = r
+                    .parse()
+                    .unwrap_or_else(|_| fail(line_no, line, format!("bad number in `{t}`")));
+                blocks.push((l, r));
+            }
+            f.sack = Some(blocks);
+            continue;
+        }
         let n: u64 =
             v.parse().unwrap_or_else(|_| fail(line_no, line, format!("bad number in `{t}`")));
         match k {
@@ -133,6 +161,8 @@ fn parse_fields(line_no: usize, line: &str, toks: &[&str]) -> Fields {
             "win" => f.win = Some(n as u16),
             "mss" => f.mss = Some(n as u16),
             "len" => f.len = n as usize,
+            "wscale" => f.wscale = Some(n as u8),
+            "sackok" => f.sackok = n != 0,
             _ => fail(line_no, line, format!("unknown field `{k}`")),
         }
     }
@@ -266,6 +296,15 @@ impl TcpRunner {
         h.flags = flags;
         h.window = f.win.unwrap_or(u16::MAX);
         h.mss = f.mss;
+        h.wscale = f.wscale;
+        h.sack_permitted = f.sackok;
+        if let Some(blocks) = &f.sack {
+            // injected blocks describe data *we* sent: same base as ack=
+            let base = self.local_iss.unwrap_or(SeqNum(0));
+            for &(l, r) in blocks {
+                h.sack.push(SeqNum(base.0.wrapping_add(l)), SeqNum(base.0.wrapping_add(r)));
+            }
+        }
         let rel = f.seq.unwrap_or(0);
         let payload: Vec<u8> = (0..f.len as u32).map(|j| pattern_byte(rel + j)).collect();
         let segment = h.build(REMOTE, LOCAL, &payload, true);
@@ -323,6 +362,25 @@ impl TcpRunner {
                 fail(line_no, line, format!("mss {:?} ≠ expected {m}", hdr.mss));
             }
         }
+        if let Some(ws) = f.wscale {
+            if hdr.wscale != Some(ws) {
+                fail(line_no, line, format!("wscale {:?} ≠ expected {ws}", hdr.wscale));
+            }
+        }
+        if f.sackok && !hdr.sack_permitted {
+            fail(line_no, line, "sack-permitted option missing".into());
+        }
+        if let Some(blocks) = &f.sack {
+            // emitted blocks describe data the *peer* sent: REMOTE_ISS base
+            let got: Vec<(u32, u32)> = hdr
+                .sack
+                .iter()
+                .map(|(l, r)| (l.0.wrapping_sub(REMOTE_ISS.0), r.0.wrapping_sub(REMOTE_ISS.0)))
+                .collect();
+            if got != *blocks {
+                fail(line_no, line, format!("sack blocks {got:?} ≠ expected {blocks:?}"));
+            }
+        }
         // data segments carry the deterministic pattern
         if !payload.is_empty() && !hdr.flags.contains(TcpFlags::RST) {
             if let Some(rel) = f.seq {
@@ -348,10 +406,20 @@ impl TcpRunner {
             let Some((k, v)) = t.split_once('=') else {
                 fail(line_no, line, format!("expected k=v, got `{t}`"));
             };
+            if k == "cc" {
+                self.cfg.cc = match v {
+                    "newreno" => CcAlgorithm::NewReno,
+                    "cubic" => CcAlgorithm::Cubic,
+                    _ => fail(line_no, line, format!("unknown cc algorithm `{v}`")),
+                };
+                continue;
+            }
             let n: u64 =
                 v.parse().unwrap_or_else(|_| fail(line_no, line, format!("bad number in `{t}`")));
             match k {
                 "nagle" => self.cfg.nagle = n != 0,
+                "sack" => self.cfg.sack = n != 0,
+                "wscale" => self.cfg.wscale = Some(n as u8),
                 "delayed_ack" => self.cfg.delayed_ack = n != 0,
                 "mss" => self.cfg.mss = n as u16,
                 "recv_buf" => self.cfg.recv_buf = n as usize,

@@ -1,0 +1,228 @@
+//! Pluggable congestion control.
+//!
+//! The socket historically ran Tahoe inline (slow start, congestion
+//! avoidance, collapse-to-one-MSS on any loss signal). That arithmetic
+//! now lives behind the [`CongestionControl`] trait so the loss
+//! response is selectable per connection: [`NewReno`] reproduces the
+//! legacy behaviour bit-for-bit (keeping every pinned fixture and
+//! conformance script stable), and [`Cubic`] implements RFC 8312's
+//! window growth for the fast-path experiments.
+//!
+//! The socket owns `cwnd`/`ssthresh` and passes them in as a
+//! [`CcState`]; algorithms keep only their private epoch state. All
+//! arithmetic is deterministic — `Cubic` uses fixed-point-free `f64`
+//! only on values derived from simulated time and byte counts, so
+//! same-seed runs reproduce exactly.
+
+use nectar_sim::SimTime;
+
+/// Which congestion-control algorithm a socket runs. Selected by
+/// `TcpConfig::cc`; part of the copyable config so worlds and sweeps
+/// can flip it wholesale.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CcAlgorithm {
+    /// Legacy behaviour: slow start + congestion avoidance with a
+    /// Tahoe-style collapse to one MSS on fast retransmit and RTO.
+    #[default]
+    NewReno,
+    /// RFC 8312 CUBIC window growth (β = 0.7, C = 0.4).
+    Cubic,
+}
+
+/// The window variables the socket shares with its algorithm.
+#[derive(Clone, Copy, Debug)]
+pub struct CcState {
+    /// Congestion window, bytes.
+    pub cwnd: u32,
+    /// Slow-start threshold, bytes.
+    pub ssthresh: u32,
+}
+
+/// One congestion-control algorithm. Implementations mutate
+/// `CcState` in place; the socket copies the result back into its own
+/// fields after each call.
+pub trait CongestionControl: std::fmt::Debug {
+    /// New data was cumulatively acknowledged (`acked` bytes).
+    fn on_ack(&mut self, s: &mut CcState, now: SimTime, acked: u32, mss: u32);
+    /// Loss inferred from three duplicate ACKs (fast retransmit).
+    /// `flight` is the number of bytes outstanding.
+    fn on_loss(&mut self, s: &mut CcState, now: SimTime, flight: u32, mss: u32);
+    /// The retransmission timer fired.
+    fn on_timeout(&mut self, s: &mut CcState, now: SimTime, flight: u32, mss: u32);
+}
+
+/// Construct the algorithm for a config selection.
+pub fn make(alg: CcAlgorithm) -> Box<dyn CongestionControl> {
+    match alg {
+        CcAlgorithm::NewReno => Box::new(NewReno),
+        CcAlgorithm::Cubic => Box::new(Cubic::default()),
+    }
+}
+
+/// The default algorithm. Growth is standard slow start / congestion
+/// avoidance; the loss response is the Tahoe-style collapse the stack
+/// has always used (`ssthresh = flight/2`, `cwnd = 1 MSS`), kept
+/// byte-identical so the pinned metric fixtures don't move.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NewReno;
+
+impl CongestionControl for NewReno {
+    fn on_ack(&mut self, s: &mut CcState, _now: SimTime, _acked: u32, mss: u32) {
+        if s.cwnd < s.ssthresh {
+            s.cwnd = s.cwnd.saturating_add(mss);
+        } else {
+            s.cwnd = s.cwnd.saturating_add((mss * mss / s.cwnd).max(1));
+        }
+    }
+
+    fn on_loss(&mut self, s: &mut CcState, _now: SimTime, flight: u32, mss: u32) {
+        s.ssthresh = (flight / 2).max(2 * mss);
+        s.cwnd = mss;
+    }
+
+    fn on_timeout(&mut self, s: &mut CcState, now: SimTime, flight: u32, mss: u32) {
+        self.on_loss(s, now, flight, mss);
+    }
+}
+
+/// RFC 8312 CUBIC constants.
+const CUBIC_BETA: f64 = 0.7;
+const CUBIC_C: f64 = 0.4;
+
+/// CUBIC (RFC 8312). Window growth in congestion avoidance follows
+/// `W(t) = C·(t − K)³ + W_max` (in MSS units), concave up to the
+/// pre-loss window and convex beyond it. Slow start is unchanged.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Cubic {
+    /// Window (MSS units) at the last loss event.
+    w_max: f64,
+    /// Time (seconds from the epoch) at which W(t) regains `w_max`.
+    k: f64,
+    /// Start of the current congestion-avoidance epoch.
+    epoch: Option<SimTime>,
+}
+
+impl Cubic {
+    fn enter_epoch(&mut self, now: SimTime, cwnd_mss: f64) {
+        if self.w_max < cwnd_mss {
+            self.w_max = cwnd_mss;
+        }
+        self.k = (self.w_max * (1.0 - CUBIC_BETA) / CUBIC_C).cbrt();
+        self.epoch = Some(now);
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn on_ack(&mut self, s: &mut CcState, now: SimTime, _acked: u32, mss: u32) {
+        if s.cwnd < s.ssthresh {
+            s.cwnd = s.cwnd.saturating_add(mss);
+            self.epoch = None;
+            return;
+        }
+        let mssf = mss as f64;
+        let cwnd_mss = s.cwnd as f64 / mssf;
+        let epoch = match self.epoch {
+            Some(e) => e,
+            None => {
+                // first CA ack of this epoch: grow from the current
+                // window (no prior loss ⇒ pure convex probing)
+                self.enter_epoch(now, cwnd_mss);
+                now
+            }
+        };
+        let t = now.saturating_since(epoch).as_nanos() as f64 / 1e9;
+        let target_mss = CUBIC_C * (t - self.k).powi(3) + self.w_max;
+        if target_mss > cwnd_mss {
+            // close the gap to the cubic target, at least one byte, at
+            // most one MSS per ack (keeps growth ack-clocked)
+            let inc = ((target_mss - cwnd_mss) / cwnd_mss * mssf).clamp(1.0, mssf);
+            s.cwnd = s.cwnd.saturating_add(inc as u32);
+        } else {
+            // TCP-friendly region: fall back to Reno-style growth
+            s.cwnd = s.cwnd.saturating_add((mss * mss / s.cwnd).max(1));
+        }
+    }
+
+    fn on_loss(&mut self, s: &mut CcState, now: SimTime, _flight: u32, mss: u32) {
+        let cwnd_mss = s.cwnd as f64 / mss as f64;
+        self.w_max = cwnd_mss;
+        self.k = (self.w_max * (1.0 - CUBIC_BETA) / CUBIC_C).cbrt();
+        self.epoch = Some(now);
+        let reduced = ((s.cwnd as f64 * CUBIC_BETA) as u32).max(2 * mss);
+        s.ssthresh = reduced;
+        s.cwnd = reduced;
+    }
+
+    fn on_timeout(&mut self, s: &mut CcState, _now: SimTime, _flight: u32, mss: u32) {
+        // an RTO restarts slow start; remember the pre-loss window so
+        // the next CA epoch is concave toward it
+        self.w_max = s.cwnd as f64 / mss as f64;
+        self.epoch = None;
+        s.ssthresh = ((s.cwnd as f64 * CUBIC_BETA) as u32).max(2 * mss);
+        s.cwnd = mss;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + nectar_sim::SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn newreno_matches_legacy_tahoe_arithmetic() {
+        let mut a = NewReno;
+        let mut s = CcState { cwnd: 8032, ssthresh: u32::MAX / 2 };
+        // slow start: += mss
+        a.on_ack(&mut s, t(0), 4016, 4016);
+        assert_eq!(s.cwnd, 8032 + 4016);
+        // loss: ssthresh = flight/2 (floored at 2*mss), cwnd = mss
+        a.on_loss(&mut s, t(1), 20_000, 4016);
+        assert_eq!(s.ssthresh, 10_000);
+        assert_eq!(s.cwnd, 4016);
+        // congestion avoidance: += max(mss²/cwnd, 1)
+        s.cwnd = 12_000;
+        s.ssthresh = 10_000;
+        a.on_ack(&mut s, t(2), 4016, 4016);
+        assert_eq!(s.cwnd, 12_000 + 4016u32 * 4016 / 12_000);
+        // timeout response identical to loss
+        a.on_timeout(&mut s, t(3), 4016, 4016);
+        assert_eq!(s.ssthresh, 2 * 4016);
+        assert_eq!(s.cwnd, 4016);
+    }
+
+    #[test]
+    fn cubic_reduces_by_beta_and_regrows_toward_wmax() {
+        let mut a = Cubic::default();
+        let mss = 1000u32;
+        let mut s = CcState { cwnd: 10_000, ssthresh: 8_000 };
+        a.on_loss(&mut s, t(0), 10_000, mss);
+        assert_eq!(s.cwnd, 7_000);
+        assert_eq!(s.ssthresh, 7_000);
+        // growth is monotone and eventually exceeds the pre-loss window
+        let mut prev = s.cwnd;
+        let mut recovered = false;
+        for i in 1..200_000u64 {
+            a.on_ack(&mut s, t(i * 100), mss, mss);
+            assert!(s.cwnd >= prev, "cwnd shrank on ack");
+            prev = s.cwnd;
+            if s.cwnd > 10_000 {
+                recovered = true;
+                break;
+            }
+        }
+        assert!(recovered, "cubic never regrew past w_max (cwnd {})", s.cwnd);
+    }
+
+    #[test]
+    fn cubic_timeout_collapses_to_one_mss() {
+        let mut a = Cubic::default();
+        let mss = 1000u32;
+        let mut s = CcState { cwnd: 9_000, ssthresh: 5_000 };
+        a.on_timeout(&mut s, t(5), 9_000, mss);
+        assert_eq!(s.cwnd, mss);
+        assert_eq!(s.ssthresh, (9_000f64 * 0.7) as u32);
+    }
+}

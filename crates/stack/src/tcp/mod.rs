@@ -24,9 +24,11 @@
 //! delayed ACK, TIME-WAIT, window probes) is exposed through
 //! [`TcpSocket::poll`] / [`TcpSocket::next_wakeup`].
 
+pub mod cc;
 mod socket;
 mod stack;
 
+pub use cc::{CcAlgorithm, CcState, CongestionControl};
 pub use socket::TcpSocket;
 pub use stack::{SocketId, TcpStack, TcpStackEvent, TcpStackStats};
 
@@ -117,6 +119,17 @@ pub struct TcpConfig {
     pub msl: SimDuration,
     /// Give up after this many consecutive retransmissions.
     pub max_retries: u32,
+    /// Offer selective acknowledgements (RFC 2018). SACK is used on a
+    /// connection only when *both* SYNs carried the permitted option;
+    /// off by default so legacy segments stay byte-identical.
+    pub sack: bool,
+    /// Window-scale shift to offer in our SYN (RFC 7323), `None` to not
+    /// negotiate. Scaling applies only when both sides offered it; the
+    /// shift is clamped to 14 on the wire.
+    pub wscale: Option<u8>,
+    /// Congestion-control algorithm. The default reproduces the legacy
+    /// inline behaviour exactly.
+    pub cc: CcAlgorithm,
 }
 
 impl Default for TcpConfig {
@@ -134,6 +147,9 @@ impl Default for TcpConfig {
             rto_max: SimDuration::from_secs(60),
             msl: SimDuration::from_millis(500),
             max_retries: 12,
+            sack: false,
+            wscale: None,
+            cc: CcAlgorithm::NewReno,
         }
     }
 }
@@ -150,6 +166,10 @@ pub struct TcpSocketStats {
     pub timeouts: u64,
     pub dup_acks_in: u64,
     pub zero_window_probes: u64,
+    /// Valid SACK blocks received and folded into the scoreboard.
+    pub sack_blocks_in: u64,
+    /// Retransmissions whose extent was shaped by the SACK scoreboard.
+    pub sack_retransmits: u64,
 }
 
 impl TcpSocketStats {
@@ -165,5 +185,7 @@ impl TcpSocketStats {
         self.timeouts += o.timeouts;
         self.dup_acks_in += o.dup_acks_in;
         self.zero_window_probes += o.zero_window_probes;
+        self.sack_blocks_in += o.sack_blocks_in;
+        self.sack_retransmits += o.sack_retransmits;
     }
 }

@@ -4,8 +4,9 @@ use std::collections::VecDeque;
 use std::net::Ipv4Addr;
 
 use nectar_sim::{SimDuration, SimTime};
-use nectar_wire::tcp::{SeqNum, TcpFlags, TcpHeader};
+use nectar_wire::tcp::{SeqNum, TcpFlags, TcpHeader, MAX_WSCALE};
 
+use super::cc::{self, CcState, CongestionControl};
 use super::{AbortReason, TcpConfig, TcpEvent, TcpSocketStats, TcpState};
 use crate::conform;
 
@@ -58,10 +59,28 @@ pub struct TcpSocket {
     last_adv_wnd: u32,
     want_window_update: bool,
 
-    // --- congestion control (Tahoe) ---
+    // --- congestion control ---
     cwnd: u32,
     ssthresh: u32,
     dup_acks: u32,
+    /// The loss-response algorithm (`TcpConfig::cc`).
+    cc: Box<dyn CongestionControl>,
+
+    // --- SACK (RFC 2018) ---
+    /// Both SYNs carried the SACK-permitted option.
+    sack_ok: bool,
+    /// Sender scoreboard: disjoint, sorted ranges the peer has
+    /// selectively acknowledged above `snd_una`. Only ever grows or is
+    /// trimmed by the cumulative ACK — a reneging peer is ignored.
+    sacked: Vec<(SeqNum, SeqNum)>,
+
+    // --- window scaling (RFC 7323) ---
+    /// Both SYNs carried the window-scale option.
+    wscale_negotiated: bool,
+    /// Shift applied to windows the peer advertises.
+    snd_wscale: u8,
+    /// Shift applied to windows we advertise.
+    rcv_wscale: u8,
 
     // --- RTT estimation (Jacobson/Karels + Karn) ---
     srtt_ns: Option<i64>,
@@ -122,6 +141,12 @@ impl TcpSocket {
             cwnd: cfg.mss as u32 * 2,
             ssthresh: u32::MAX / 2,
             dup_acks: 0,
+            cc: cc::make(cfg.cc),
+            sack_ok: false,
+            sacked: Vec::new(),
+            wscale_negotiated: false,
+            snd_wscale: 0,
+            rcv_wscale: 0,
             srtt_ns: None,
             rttvar_ns: 0,
             rto: cfg.rto_initial,
@@ -151,6 +176,8 @@ impl TcpSocket {
             peer_fin_processed: self.peer_fin_processed,
             local: self.local,
             remote: self.remote,
+            sack_ok: self.sack_ok,
+            rcv_wscale: self.rcv_wscale,
         }
     }
 
@@ -196,6 +223,7 @@ impl TcpSocket {
         if let Some(mss) = syn.mss {
             s.peer_mss = mss;
         }
+        s.negotiate_options(syn);
         s.set_peer_window(syn);
         // seed the RFC 793 window-update qualifier (SND.WL1/SND.WL2);
         // left at their zero defaults, updates whose seq compares
@@ -390,6 +418,7 @@ impl TcpSocket {
         if let Some(mss) = hdr.mss {
             self.peer_mss = mss;
         }
+        self.negotiate_options(hdr);
         if hdr.flags.contains(TcpFlags::ACK) {
             self.snd_una = hdr.ack;
             self.retries = 0;
@@ -534,6 +563,17 @@ impl TcpSocket {
             self.send_ack_now(ev);
             return;
         }
+        // Fold valid SACK blocks into the scoreboard before the
+        // cumulative processing (RFC 2018 §4): blocks must lie strictly
+        // above the segment's own ack and within what we actually sent.
+        if self.sack_ok {
+            for (l, r) in hdr.sack.iter() {
+                if r.after(l) && l.after(ack) && r.before_eq(self.snd_nxt) {
+                    self.stats.sack_blocks_in += 1;
+                    self.add_sacked(l, r);
+                }
+            }
+        }
         if ack.after(self.snd_una) {
             // --- new data acknowledged ---
             let old_una = self.snd_una;
@@ -554,13 +594,23 @@ impl TcpSocket {
                 }
             }
             self.backoff = false;
+            // the cumulative ack implicitly covers any sacked range at
+            // or below it
+            if !self.sacked.is_empty() {
+                self.sacked.retain(|&(_, r)| r.after(ack));
+                if let Some(first) = self.sacked.first_mut() {
+                    if first.0.before(ack) {
+                        first.0 = ack;
+                    }
+                }
+            }
             // congestion window growth
             let mss = self.effective_mss() as u32;
-            if self.cwnd < self.ssthresh {
-                self.cwnd = self.cwnd.saturating_add(mss);
-            } else {
-                self.cwnd = self.cwnd.saturating_add((mss * mss / self.cwnd).max(1));
-            }
+            let acked = ack.since(old_una).max(0) as u32;
+            let mut st = CcState { cwnd: self.cwnd, ssthresh: self.ssthresh };
+            self.cc.on_ack(&mut st, now, acked, mss);
+            self.cwnd = st.cwnd;
+            self.ssthresh = st.ssthresh;
             // release acknowledged bytes from the send buffer
             let data_acked =
                 self.snd_una.since(self.snd_buf_seq).clamp(0, self.snd_buf.len() as i32);
@@ -568,7 +618,6 @@ impl TcpSocket {
                 self.snd_buf.drain(..data_acked as usize);
                 self.snd_buf_seq = self.snd_buf_seq.add(data_acked as usize);
             }
-            let _ = old_una;
             // our FIN acknowledged?
             if let Some(fin_seq) = self.fin_seq {
                 if self.snd_una.after(fin_seq) {
@@ -589,11 +638,18 @@ impl TcpSocket {
             } else {
                 self.rto_deadline = None;
             }
+            // Scoreboard-driven hole repair: a partial ack that stops
+            // below a sacked range landed exactly on the next hole, so
+            // retransmit it now instead of waiting out another dup-ack
+            // round or the RTO.
+            if self.sack_ok && !self.sacked.is_empty() && self.snd_nxt.after(self.snd_una) {
+                self.retransmit_one(now, ev);
+            }
         } else if ack == self.snd_una
             && payload.is_empty()
             && !hdr.flags.contains(TcpFlags::FIN)
             && self.snd_nxt.after(self.snd_una)
-            && hdr.window as u32 == self.snd_wnd
+            && self.peer_window_in(hdr) == self.snd_wnd
         {
             // --- duplicate ACK ---
             self.dup_acks += 1;
@@ -623,9 +679,10 @@ impl TcpSocket {
         self.stats.fast_retransmits += 1;
         let mss = self.effective_mss() as u32;
         let flight = self.snd_nxt.since(self.snd_una).max(0) as u32;
-        self.ssthresh = (flight / 2).max(2 * mss);
-        // Tahoe: drop to one segment and slow-start again.
-        self.cwnd = mss;
+        let mut st = CcState { cwnd: self.cwnd, ssthresh: self.ssthresh };
+        self.cc.on_loss(&mut st, now, flight, mss);
+        self.cwnd = st.cwnd;
+        self.ssthresh = st.ssthresh;
         self.dup_acks = 0;
         self.retransmit_one(now, ev);
         self.rto_deadline = Some(now + self.rto);
@@ -873,18 +930,38 @@ impl TcpSocket {
             }
             _ => {}
         }
-        let offset = self.snd_una.since(self.snd_buf_seq).max(0) as usize;
+        // SACK scoreboard: retransmit the first *hole*, never bytes the
+        // peer has already selectively acknowledged. `start` advances
+        // past any leading sacked ranges and `cap` stops the segment at
+        // the next sacked left edge.
+        let mut start = self.snd_una;
+        let mut cap = usize::MAX;
+        if self.sack_ok && !self.sacked.is_empty() {
+            self.stats.sack_retransmits += 1;
+            for &(sl, sr) in &self.sacked {
+                if sr.before_eq(start) {
+                    continue;
+                }
+                if sl.before_eq(start) {
+                    start = sr;
+                } else {
+                    cap = sl.since(start).max(0) as usize;
+                    break;
+                }
+            }
+        }
+        let offset = start.since(self.snd_buf_seq).max(0) as usize;
         let remaining = self.snd_buf.len().saturating_sub(offset);
         // Never retransmit bytes beyond snd_nxt: they were never sent,
         // and sending them here without advancing snd_nxt would make the
         // peer's ACKs look like acks of unsent data.
-        let outstanding = self.snd_nxt.since(self.snd_una).max(0) as usize;
-        let remaining = remaining.min(outstanding);
+        let outstanding = self.snd_nxt.since(start).max(0) as usize;
+        let remaining = remaining.min(outstanding).min(cap);
         if remaining > 0 {
             let len = self.effective_mss().min(remaining);
             let payload: Vec<u8> = self.snd_buf.iter().skip(offset).take(len).copied().collect();
             let mut h = self.header_template();
-            h.seq = self.snd_una;
+            h.seq = start;
             h.ack = self.rcv_nxt;
             h.flags = TcpFlags::ACK | TcpFlags::PSH;
             self.emit(h, &payload, ev);
@@ -961,11 +1038,12 @@ impl TcpSocket {
         self.rto = (self.rto * 2).min(self.cfg.rto_max);
         self.backoff = true;
         self.rtt_sample = None;
-        // Tahoe response to loss
         let mss = self.effective_mss() as u32;
         let flight = self.snd_nxt.since(self.snd_una).max(0) as u32;
-        self.ssthresh = (flight / 2).max(2 * mss);
-        self.cwnd = mss;
+        let mut st = CcState { cwnd: self.cwnd, ssthresh: self.ssthresh };
+        self.cc.on_timeout(&mut st, now, flight, mss);
+        self.cwnd = st.cwnd;
+        self.ssthresh = st.ssthresh;
         self.dup_acks = 0;
         self.retransmit_one(now, ev);
         self.rto_deadline = Some(now + self.rto);
@@ -1021,27 +1099,105 @@ impl TcpSocket {
 
     fn header_template(&self) -> TcpHeader {
         let mut h = TcpHeader::new(self.local.1, self.remote.1);
-        h.window = self.recv_window().min(u16::MAX as u32) as u16;
+        h.window = (self.recv_window() >> self.rcv_wscale).min(u16::MAX as u32) as u16;
+        if self.sack_ok {
+            for b in self.sack_blocks() {
+                h.sack.push(b.0, b.1);
+            }
+        }
         h
     }
 
-    /// Current receive window (free buffer space), before the u16 clamp.
+    /// Current receive window (free buffer space), before scaling and
+    /// the u16 clamp.
     fn recv_window(&self) -> u32 {
         (self.cfg.recv_buf - self.recv_buf.len()) as u32
     }
 
+    /// The window a received header advertises, after undoing the
+    /// peer's scale shift. Windows in SYN segments are never scaled
+    /// (RFC 7323 §2.2).
+    fn peer_window_in(&self, hdr: &TcpHeader) -> u32 {
+        let shift = if hdr.flags.contains(TcpFlags::SYN) { 0 } else { self.snd_wscale as u32 };
+        (hdr.window as u32) << shift
+    }
+
     fn set_peer_window(&mut self, hdr: &TcpHeader) {
-        self.snd_wnd = hdr.window as u32;
+        self.snd_wnd = self.peer_window_in(hdr);
         self.snd_wnd_max = self.snd_wnd_max.max(self.snd_wnd);
+    }
+
+    /// Resolve SACK and window-scale negotiation from the peer's SYN
+    /// (RFC 2018 §2, RFC 7323 §2.2): each feature is live only when
+    /// both our config offers it and the peer's SYN carried it.
+    fn negotiate_options(&mut self, syn: &TcpHeader) {
+        self.sack_ok = self.cfg.sack && syn.sack_permitted;
+        if let (Some(ours), Some(theirs)) = (self.cfg.wscale, syn.wscale) {
+            self.wscale_negotiated = true;
+            self.rcv_wscale = ours.min(MAX_WSCALE);
+            self.snd_wscale = theirs.min(MAX_WSCALE);
+        }
+    }
+
+    /// Merged SACK blocks describing the out-of-order queue, capped to
+    /// what the wire format carries.
+    fn sack_blocks(&self) -> Vec<(SeqNum, SeqNum)> {
+        let mut blocks: Vec<(SeqNum, SeqNum)> = Vec::new();
+        for &(seq, ref data) in &self.ooo {
+            let end = seq.add(data.len());
+            match blocks.last_mut() {
+                Some(last) if seq.before_eq(last.1) => {
+                    if end.after(last.1) {
+                        last.1 = end;
+                    }
+                }
+                _ => blocks.push((seq, end)),
+            }
+        }
+        blocks.truncate(nectar_wire::tcp::MAX_SACK_BLOCKS);
+        blocks
+    }
+
+    /// Grow the scoreboard with `[l, r)`, merging overlapping or
+    /// adjacent ranges. Add-only: reneging peers are ignored.
+    fn add_sacked(&mut self, mut l: SeqNum, mut r: SeqNum) {
+        let mut i = 0;
+        while i < self.sacked.len() {
+            let (sl, sr) = self.sacked[i];
+            if sr.before(l) {
+                i += 1;
+                continue;
+            }
+            if r.before(sl) {
+                break;
+            }
+            if sl.before(l) {
+                l = sl;
+            }
+            if sr.after(r) {
+                r = sr;
+            }
+            self.sacked.remove(i);
+        }
+        self.sacked.insert(i, (l, r));
     }
 
     fn send_syn(&mut self, now: SimTime, with_ack: bool, ev: &mut Vec<TcpEvent>) {
         let mut h = self.header_template();
+        // the window field in a SYN is never scaled (RFC 7323 §2.2)
+        h.window = self.recv_window().min(u16::MAX as u32) as u16;
         h.seq = self.iss;
         h.flags = TcpFlags::SYN;
         if with_ack {
             h.flags |= TcpFlags::ACK;
             h.ack = self.rcv_nxt;
+            // SYN-ACK: echo only what negotiation resolved
+            h.sack_permitted = self.sack_ok;
+            h.wscale = self.wscale_negotiated.then_some(self.rcv_wscale);
+        } else {
+            // initial SYN: offer what our config enables
+            h.sack_permitted = self.cfg.sack;
+            h.wscale = self.cfg.wscale.map(|w| w.min(MAX_WSCALE));
         }
         h.mss = Some(self.cfg.mss);
         self.snd_nxt = self.iss.add(1);
@@ -1095,7 +1251,7 @@ impl TcpSocket {
             self.monitor = Some(m);
         }
         self.stats.segs_out += 1;
-        self.last_adv_wnd = header.window as u32;
+        self.last_adv_wnd = (header.window as u32) << self.rcv_wscale;
         let segment = header.build(self.local.0, self.remote.0, payload, self.cfg.compute_checksum);
         ev.push(TcpEvent::Transmit { dst: self.remote.0, segment });
     }

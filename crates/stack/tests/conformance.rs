@@ -48,6 +48,7 @@ macro_rules! pkt_case {
 pkt_case!(
     accept_basic,
     connect_basic,
+    cubic_slow_start,
     fast_retransmit,
     fin_in_flight,
     ip_frag_caps,
@@ -58,8 +59,12 @@ pkt_case!(
     peer_close,
     retrans_timeout,
     rst_refused,
+    sack_basic,
+    sack_reneg_ignored,
     simultaneous_close,
     simultaneous_open,
     window_update,
+    wscale_asymmetric,
+    wscale_negotiate,
     zero_window_probe,
 );

@@ -117,6 +117,7 @@ fn rmp_reliable_exactly_once_under_loss() {
             rto: SimDuration::from_micros(100),
             rto_max: SimDuration::from_micros(100),
             max_retries: 200,
+            window: 1,
         };
         let mut tx = RmpSender::new(2, 7, 3, cfg);
         let mut rx = RmpReceiver::new();
@@ -180,6 +181,133 @@ fn rmp_reliable_exactly_once_under_loss() {
     });
 }
 
+/// Drive an RMP sender/receiver pair over an impaired wire (loss and
+/// reordering in both directions), returning the delivered messages.
+fn rmp_impairment_run(
+    messages: &[Vec<u8>],
+    window: usize,
+    net_seed: u64,
+    loss: f64,
+    reorder: f64,
+) -> Vec<Vec<u8>> {
+    let cfg = RmpConfig {
+        max_fragment: 256,
+        rto: SimDuration::from_micros(100),
+        rto_max: SimDuration::from_micros(800),
+        max_retries: 1000,
+        window,
+    };
+    let mut tx = RmpSender::new(2, 7, 3, cfg);
+    let mut rx = RmpReceiver::new();
+    let mut rng = Pcg32::seeded(net_seed);
+    for m in messages {
+        tx.send(m.clone());
+    }
+    let latency = SimDuration::from_micros(10);
+    let mut now = SimTime::ZERO;
+    // (arrival, tiebreak, is_data, packet)
+    let mut wire: Vec<(SimTime, u64, bool, Vec<u8>)> = Vec::new();
+    let mut seqno = 0u64;
+    let mut delivered: Vec<Vec<u8>> = Vec::new();
+    let mut guard = 0;
+    // impair-and-enqueue one packet
+    let push = |wire: &mut Vec<(SimTime, u64, bool, Vec<u8>)>,
+                rng: &mut Pcg32,
+                seqno: &mut u64,
+                now: SimTime,
+                is_data: bool,
+                packet: Vec<u8>| {
+        if rng.chance(loss) {
+            return;
+        }
+        let mut arrive = now + latency;
+        if rng.chance(reorder) {
+            arrive += latency * 4;
+        }
+        *seqno += 1;
+        wire.push((arrive, *seqno, is_data, packet));
+    };
+    while delivered.len() < messages.len() {
+        guard += 1;
+        assert!(guard < 200_000, "livelock at {}/{}", delivered.len(), messages.len());
+        let mut acts = Vec::new();
+        tx.poll(now, &mut acts);
+        for act in acts {
+            match act {
+                RmpSendAction::Transmit { packet, .. } => {
+                    push(&mut wire, &mut rng, &mut seqno, now, true, packet)
+                }
+                RmpSendAction::Failed { .. } => panic!("channel failed under impairment"),
+                RmpSendAction::Delivered { .. } => {}
+            }
+        }
+        let next_pkt = wire.iter().map(|&(t, s, _, _)| (t, s)).min();
+        now = match (next_pkt, tx.next_wakeup()) {
+            (Some((tp, _)), Some(tt)) => tp.min(tt).max(now),
+            (Some((tp, _)), None) => tp.max(now),
+            (None, Some(tt)) => tt.max(now),
+            (None, None) => panic!("stalled at {}/{}", delivered.len(), messages.len()),
+        };
+        let mut due: Vec<(SimTime, u64, bool, Vec<u8>)> = Vec::new();
+        wire.retain_mut(|e| {
+            if e.0 <= now {
+                due.push((e.0, e.1, e.2, std::mem::take(&mut e.3)));
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by_key(|&(t, s, _, _)| (t, s));
+        for (_, _, is_data, pkt) in due {
+            let (hdr, payload) = RmpHeader::parse(&pkt).unwrap();
+            if is_data {
+                let mut racts = Vec::new();
+                rx.on_data(1, &hdr, payload, &mut racts);
+                for ract in racts {
+                    match ract {
+                        RmpRecvAction::Ack { packet, .. } => {
+                            push(&mut wire, &mut rng, &mut seqno, now, false, packet)
+                        }
+                        RmpRecvAction::Deliver { message, .. } => delivered.push(message),
+                    }
+                }
+            } else {
+                let mut sacts = Vec::new();
+                tx.on_ack(now, &hdr, &mut sacts);
+                for act in sacts {
+                    match act {
+                        RmpSendAction::Transmit { packet, .. } => {
+                            push(&mut wire, &mut rng, &mut seqno, now, true, packet)
+                        }
+                        RmpSendAction::Failed { .. } => panic!("channel failed under impairment"),
+                        RmpSendAction::Delivered { .. } => {}
+                    }
+                }
+            }
+        }
+    }
+    delivered
+}
+
+/// Windowed RMP delivers every message exactly once, in order, under
+/// combined loss and reordering — and, differentially, produces the
+/// same delivered sequence as the legacy stop-and-wait configuration
+/// (`window = 1`) for the same workload. The receiver-side conformance
+/// oracle (`check_rmp_delivery`) audits every delivery step.
+#[test]
+fn rmp_windowed_inorder_exactly_once_under_impairment() {
+    check::cases(48, |g| {
+        let messages: Vec<Vec<u8>> = (0..g.usize_in(2, 10)).map(|_| g.bytes(0, 700)).collect();
+        let net_seed = g.u64();
+        let loss = g.f64_in(0.0, 0.3);
+        let reorder = g.f64_in(0.0, 0.3);
+        let wide = rmp_impairment_run(&messages, 8, net_seed, loss, reorder);
+        assert_eq!(wide, messages, "windowed RMP corrupted the message sequence");
+        let narrow = rmp_impairment_run(&messages, 1, net_seed, loss, reorder);
+        assert_eq!(narrow, wide, "window=8 and window=1 delivered different sequences");
+    });
+}
+
 /// TCP delivers an intact, in-order byte stream under combined
 /// random loss and reordering.
 #[test]
@@ -205,14 +333,101 @@ fn tcp_impairment_run(
     reorder: f64,
     delayed_ack: bool,
 ) -> (u64, u64) {
-    use nectar_stack::tcp::{TcpConfig, TcpStack, TcpStackEvent};
+    let cfg =
+        nectar_stack::tcp::TcpConfig { delayed_ack, ..nectar_stack::tcp::TcpConfig::default() };
+    tcp_impairment_run_cfg(len, fill_seed, net_seed, loss, reorder, cfg)
+}
+
+/// Record an ack arriving at the sender into the shadow SACK
+/// scoreboard: drop blocks at or below the cumulative ack and append
+/// the segment's SACK blocks, exactly mirroring the socket's add/trim
+/// rules (reneging by the peer never removes a block, but a cumulative
+/// ack covering one does).
+fn sack_mirror_ingest(seg: &[u8], a_iss: Option<u32>, mirror: &mut Vec<(u32, u32)>) {
+    use nectar_wire::ipv4::{IpProtocol, Ipv4Header};
+    use nectar_wire::tcp::{TcpFlags, TcpHeader};
+    let ip = Ipv4Header::new(a(2), a(1), IpProtocol::TCP, seg.len());
+    let Ok(h) = TcpHeader::parse(&ip, seg, false) else { return };
+    if !h.flags.contains(TcpFlags::ACK) {
+        return;
+    }
+    let Some(base) = a_iss else { return };
+    let cum = h.ack.0.wrapping_sub(base);
+    mirror.retain(|&(_, r)| r > cum);
+    for m in mirror.iter_mut() {
+        if m.0 < cum {
+            m.0 = cum;
+        }
+    }
+    for (l, r) in h.sack.iter() {
+        let (lr, rr) = (l.0.wrapping_sub(base), r.0.wrapping_sub(base));
+        if rr > lr && lr > cum {
+            mirror.push((lr, rr));
+        }
+    }
+}
+
+/// At the instant the sender emits a batch of events, no data segment
+/// may cover bytes the shadow scoreboard holds as SACKed. First
+/// transmissions start at `snd_nxt`, above everything ever SACKed, so
+/// this constrains exactly the retransmissions. Also captures the
+/// sender's ISS from its SYN so ranges can be expressed stream-relative.
+fn sack_assert_no_sacked_retx(
+    evs: &[nectar_stack::tcp::TcpStackEvent],
+    a_iss: &mut Option<u32>,
+    mirror: &[(u32, u32)],
+) {
+    use nectar_stack::tcp::TcpStackEvent;
+    use nectar_wire::ipv4::{IpProtocol, Ipv4Header};
+    use nectar_wire::tcp::{TcpFlags, TcpHeader};
+    for ev in evs {
+        if let TcpStackEvent::Transmit { segment, .. } = ev {
+            let ip = Ipv4Header::new(a(1), a(2), IpProtocol::TCP, segment.len());
+            let Ok(h) = TcpHeader::parse(&ip, segment, false) else { continue };
+            if h.flags.contains(TcpFlags::SYN) && a_iss.is_none() {
+                *a_iss = Some(h.seq.0);
+            }
+            let paylen = segment.len() - h.header_len;
+            if paylen == 0 {
+                continue;
+            }
+            let base = a_iss.unwrap_or(0);
+            let s = h.seq.0.wrapping_sub(base);
+            let e = s + paylen as u32;
+            for &(l, r) in mirror {
+                assert!(
+                    e <= l || r <= s,
+                    "sender retransmitted [{s}, {e}) overlapping SACKed [{l}, {r})"
+                );
+            }
+        }
+    }
+}
+
+/// Drive a TCP transfer over an impaired wire with an explicit sender
+/// configuration. When SACK is enabled, a shadow scoreboard built from
+/// the acks the sender actually received audits every emission: no
+/// SACKed byte is ever retransmitted. Returns (sender retransmit
+/// count, number of first-transmission data segments the wire
+/// dropped).
+fn tcp_impairment_run_cfg(
+    len: usize,
+    fill_seed: u64,
+    net_seed: u64,
+    loss: f64,
+    reorder: f64,
+    cfg: nectar_stack::tcp::TcpConfig,
+) -> (u64, u64) {
+    use nectar_stack::tcp::{TcpStack, TcpStackEvent};
     use nectar_wire::ipv4::Ipv4Header;
     use nectar_wire::tcp::TcpHeader;
 
     let mut fill = Pcg32::seeded(fill_seed);
     let data: Vec<u8> = (0..len).map(|_| fill.next_u32() as u8).collect();
 
-    let cfg = TcpConfig { delayed_ack, ..TcpConfig::default() };
+    let mut a_iss: Option<u32> = None;
+    let mut sack_mirror: Vec<(u32, u32)> = Vec::new();
+
     let mut sa = TcpStack::new(a(1), cfg, 1);
     let mut sb = TcpStack::new(a(2), cfg, 2);
     sb.listen(80);
@@ -225,6 +440,9 @@ fn tcp_impairment_run(
     let mut b_conn = None;
     let mut received: Vec<u8> = Vec::new();
     let (a_id, evs) = sa.connect(now, (a(2), 80), None);
+    if cfg.sack {
+        sack_assert_no_sacked_retx(&evs, &mut a_iss, &sack_mirror);
+    }
     let mut pending = vec![(true, evs)];
     let mut offset = 0usize;
     let mut guard = 0;
@@ -284,6 +502,9 @@ fn tcp_impairment_run(
         if offset < data.len() {
             let (n, evs) = sa.send(now, a_id, &data[offset..]);
             offset += n;
+            if cfg.sack {
+                sack_assert_no_sacked_retx(&evs, &mut a_iss, &sack_mirror);
+            }
             pending.push((true, evs));
         }
         if let Some(bid) = b_conn {
@@ -323,11 +544,21 @@ fn tcp_impairment_run(
         for (_, _, to_a, seg) in due {
             let (src, dst) = if to_a { (a(2), a(1)) } else { (a(1), a(2)) };
             let ip = Ipv4Header::new(src, dst, nectar_wire::ipv4::IpProtocol::TCP, seg.len());
+            if to_a && cfg.sack {
+                sack_mirror_ingest(&seg, a_iss, &mut sack_mirror);
+            }
             let evs =
                 if to_a { sa.on_packet(now, &ip, &seg) } else { sb.on_packet(now, &ip, &seg) };
+            if to_a && cfg.sack {
+                sack_assert_no_sacked_retx(&evs, &mut a_iss, &sack_mirror);
+            }
             pending.push((to_a, evs));
         }
-        pending.push((true, sa.poll(now)));
+        let evs_a = sa.poll(now);
+        if cfg.sack {
+            sack_assert_no_sacked_retx(&evs_a, &mut a_iss, &sack_mirror);
+        }
+        pending.push((true, evs_a));
         pending.push((false, sb.poll(now)));
     }
     assert_eq!(received, data, "stream corrupted");
@@ -360,5 +591,32 @@ fn tcp_retransmit_counter_matches_injected_loss() {
         if dropped == 0 {
             assert_eq!(retransmits, 0, "no loss was injected, so nothing may be retransmitted");
         }
+    });
+}
+
+/// With SACK and window scaling negotiated, the stream still arrives
+/// intact under loss and reordering, and the sender never retransmits
+/// a byte the peer has already selectively acknowledged. The shadow
+/// scoreboard inside `tcp_impairment_run_cfg` is rebuilt purely from
+/// the acks that actually reached the sender, so a socket that
+/// mis-trims its scoreboard (or ignores it when picking the
+/// retransmission range) fails here even though the stream checksum
+/// would still pass.
+#[test]
+fn tcp_sack_never_retransmits_sacked_bytes() {
+    check::cases(32, |g| {
+        let len = g.usize_in(5_000, 40_000);
+        let fill_seed = g.u64();
+        let net_seed = g.u64();
+        let loss = g.f64_in(0.0, 0.15);
+        let reorder = g.f64_in(0.0, 0.15);
+        let cfg = nectar_stack::tcp::TcpConfig {
+            delayed_ack: false,
+            sack: true,
+            wscale: Some(1),
+            mss: 1000,
+            ..nectar_stack::tcp::TcpConfig::default()
+        };
+        tcp_impairment_run_cfg(len, fill_seed, net_seed, loss, reorder, cfg);
     });
 }

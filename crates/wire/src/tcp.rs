@@ -1,4 +1,5 @@
-//! TCP segment header (RFC 793) with the MSS option.
+//! TCP segment header (RFC 793) with the MSS, window-scale (RFC 7323)
+//! and SACK (RFC 2018) options.
 //!
 //! The paper implements TCP almost entirely in CAB system threads
 //! (§4.2): the input thread "examines the TCP header, checksums the
@@ -17,6 +18,11 @@ use crate::{get_u16, get_u32, put_u16, put_u32, WireError};
 pub const HEADER_LEN: usize = 20;
 /// Length of the header with the 4-byte MSS option we emit on SYNs.
 pub const HEADER_LEN_WITH_MSS: usize = 24;
+/// Most SACK blocks a header carries (RFC 2018 caps at 4 without
+/// timestamps; we never emit timestamps).
+pub const MAX_SACK_BLOCKS: usize = 4;
+/// Largest window-scale shift a peer may use (RFC 7323 §2.3).
+pub const MAX_WSCALE: u8 = 14;
 
 /// A TCP sequence number with wrapping (modulo 2^32) comparison, per
 /// RFC 793's sequence space arithmetic.
@@ -128,7 +134,45 @@ bitflags_lite! {
     }
 }
 
-/// Parsed TCP header (options other than MSS are skipped, not stored).
+/// A fixed-capacity set of SACK blocks, kept inline so [`TcpHeader`]
+/// stays `Copy`. Blocks are `[left, right)` half-open sequence ranges.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SackBlocks {
+    len: u8,
+    blocks: [(SeqNum, SeqNum); MAX_SACK_BLOCKS],
+}
+
+impl SackBlocks {
+    pub const EMPTY: SackBlocks =
+        SackBlocks { len: 0, blocks: [(SeqNum(0), SeqNum(0)); MAX_SACK_BLOCKS] };
+
+    /// Append a block; silently ignored once full (the header carries at
+    /// most [`MAX_SACK_BLOCKS`], further blocks are simply not sent).
+    pub fn push(&mut self, left: SeqNum, right: SeqNum) {
+        if (self.len as usize) < MAX_SACK_BLOCKS {
+            self.blocks[self.len as usize] = (left, right);
+            self.len += 1;
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (SeqNum, SeqNum)> + '_ {
+        self.blocks[..self.len as usize].iter().copied()
+    }
+}
+
+/// Parsed TCP header (unknown options are skipped, not stored).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TcpHeader {
     pub src_port: u16,
@@ -140,6 +184,13 @@ pub struct TcpHeader {
     pub urgent: u16,
     /// Maximum segment size from a SYN's MSS option, if present.
     pub mss: Option<u16>,
+    /// Window-scale shift from a SYN's WSopt (RFC 7323), clamped to
+    /// [`MAX_WSCALE`] on parse as the RFC directs.
+    pub wscale: Option<u8>,
+    /// SACK-permitted option seen (SYN segments only, RFC 2018).
+    pub sack_permitted: bool,
+    /// SACK blocks carried on this segment.
+    pub sack: SackBlocks,
     /// Total header length including options (where payload starts).
     pub header_len: usize,
 }
@@ -157,6 +208,9 @@ impl TcpHeader {
             window: 0,
             urgent: 0,
             mss: None,
+            wscale: None,
+            sack_permitted: false,
+            sack: SackBlocks::EMPTY,
             header_len: HEADER_LEN,
         }
     }
@@ -185,8 +239,12 @@ impl TcpHeader {
                 return Err(WireError::BadChecksum);
             }
         }
-        // scan options for MSS (kind 2, len 4)
+        // scan options: MSS (2), window scale (3), SACK-permitted (4),
+        // SACK blocks (5); anything else is skipped by its length byte
         let mut mss = None;
+        let mut wscale = None;
+        let mut sack_permitted = false;
+        let mut sack = SackBlocks::EMPTY;
         let mut i = HEADER_LEN;
         while i < header_len {
             match data[i] {
@@ -198,6 +256,36 @@ impl TcpHeader {
                     }
                     mss = Some(get_u16(data, i + 2));
                     i += 4;
+                }
+                3 => {
+                    if i + 3 > header_len || data[i + 1] != 3 {
+                        return Err(WireError::BadField);
+                    }
+                    wscale = Some(data[i + 2].min(MAX_WSCALE));
+                    i += 3;
+                }
+                4 => {
+                    if i + 2 > header_len || data[i + 1] != 2 {
+                        return Err(WireError::BadField);
+                    }
+                    sack_permitted = true;
+                    i += 2;
+                }
+                5 => {
+                    if i + 2 > header_len {
+                        return Err(WireError::BadField);
+                    }
+                    let l = data[i + 1] as usize;
+                    if l < 10 || !(l - 2).is_multiple_of(8) || i + l > header_len {
+                        return Err(WireError::BadField);
+                    }
+                    let mut j = i + 2;
+                    while j + 8 <= i + l {
+                        // blocks beyond capacity are dropped, not an error
+                        sack.push(SeqNum(get_u32(data, j)), SeqNum(get_u32(data, j + 4)));
+                        j += 8;
+                    }
+                    i += l;
                 }
                 _ => {
                     // skip unknown option by its length byte
@@ -221,6 +309,9 @@ impl TcpHeader {
             window: get_u16(data, 14),
             urgent: get_u16(data, 18),
             mss,
+            wscale,
+            sack_permitted,
+            sack,
             header_len,
         })
     }
@@ -236,7 +327,41 @@ impl TcpHeader {
         payload: &[u8],
         compute_checksum: bool,
     ) -> Vec<u8> {
-        let header_len = if self.mss.is_some() { HEADER_LEN_WITH_MSS } else { HEADER_LEN };
+        let mut opts = [0u8; 40];
+        let mut o = 0;
+        if let Some(mss) = self.mss {
+            opts[o] = 2;
+            opts[o + 1] = 4;
+            opts[o + 2] = (mss >> 8) as u8;
+            opts[o + 3] = mss as u8;
+            o += 4;
+        }
+        if let Some(ws) = self.wscale {
+            opts[o] = 3;
+            opts[o + 1] = 3;
+            opts[o + 2] = ws;
+            o += 3;
+        }
+        if self.sack_permitted {
+            opts[o] = 4;
+            opts[o + 1] = 2;
+            o += 2;
+        }
+        if !self.sack.is_empty() {
+            opts[o] = 5;
+            opts[o + 1] = 2 + 8 * self.sack.len() as u8;
+            o += 2;
+            for (l, r) in self.sack.iter() {
+                opts[o..o + 4].copy_from_slice(&l.0.to_be_bytes());
+                opts[o + 4..o + 8].copy_from_slice(&r.0.to_be_bytes());
+                o += 8;
+            }
+        }
+        while o % 4 != 0 {
+            opts[o] = 1; // NOP padding to the 32-bit boundary
+            o += 1;
+        }
+        let header_len = HEADER_LEN + o;
         let total = header_len + payload.len();
         let mut seg = vec![0u8; total];
         put_u16(&mut seg, 0, self.src_port);
@@ -247,11 +372,7 @@ impl TcpHeader {
         seg[13] = self.flags.0;
         put_u16(&mut seg, 14, self.window);
         put_u16(&mut seg, 18, self.urgent);
-        if let Some(mss) = self.mss {
-            seg[20] = 2;
-            seg[21] = 4;
-            put_u16(&mut seg, 22, mss);
-        }
+        seg[HEADER_LEN..header_len].copy_from_slice(&opts[..o]);
         seg[header_len..].copy_from_slice(payload);
         if compute_checksum {
             let ip = Ipv4Header::new(src, dst, IpProtocol::TCP, total);
@@ -396,6 +517,81 @@ mod tests {
         let mut seg = good;
         seg[20] = 77;
         seg[21] = 1;
+        assert_eq!(TcpHeader::parse(&ip_for(&seg), &seg, false), Err(WireError::BadField));
+    }
+
+    #[test]
+    fn syn_options_roundtrip() {
+        let (s, d) = addrs();
+        let mut h = sample_header();
+        h.flags = TcpFlags::SYN;
+        h.mss = Some(4016);
+        h.wscale = Some(7);
+        h.sack_permitted = true;
+        let seg = h.build(s, d, &[], true);
+        assert_eq!(seg.len() % 4, 0, "header padded to a 32-bit boundary");
+        let parsed = TcpHeader::parse(&ip_for(&seg), &seg, true).unwrap();
+        assert_eq!(parsed.mss, Some(4016));
+        assert_eq!(parsed.wscale, Some(7));
+        assert!(parsed.sack_permitted);
+        assert!(parsed.sack.is_empty());
+    }
+
+    #[test]
+    fn sack_blocks_roundtrip() {
+        let (s, d) = addrs();
+        let mut h = sample_header();
+        h.sack.push(SeqNum(1000), SeqNum(2000));
+        h.sack.push(SeqNum(3000), SeqNum(4000));
+        let seg = h.build(s, d, b"x", true);
+        let parsed = TcpHeader::parse(&ip_for(&seg), &seg, true).unwrap();
+        let blocks: Vec<_> = parsed.sack.iter().collect();
+        assert_eq!(blocks, vec![(SeqNum(1000), SeqNum(2000)), (SeqNum(3000), SeqNum(4000))]);
+        assert_eq!(&seg[parsed.header_len..], b"x");
+    }
+
+    #[test]
+    fn sack_blocks_cap_at_four() {
+        let mut b = SackBlocks::EMPTY;
+        for k in 0..6u32 {
+            b.push(SeqNum(k * 10), SeqNum(k * 10 + 5));
+        }
+        assert_eq!(b.len(), MAX_SACK_BLOCKS);
+        assert_eq!(b.iter().last(), Some((SeqNum(30), SeqNum(35))));
+    }
+
+    #[test]
+    fn wscale_clamped_on_parse() {
+        let (s, d) = addrs();
+        let mut h = sample_header();
+        h.flags = TcpFlags::SYN;
+        h.wscale = Some(30);
+        let seg = h.build(s, d, &[], false);
+        let parsed = TcpHeader::parse(&ip_for(&seg), &seg, false).unwrap();
+        assert_eq!(parsed.wscale, Some(MAX_WSCALE));
+    }
+
+    #[test]
+    fn malformed_new_options_rejected() {
+        let (s, d) = addrs();
+        let mut h = sample_header();
+        h.flags = TcpFlags::SYN;
+        h.wscale = Some(7);
+        h.sack_permitted = true;
+        let good = h.build(s, d, &[], false);
+        // wscale with wrong length byte
+        let mut seg = good.clone();
+        seg[21] = 4;
+        assert_eq!(TcpHeader::parse(&ip_for(&seg), &seg, false), Err(WireError::BadField));
+        // sack-permitted with wrong length byte
+        let mut seg = good.clone();
+        seg[24] = 3;
+        assert_eq!(TcpHeader::parse(&ip_for(&seg), &seg, false), Err(WireError::BadField));
+        // sack blocks with a length not 2+8n
+        let mut h2 = sample_header();
+        h2.sack.push(SeqNum(1), SeqNum(2));
+        let mut seg = h2.build(s, d, &[], false);
+        seg[21] = 9;
         assert_eq!(TcpHeader::parse(&ip_for(&seg), &seg, false), Err(WireError::BadField));
     }
 

@@ -74,9 +74,14 @@ impl CabThread for Worker {
 }
 
 /// The master on host 0: dispatches tasks round-robin, gathers sums.
+///
+/// A request-response reply mailbox binds to exactly one server
+/// (replies carry only (reply_mbox, req_id), so fanning out to several
+/// workers through one mailbox would collide on req_id — the protocol
+/// refuses the rebind while calls are outstanding). The master
+/// therefore keeps one reply mailbox per worker, paired by index.
 struct Master {
-    workers: Vec<(u16, u16)>, // (cab, service mailbox)
-    reply_mbox: u16,
+    workers: Vec<(u16, u16, u16)>, // (cab, service mailbox, reply mailbox)
     tasks: u64,
     chunk: u64,
     dispatched: u64,
@@ -98,13 +103,15 @@ impl HostProcess for Master {
             self.started = true;
             return HostStep::Yield;
         }
-        // gather replies
-        while let Some((_, bytes)) = cx.get_message(self.reply_mbox) {
-            if let Some((_req, payload)) = rr_response_decode(&bytes) {
-                let part = u64::from_be_bytes(payload[..8].try_into().unwrap());
-                self.total.set(self.total.get().wrapping_add(part));
-                self.gathered += 1;
-                self.outstanding -= 1;
+        // gather replies from every worker's reply mailbox
+        for &(_, _, reply) in &self.workers {
+            while let Some((_, bytes)) = cx.get_message(reply) {
+                if let Some((_req, payload)) = rr_response_decode(&bytes) {
+                    let part = u64::from_be_bytes(payload[..8].try_into().unwrap());
+                    self.total.set(self.total.get().wrapping_add(part));
+                    self.gathered += 1;
+                    self.outstanding -= 1;
+                }
             }
         }
         if self.gathered == self.tasks {
@@ -120,7 +127,7 @@ impl HostProcess for Master {
             let mut payload = Vec::with_capacity(16);
             payload.extend_from_slice(&lo.to_be_bytes());
             payload.extend_from_slice(&hi.to_be_bytes());
-            let req = SendReq { dst_cab: w.0, dst_mbox: w.1, src_mbox: self.reply_mbox };
+            let req = SendReq { dst_cab: w.0, dst_mbox: w.1, src_mbox: w.2 };
             if cx.put_message(reqs::MB_RR_SEND, &req.encode(&payload)).is_ok() {
                 self.dispatched += 1;
                 self.outstanding += 1;
@@ -142,15 +149,14 @@ fn main() {
     for w in 1..=workers {
         let svc = world.cabs[w].shared.create_mailbox(false, HostOpMode::SharedMemory);
         world.cabs[w].fork_app(Box::new(Worker { service: svc }));
-        targets.push((w as u16, svc));
+        let reply = world.cabs[0].shared.create_mailbox(true, HostOpMode::SharedMemory);
+        targets.push((w as u16, svc, reply));
     }
-    let reply = world.cabs[0].shared.create_mailbox(true, HostOpMode::SharedMemory);
     let total = Rc::new(Cell::new(0u64));
     let done = Rc::new(Cell::new(false));
     let finished_at = Rc::new(Cell::new(0u64));
     world.hosts[0].spawn(Box::new(Master {
         workers: targets,
-        reply_mbox: reply,
         tasks,
         chunk,
         dispatched: 0,

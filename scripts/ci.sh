@@ -20,11 +20,23 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
 
 # conformance: packetdrill-style wire scripts against the TCP/IP stack,
-# with the per-socket oracle enabled (see DESIGN.md §11). Runs inside
-# the workspace pass too; this standalone stage makes a script failure
-# print its hex-dump diff prominently.
+# with the per-socket oracle enabled (see DESIGN.md §11) — including
+# the SACK, window-scaling and CUBIC scripts. Runs inside the workspace
+# pass too; this standalone stage makes a script failure print its
+# hex-dump diff prominently.
 echo "ci: conformance script suite (crates/stack/tests/scripts/*.pkt)"
 cargo test -q -p nectar-stack --test conformance
+
+# windowed-RMP smoke: the sliding-window fast path delivers in order,
+# exactly once, under loss + reorder (differential against the
+# stop-and-wait window=1 model), and the fast-path world shards
+# bit-identically. Replay property failures with NECTAR_CHECK_SEED.
+echo "ci: windowed-RMP smoke (property differential + fast-path shard equivalence)"
+cargo test -q -p nectar-stack --test props \
+    -- rmp_windowed_inorder_exactly_once_under_impairment \
+       tcp_sack_never_retransmits_sacked_bytes
+cargo test -q -p nectar-integration --test shards \
+    -- det_mode_matches_unsharded_with_fast_path_enabled
 
 # chaos smoke: randomized fault schedules against the 26-host fabric,
 # with the conformance oracle armed on every socket (NECTAR_ORACLE=1
@@ -89,13 +101,23 @@ python3 - "$smoke_dir/load1/BENCH_load.json" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     r = json.load(f)
-assert r["transports"], "BENCH_load.json: no transports"
-for t in r["transports"]:
-    assert t["points"], f"{t['transport']}: no load points"
-    assert any(p["responses"] > 0 for p in t["points"]), f"{t['transport']}: served nothing"
-    assert t["knee_rps"] > 0, f"{t['transport']}: no capacity knee"
-print("ci: load artifact ok:", ", ".join(
-    f"{t['transport']} knee {t['knee_rps']} rps" for t in r["transports"]))
+assert r["variants"], "BENCH_load.json: no variants"
+names = [v["variant"] for v in r["variants"]]
+assert names == ["baseline", "fastpath"], f"unexpected variants: {names}"
+for v in r["variants"]:
+    assert v["transports"], f"{v['variant']}: no transports"
+    for t in v["transports"]:
+        assert t["points"], f"{v['variant']}/{t['transport']}: no load points"
+        assert any(p["responses"] > 0 for p in t["points"]), \
+            f"{v['variant']}/{t['transport']}: served nothing"
+        assert t["knee_rps"] > 0, f"{v['variant']}/{t['transport']}: no capacity knee"
+base, fast = r["variants"]
+for tb, tf in zip(base["transports"], fast["transports"]):
+    assert tf["knee_rps"] >= tb["knee_rps"], \
+        f"{tb['transport']}: fastpath knee regressed ({tf['knee_rps']} < {tb['knee_rps']})"
+for v in r["variants"]:
+    print(f"ci: load artifact ok [{v['variant']}]:", ", ".join(
+        f"{t['transport']} knee {t['knee_rps']} rps" for t in v["transports"]))
 EOF
 
 echo "ci: all green"

@@ -77,10 +77,30 @@ fn seq_sample(world: &World) -> Vec<SocketSample> {
     out
 }
 
+/// The ISSUE 8 transport fast path on top of the chaos tuning:
+/// windowed RMP, TCP SACK + window scaling, and batched host I/O, all
+/// under the same armed oracle. Chaos is exactly where these paths
+/// earn their keep — loss and outages are what exercise selective
+/// acks and scoreboard retransmission.
+fn fastpath_config(seed: u64) -> Config {
+    let mut config = chaos_config(seed);
+    config.rmp.window = 8;
+    config.tcp.sack = true;
+    config.tcp.wscale = Some(2);
+    config.doorbell_coalesce = true;
+    config.mailbox_burst = 16;
+    config
+}
+
 /// Run one fault schedule to quiescence and check every invariant.
 /// `Err` carries a human-readable violation for the shrink report.
 fn run_case(seed: u64, script: &FaultScript) -> Result<(), String> {
-    let (mut world, mut sim) = World::new(chaos_config(seed), Topology::two_hubs(26));
+    run_case_with(chaos_config(seed), script)
+}
+
+/// [`run_case`] with an explicit world configuration.
+fn run_case_with(config: Config, script: &FaultScript) -> Result<(), String> {
+    let (mut world, mut sim) = World::new(config, Topology::two_hubs(26));
     world.install_fault_script(&mut sim, script);
     let handles = two_hub_pair_load(&mut world, BYTES_PER_PAIR, 1024);
 
@@ -327,6 +347,50 @@ fn sharded_chaos_replays_the_unsharded_run_bit_for_bit() {
             sw.metrics_json() == want,
             "fault schedule diverged at {shards} shards — cross-shard RNG leak"
         );
+    }
+}
+
+#[test]
+fn fast_path_chaos_schedule_preserves_invariants() {
+    // One randomized schedule with the modern fast path enabled:
+    // progress, exact post-heal delivery, conservation and sequence
+    // sanity must all hold with windowed RMP retransmitting out of a
+    // shared timer and TCP repairing holes from the SACK scoreboard.
+    let topo = Topology::two_hubs(26);
+    let mut g = check::Gen::new(0xfa57_0001);
+    let seed = g.u64();
+    let script = FaultScript::random(&mut g, &topo, heal_time());
+    if let Err(violation) = run_case_with(fastpath_config(seed), &script) {
+        panic!("fast-path chaos case violated an invariant: {violation}");
+    }
+}
+
+#[test]
+fn fast_path_sharded_chaos_replays_the_unsharded_run_bit_for_bit() {
+    // The shard-invariance contract survives the fast path: the same
+    // chaos schedule with windowed RMP + SACK + batched host I/O
+    // merges to a byte-identical snapshot at 2 and 4 shards, and both
+    // runs reach quiescence before the horizon.
+    let topo = Topology::two_hubs(26);
+    let mut g = check::Gen::new(0xfa57_0002);
+    let seed = g.u64();
+    let script = FaultScript::random(&mut g, &topo, heal_time());
+    let (mut world, mut sim) = World::new(fastpath_config(seed), Topology::two_hubs(26));
+    world.install_fault_script(&mut sim, &script);
+    let _handles = two_hub_pair_load(&mut world, BYTES_PER_PAIR, 1024);
+    world.run_until(&mut sim, horizon());
+    assert_eq!(sim.pending(), 0, "unsharded fast-path run failed to quiesce");
+    let want = world.metrics_json();
+    for shards in [2, 4] {
+        let mut sw = ShardedWorld::build(shards, || {
+            let (mut world, mut sim) = World::new(fastpath_config(seed), Topology::two_hubs(26));
+            world.install_fault_script(&mut sim, &script);
+            let _handles = two_hub_pair_load(&mut world, BYTES_PER_PAIR, 1024);
+            (world, sim)
+        });
+        sw.run_until(horizon());
+        assert_eq!(sw.pending(), 0, "{shards}-shard fast-path run failed to quiesce");
+        assert!(sw.metrics_json() == want, "fast-path chaos run diverged at {shards} shards");
     }
 }
 

@@ -73,6 +73,40 @@ fn det_mode_matches_unsharded_run_exactly() {
     }
 }
 
+/// The shard-invariance contract with the ISSUE 8 transport fast path
+/// enabled — windowed RMP, TCP SACK + window scaling, doorbell
+/// coalescing and a larger mailbox burst — and the conformance oracle
+/// armed: deterministic mode at 2 and 4 shards must still be
+/// bit-identical to the unsharded run. (The committed fixture pins the
+/// *defaults*; this pins that the new knobs don't smuggle
+/// shard-visible state into the event order.)
+#[test]
+fn det_mode_matches_unsharded_with_fast_path_enabled() {
+    let mut config = Config { oracle: Some(true), ..Config::default() };
+    config.rmp.window = 8;
+    config.tcp.sack = true;
+    config.tcp.wscale = Some(2);
+    config.doorbell_coalesce = true;
+    config.mailbox_burst = 16;
+    let build = move || {
+        let (mut world, sim) = World::new(config, Topology::two_hubs(26));
+        let _handles = two_hub_pair_load(&mut world, u64::MAX / 2, 1024);
+        (world, sim)
+    };
+    let (mut world, mut sim) = build();
+    world.run_until(&mut sim, pair_deadline());
+    let want = world.metrics_json();
+    for shards in [2, 4] {
+        let mut sw = ShardedWorld::build(shards, build);
+        sw.run_until(pair_deadline());
+        assert!(
+            sw.metrics_json() == want,
+            "fast-path {shards}-shard run diverged from single-thread"
+        );
+        assert!(sw.executed() > 0, "sharded fast-path run executed nothing");
+    }
+}
+
 /// A ≥200-client mixed-protocol fleet (the PR 5 load engine) under the
 /// deterministic sharded runner: merged metric snapshots *and* merged
 /// per-transport latency digests must be byte-identical at shards =
