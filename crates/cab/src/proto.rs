@@ -540,6 +540,11 @@ impl CabThread for DatagramSendThread {
 
     fn run(&mut self, cx: &mut Cx<'_>) -> Step {
         for _ in 0..cx.proto.burst_limit {
+            // select-before-read: emptiness is a free queue-count
+            // check, not a charged failed Begin_Get
+            if !cx.mbox_pending(reqs::MB_DG_SEND) {
+                return Step::Block(cx.mbox_cond(reqs::MB_DG_SEND));
+            }
             match cx.begin_get(reqs::MB_DG_SEND) {
                 Err(WouldBlock::Empty(c)) => return Step::Block(c),
                 Err(WouldBlock::NoSpace(c)) => return Step::Block(c),
@@ -585,6 +590,9 @@ impl CabThread for RmpThread {
 
     fn run(&mut self, cx: &mut Cx<'_>) -> Step {
         for _ in 0..cx.proto.burst_limit {
+            if !cx.mbox_pending(reqs::MB_RMP_SEND) {
+                break;
+            }
             match cx.begin_get(reqs::MB_RMP_SEND) {
                 Err(_) => break,
                 Ok(msg) => {
@@ -631,6 +639,9 @@ impl CabThread for RrThread {
 
     fn run(&mut self, cx: &mut Cx<'_>) -> Step {
         for _ in 0..cx.proto.burst_limit {
+            if !cx.mbox_pending(reqs::MB_RR_SEND) {
+                break;
+            }
             match cx.begin_get(reqs::MB_RR_SEND) {
                 Err(_) => break,
                 Ok(msg) => {
@@ -646,6 +657,9 @@ impl CabThread for RrThread {
             }
         }
         for _ in 0..cx.proto.burst_limit {
+            if !cx.mbox_pending(reqs::MB_RR_REPLY) {
+                break;
+            }
             match cx.begin_get(reqs::MB_RR_REPLY) {
                 Err(_) => break,
                 Ok(msg) => {
@@ -731,6 +745,9 @@ impl CabThread for IpThread {
         // writes the packet into a free buffer in the output pool and
         // notifies the server that the packet should be sent"
         for _ in 0..cx.proto.burst_limit {
+            if !cx.mbox_pending(reqs::MB_RAW_SEND) {
+                break;
+            }
             match cx.begin_get(reqs::MB_RAW_SEND) {
                 Err(_) => break,
                 Ok(msg) => {
@@ -745,6 +762,9 @@ impl CabThread for IpThread {
             }
         }
         for _ in 0..cx.proto.burst_limit {
+            if !cx.mbox_pending(reqs::MB_IP_IN) {
+                return Step::Block(cx.mbox_cond(reqs::MB_IP_IN));
+            }
             match cx.begin_get(reqs::MB_IP_IN) {
                 Err(WouldBlock::Empty(c)) | Err(WouldBlock::NoSpace(c)) => return Step::Block(c),
                 Ok(msg) => {
@@ -768,7 +788,8 @@ impl Upcall for IcmpUpcall {
     }
 
     fn on_message(&mut self, cx: &mut Cx<'_>, mbox: MboxId) {
-        while let Ok(msg) = cx.begin_get(mbox) {
+        while cx.mbox_pending(mbox) {
+            let Ok(msg) = cx.begin_get(mbox) else { break };
             let bytes = cx.shared.msg_bytes(&msg).to_vec();
             cx.end_get(mbox, msg);
             if bytes.len() < 4 {
@@ -805,7 +826,8 @@ impl CabThread for UdpThread {
 
     fn run(&mut self, cx: &mut Cx<'_>) -> Step {
         // control: bind requests
-        while let Ok(msg) = cx.begin_get(reqs::MB_UDP_CTL) {
+        while cx.mbox_pending(reqs::MB_UDP_CTL) {
+            let Ok(msg) = cx.begin_get(reqs::MB_UDP_CTL) else { break };
             let bytes = cx.shared.msg_bytes(&msg).to_vec();
             if let Some((port, mbox)) = reqs::udp_bind_decode(&bytes) {
                 cx.proto.udp.bind(port, mbox as u32);
@@ -816,6 +838,9 @@ impl CabThread for UdpThread {
         }
         // input packets
         for _ in 0..cx.proto.burst_limit {
+            if !cx.mbox_pending(reqs::MB_UDP_IN) {
+                break;
+            }
             match cx.begin_get(reqs::MB_UDP_IN) {
                 Err(_) => break,
                 Ok(msg) => {
@@ -843,6 +868,9 @@ impl CabThread for UdpThread {
         }
         // send requests
         for _ in 0..cx.proto.burst_limit {
+            if !cx.mbox_pending(reqs::MB_UDP_SEND) {
+                break;
+            }
             match cx.begin_get(reqs::MB_UDP_SEND) {
                 Err(_) => break,
                 Ok(msg) => {
@@ -990,7 +1018,8 @@ impl CabThread for TcpThread {
 
     fn run(&mut self, cx: &mut Cx<'_>) -> Step {
         // 1. control requests
-        while let Ok(msg) = cx.begin_get(reqs::MB_TCP_CTL) {
+        while cx.mbox_pending(reqs::MB_TCP_CTL) {
+            let Ok(msg) = cx.begin_get(reqs::MB_TCP_CTL) else { break };
             let bytes = cx.shared.msg_bytes(&msg).to_vec();
             cx.end_get(reqs::MB_TCP_CTL, msg);
             let now = cx.now();
@@ -1032,6 +1061,9 @@ impl CabThread for TcpThread {
         }
         // 2. input segments
         for _ in 0..cx.proto.burst_limit {
+            if !cx.mbox_pending(reqs::MB_TCP_IN) {
+                break;
+            }
             match cx.begin_get(reqs::MB_TCP_IN) {
                 Err(_) => break,
                 Ok(msg) => {
@@ -1052,6 +1084,9 @@ impl CabThread for TcpThread {
         }
         // 3. send requests
         for _ in 0..cx.proto.burst_limit {
+            if !cx.mbox_pending(reqs::MB_TCP_SEND) {
+                break;
+            }
             match cx.begin_get(reqs::MB_TCP_SEND) {
                 Err(_) => break,
                 Ok(msg) => {

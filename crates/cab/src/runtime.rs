@@ -204,6 +204,14 @@ impl<'a> Cx<'a> {
         !self.shared.mailboxes[mbox as usize].queue.is_empty()
     }
 
+    /// The condition a Begin_Get reader of this mailbox waits on. Pair
+    /// with [`Cx::mbox_pending`]: check the queue, and when it is empty
+    /// block here directly instead of discovering emptiness through a
+    /// charged Begin_Get.
+    pub fn mbox_cond(&self, mbox: MboxId) -> CondId {
+        self.shared.mailboxes[mbox as usize].reader_cond
+    }
+
     pub fn begin_get(&mut self, mbox: MboxId) -> Result<MsgRef, WouldBlock> {
         self.charge(self.costs.mbox_begin_get);
         self.shared.begin_get(mbox)

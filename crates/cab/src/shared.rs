@@ -277,6 +277,10 @@ pub struct CabShared {
     pub host_sigq_high: u64,
     /// High watermark of `cab_sigq` depth, sampled at drain.
     pub cab_sigq_high: u64,
+    /// Begin_Get attempts that found the mailbox empty. Each one cost
+    /// the caller a full mailbox-op charge for no work — the tax the
+    /// select()-before-read idiom (`mbox_pending`) exists to avoid.
+    pub mbox_empty_polls: u64,
     next_cond: CondId,
     next_msg_id: u32,
 }
@@ -301,6 +305,7 @@ impl CabShared {
             notices: Notices::default(),
             host_sigq_high: 0,
             cab_sigq_high: 0,
+            mbox_empty_polls: 0,
             next_cond: 0,
             next_msg_id: 1,
         }
@@ -430,7 +435,11 @@ impl CabShared {
                 m.deq_bytes += msg.len as u64;
                 Ok(msg)
             }
-            None => Err(WouldBlock::Empty(m.reader_cond)),
+            None => {
+                let c = m.reader_cond;
+                self.mbox_empty_polls += 1;
+                Err(WouldBlock::Empty(c))
+            }
         }
     }
 

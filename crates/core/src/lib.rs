@@ -55,7 +55,7 @@ pub use fault::{
     FaultEngine, FaultScript, GilbertElliott, LinkId, LinkPlan, NodeOutage, NodeRef, Verdict,
 };
 pub use shard::{run_fast, ShardPlan, ShardedWorld};
-pub use topology::{Attachment, Topology};
+pub use topology::{Attachment, ClosSpec, Topology};
 pub use world::{LoadLedger, NetStats, SharedLoadLedger, Sim, World};
 
 // Re-export the substrate crates so downstream users need only one

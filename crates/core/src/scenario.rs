@@ -622,6 +622,12 @@ impl CabThread for CabEcho {
 
     fn run(&mut self, cx: &mut Cx<'_>) -> Step {
         for _ in 0..cx.proto.burst_limit {
+            // select-before-read: the queue-count word is a free read,
+            // so an idle wake costs nothing instead of a charged empty
+            // Begin_Get (the tax that flattened the udp knee at scale)
+            if !cx.mbox_pending(self.recv_mbox) {
+                return Step::Block(cx.mbox_cond(self.recv_mbox));
+            }
             match cx.begin_get(self.recv_mbox) {
                 Err(WouldBlock::Empty(c)) | Err(WouldBlock::NoSpace(c)) => return Step::Block(c),
                 Ok(msg) => {
@@ -1081,6 +1087,11 @@ impl CabThread for CabUdpEcho {
             cx.proto.udp.bind(self.port, self.recv_mbox as u32);
         }
         for _ in 0..8 {
+            // select-before-read, as in CabEcho: never pay a charged
+            // Begin_Get just to learn the mailbox is empty
+            if !cx.mbox_pending(self.recv_mbox) {
+                return Step::Block(cx.mbox_cond(self.recv_mbox));
+            }
             match cx.begin_get(self.recv_mbox) {
                 Err(WouldBlock::Empty(c)) | Err(WouldBlock::NoSpace(c)) => return Step::Block(c),
                 Ok(msg) => {

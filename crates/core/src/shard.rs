@@ -74,7 +74,34 @@ pub struct ShardPlan {
 impl ShardPlan {
     pub fn assign(topo: &Topology, shards: usize) -> ShardPlan {
         assert!(shards >= 1, "need at least one shard");
-        let hub_shard: Vec<usize> = (0..topo.hubs).map(|h| h % shards).collect();
+        // Stage-aware round-robin: the k-th HUB of each fabric stage
+        // (in hub-index order) goes to shard (k + offset_s) % shards,
+        // with offset_s counting the hubs of earlier stages. Every
+        // stage of a multi-stage Clos spreads evenly over the shards —
+        // no shard ends up owning all the cores (the hottest HUBs)
+        // while another got only leaves. For stage-contiguous hub
+        // numbering — every in-tree generator, and trivially every
+        // single-stage topology — this is exactly the legacy
+        // `h % shards`, so pinned sharded snapshots are unchanged.
+        let stages = topo.stages();
+        let mut count = vec![0usize; stages];
+        for h in 0..topo.hubs {
+            count[topo.stage(h as u16) as usize] += 1;
+        }
+        let mut next = vec![0usize; stages];
+        let mut acc = 0;
+        for s in 0..stages {
+            next[s] = acc % shards;
+            acc += count[s];
+        }
+        let hub_shard: Vec<usize> = (0..topo.hubs)
+            .map(|h| {
+                let s = topo.stage(h as u16) as usize;
+                let shard = next[s] % shards;
+                next[s] += 1;
+                shard
+            })
+            .collect();
         let cab_shard: Vec<usize> = if shards <= topo.hubs {
             topo.cab_port.iter().map(|&(h, _)| hub_shard[h as usize]).collect()
         } else {
@@ -653,6 +680,42 @@ mod tests {
         // every shard owns something on this topology
         for s in 0..4 {
             assert!(plan.cab_shard.contains(&s));
+        }
+    }
+
+    #[test]
+    fn plan_balances_every_clos_stage_across_shards() {
+        use crate::topology::ClosSpec;
+        // 2 pods × (13 leaves + 2 spines) + 2 cores = 32 HUBs
+        let topo = Topology::folded_clos(&ClosSpec {
+            pods: 2,
+            leaves_per_pod: 13,
+            spines_per_pod: 2,
+            cores: 2,
+            uplinks_per_leaf: 2,
+            cabs_per_leaf: 14,
+        });
+        let shards = 4;
+        let plan = ShardPlan::assign(&topo, shards);
+        // per stage, shard loads differ by at most one HUB
+        for stage in 0..topo.stages() {
+            let mut per_shard = vec![0usize; shards];
+            for h in 0..topo.hubs {
+                if topo.stage(h as u16) as usize == stage {
+                    per_shard[plan.hub_shard[h]] += 1;
+                }
+            }
+            let (min, max) = (per_shard.iter().min().unwrap(), per_shard.iter().max().unwrap());
+            assert!(max - min <= 1, "stage {stage} unbalanced: {per_shard:?}");
+        }
+        // CABs still follow their leaf HUB
+        for (c, &(h, _)) in topo.cab_port.iter().enumerate() {
+            assert_eq!(plan.cab_shard[c], plan.hub_shard[h as usize]);
+        }
+        // stage-contiguous numbering reduces to the legacy h % shards,
+        // which is what keeps single-stage sharded snapshots pinned
+        for h in 0..topo.hubs {
+            assert_eq!(plan.hub_shard[h], h % shards);
         }
     }
 

@@ -150,7 +150,13 @@ impl World {
                 config.mtu,
                 config.seed ^ (i as u64) << 17,
             );
-            for (dst, route) in topo.routes_from(i) {
+            // deploy the per-source route cache (one BFS per CAB); a
+            // fabric whose diameter exceeds the route prefix cannot be
+            // fully addressed and is rejected at boot
+            let routes = topo
+                .routes_from(i)
+                .unwrap_or_else(|e| panic!("CAB {i}: route table build failed: {e}"));
+            for (dst, route) in routes {
                 cab.set_route(dst, route);
             }
             cab.proto.ip_in_thread = config.ip_in_thread;
@@ -474,6 +480,11 @@ impl World {
                 hs.dropped_bad_route + hs.dropped_bad_port + hs.dropped_backlog,
             );
             r.publish(&p("dropped_bytes"), hs.dropped_bytes);
+            if self.config.hub.backpressure.is_some() {
+                // xon/xoff hold count; gated so legacy snapshots keep
+                // their key set byte-identical
+                r.publish(&p("held_frames"), hs.held_frames);
+            }
             for port in 0..nectar_hub::PORTS {
                 let st = hub.port_stats(port);
                 if st.tx_frames == 0 {
@@ -485,6 +496,40 @@ impl World {
                     &format!("hub/{h}/port/{port}/backlog_high_ns"),
                     st.backlog_high.as_nanos(),
                 );
+            }
+        }
+
+        // Per-stage fabric hotspot rollup, published while xon/xoff
+        // backpressure is armed (how the scale fabric runs): which Clos
+        // stage is saturating, without scraping hundreds of per-HUB
+        // keys. Fixture worlds run with backpressure off and keep the
+        // legacy key set.
+        if self.config.hub.backpressure.is_some() {
+            let stages = self.topo.stages();
+            let mut rx = vec![0u64; stages];
+            let mut forwarded = vec![0u64; stages];
+            let mut dropped = vec![0u64; stages];
+            let mut held = vec![0u64; stages];
+            let mut backlog_high = vec![0u64; stages];
+            for (h, hub) in self.hubs.iter().enumerate() {
+                let stage = self.topo.stage(h as u16) as usize;
+                let hs = hub.stats();
+                rx[stage] += hs.rx_frames;
+                forwarded[stage] += hs.forwarded + hs.forwarded_circuit;
+                dropped[stage] += hs.dropped_bad_route + hs.dropped_bad_port + hs.dropped_backlog;
+                held[stage] += hs.held_frames;
+                for port in 0..nectar_hub::PORTS {
+                    backlog_high[stage] =
+                        backlog_high[stage].max(hub.port_stats(port).backlog_high.as_nanos());
+                }
+            }
+            for s in 0..stages {
+                let p = |suffix: &str| format!("net/fabric/stage/{s}/{suffix}");
+                r.publish(&p("rx_frames"), rx[s]);
+                r.publish(&p("forwarded_frames"), forwarded[s]);
+                r.publish(&p("dropped_frames"), dropped[s]);
+                r.publish(&p("held_frames"), held[s]);
+                r.publish(&p("backlog_high_ns"), backlog_high[s]);
             }
         }
     }
@@ -779,6 +824,19 @@ pub(crate) fn hub_frame_arrival(
         }
         HubDecision::Drop(_) => {
             w.stats.frames_hub_dropped += 1;
+        }
+        HubDecision::Hold { resume_at } => {
+            // xon/xoff backpressure: the frame never entered the
+            // crossbar (hop unconsumed, nothing counted), so it waits
+            // on the upstream link and is re-offered when the output's
+            // backlog drains to the xon watermark. `resume_at` is
+            // strictly after `now` because the backlog exceeded xoff ≥
+            // xon, so this cannot loop at one instant. Hub-local
+            // rescheduling, so sharded runs need no divert.
+            debug_assert!(resume_at > now, "xoff hold must move time forward");
+            sim.at(resume_at, move |w, s| {
+                hub_frame_arrival(w, s, hub, in_port, frame);
+            });
         }
     }
 }

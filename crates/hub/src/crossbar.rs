@@ -19,6 +19,30 @@ pub struct HubConfig {
     /// the source, so this cap only trips when a port is genuinely
     /// oversubscribed from multiple sources.
     pub max_backlog: SimDuration,
+    /// Xon/xoff flow control on oversubscribed outputs (the real HUB's
+    /// low-level backpressure, modeled per frame): a frame whose output
+    /// backlog exceeds the xoff watermark is *held* on the upstream
+    /// link instead of queued or dropped, and re-offered once the
+    /// backlog would have drained to the xon watermark. `None` (the
+    /// default, and what every pinned fixture runs) keeps the legacy
+    /// drop-at-`max_backlog` behavior.
+    pub backpressure: Option<Backpressure>,
+}
+
+/// Xon/xoff watermarks for [`HubConfig::backpressure`], both expressed
+/// as output-port backlog in serialization time. Requires `xon ≤ xoff`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Backpressure {
+    /// Backlog above which arriving frames are held upstream.
+    pub xoff: SimDuration,
+    /// Backlog at which held frames are re-offered.
+    pub xon: SimDuration,
+}
+
+impl Default for Backpressure {
+    fn default() -> Self {
+        Backpressure { xoff: SimDuration::from_micros(200), xon: SimDuration::from_micros(50) }
+    }
 }
 
 impl Default for HubConfig {
@@ -27,6 +51,7 @@ impl Default for HubConfig {
             setup_latency: SimDuration::from_nanos(700),
             circuit_latency: SimDuration::from_nanos(100),
             max_backlog: SimDuration::from_millis(50),
+            backpressure: None,
         }
     }
 }
@@ -51,6 +76,11 @@ pub enum HubDecision {
     Forward { out_port: u8, first_byte_out: SimTime },
     /// Dropped; the frame never leaves the HUB.
     Drop(DropReason),
+    /// Xon/xoff backpressure: the output is past its xoff watermark, so
+    /// the frame stays on the upstream link (the route hop is *not*
+    /// consumed and no rx/tx is counted) and must be re-offered at
+    /// `resume_at`, when the backlog drains to the xon watermark.
+    Hold { resume_at: SimTime },
 }
 
 /// Controller commands (§2.1: packet- and circuit-switching setup).
@@ -95,6 +125,9 @@ pub struct HubStats {
     pub forwarded_bytes: u64,
     /// Wire bytes of dropped frames.
     pub dropped_bytes: u64,
+    /// Frames held upstream by xon/xoff backpressure (each re-offer
+    /// that trips the xoff watermark counts once).
+    pub held_frames: u64,
 }
 
 /// Per-output-port counters and the backlog high-watermark gauge: how
@@ -107,6 +140,8 @@ pub struct PortStats {
     /// Highest observed backlog on this output, in nanoseconds,
     /// sampled after each frame is queued.
     pub backlog_high: SimDuration,
+    /// Frames held upstream because this output was past xoff.
+    pub held_frames: u64,
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -162,6 +197,36 @@ impl Hub {
         ser: SimDuration,
     ) -> HubDecision {
         let wire_len = frame.wire_len() as u64;
+        // Xon/xoff backpressure peeks the output *before* the frame is
+        // considered received: a held frame never entered the crossbar,
+        // so the route hop is untouched and nothing is counted except
+        // the hold itself. Everything below this block is the legacy
+        // path, bit-identical when backpressure is off.
+        if let Some(bp) = self.config.backpressure {
+            if (in_port as usize) < PORTS {
+                let out = match self.circuits[in_port as usize] {
+                    Some(out) => Some(out),
+                    None => frame.next_hop().ok().flatten(),
+                };
+                if let Some(out) = out {
+                    if (out as usize) < PORTS {
+                        let port = &mut self.out_ports[out as usize];
+                        let reserved = port.circuit_from.is_some_and(|owner| owner != in_port);
+                        let backlog = port.busy_until.saturating_since(now);
+                        if !reserved && backlog > bp.xoff {
+                            self.stats.held_frames += 1;
+                            port.stats.held_frames += 1;
+                            // backlog(t) = busy_until − t, so it drains
+                            // to xon at busy_until − xon
+                            let resume_at = SimTime::from_nanos(
+                                port.busy_until.as_nanos().saturating_sub(bp.xon.as_nanos()),
+                            );
+                            return HubDecision::Hold { resume_at };
+                        }
+                    }
+                }
+            }
+        }
         self.stats.rx_frames += 1;
         self.stats.rx_bytes += wire_len;
         if in_port as usize >= PORTS {
@@ -416,6 +481,57 @@ mod tests {
         let mut f = frame(&[0], 100);
         assert_eq!(hub.frame_arrival(t(2), 1, &mut f, ser), HubDecision::Drop(DropReason::Backlog));
         assert_eq!(hub.stats().dropped_backlog, 1);
+    }
+
+    #[test]
+    fn xoff_holds_instead_of_dropping() {
+        let config = HubConfig {
+            backpressure: Some(Backpressure { xoff: d(15_000), xon: d(5_000) }),
+            ..Default::default()
+        };
+        let mut hub = Hub::new(0, config);
+        let ser = d(9_000);
+        for i in 0..2 {
+            let mut f = frame(&[0], 100);
+            assert!(matches!(hub.frame_arrival(t(i), 1, &mut f, ser), HubDecision::Forward { .. }));
+        }
+        // backlog ≈ 18 µs > xoff: held, not dropped; the route hop must
+        // survive untouched and nothing is counted as received
+        let rx_before = hub.stats().rx_frames;
+        let mut f = frame(&[0], 100);
+        let busy = hub.port_busy_until(0);
+        match hub.frame_arrival(t(2), 1, &mut f, ser) {
+            HubDecision::Hold { resume_at } => {
+                // re-offer when the backlog would have drained to xon
+                assert_eq!(resume_at, t(busy.as_nanos() - 5_000));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(f.next_hop().unwrap(), Some(0), "hold must not consume the hop");
+        assert_eq!(hub.stats().rx_frames, rx_before, "hold must not count rx");
+        assert_eq!(hub.stats().held_frames, 1);
+        assert_eq!(hub.port_stats(0).held_frames, 1);
+        assert_eq!(hub.stats().dropped_backlog, 0);
+        // once the backlog drains past xon the same frame forwards
+        let resume = t(busy.as_nanos() - 5_000);
+        assert!(matches!(hub.frame_arrival(resume, 1, &mut f, ser), HubDecision::Forward { .. }));
+    }
+
+    #[test]
+    fn backpressure_off_is_bit_identical_to_legacy() {
+        // same oversubscription as backlog_cap_drops: with no
+        // backpressure configured the drop path and counters are
+        // untouched by the feature
+        let config = HubConfig { max_backlog: SimDuration::from_micros(10), ..Default::default() };
+        let mut hub = Hub::new(0, config);
+        let ser = d(9_000);
+        for i in 0..2 {
+            let mut f = frame(&[0], 100);
+            assert!(matches!(hub.frame_arrival(t(i), 1, &mut f, ser), HubDecision::Forward { .. }));
+        }
+        let mut f = frame(&[0], 100);
+        assert_eq!(hub.frame_arrival(t(2), 1, &mut f, ser), HubDecision::Drop(DropReason::Backlog));
+        assert_eq!(hub.stats().held_frames, 0);
     }
 
     #[test]

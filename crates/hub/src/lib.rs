@@ -24,7 +24,8 @@
 pub mod crossbar;
 
 pub use crossbar::{
-    DropReason, Hub, HubCommand, HubConfig, HubDecision, HubReply, HubStats, PortStats,
+    Backpressure, DropReason, Hub, HubCommand, HubConfig, HubDecision, HubReply, HubStats,
+    PortStats,
 };
 
 /// Number of I/O ports on a Nectar HUB (16×16 crossbar).

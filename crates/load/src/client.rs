@@ -1,25 +1,40 @@
-//! The load client: a CAB-resident thread issuing request-response
-//! traffic over one transport, one outstanding request at a time.
+//! The load client: a CAB-resident thread multiplexing many lightweight
+//! endpoints over one mailbox, each endpoint issuing request-response
+//! traffic with one outstanding request at a time.
+//!
+//! Endpoints are the unit of offered load; the client thread is the
+//! unit of CAB scheduling. Packing tens of endpoints onto one thread is
+//! what lets a fleet reach 10k+ endpoints without 10k CAB threads: the
+//! per-wake context-switch and polling costs are paid once per thread,
+//! not once per endpoint. Responses are demultiplexed by the sequence
+//! number carried in every payload — sequence numbers are drawn from a
+//! single client-wide counter, so at most one endpoint is ever waiting
+//! on a given value.
 //!
 //! Request framing: every payload starts with the 4-byte reply address
 //! (`nectar::scenario::encode_reply_addr`) followed by a 4-byte
 //! big-endian sequence number. Echo services return the payload
-//! verbatim, so the client matches responses to requests by sequence
-//! number — replies that arrive after their request timed out are
-//! counted as stale and dropped rather than being mistaken for the
-//! current response.
+//! verbatim; replies that arrive after their request timed out match no
+//! waiting endpoint and are counted as stale rather than being mistaken
+//! for a live response.
 //!
-//! Coordinated omission: the dispatch loop consumes intended start
-//! times from the arrival schedule. With one outstanding request, a
-//! slow system makes dispatches run *late*; latency is still measured
-//! from the intended start, so server-side stalls surface as tail
-//! latency instead of silently shrinking the sample set.
+//! Coordinated omission: each endpoint consumes intended start times
+//! from its own arrival schedule. With one outstanding request per
+//! endpoint, a slow system makes dispatches run *late*; latency is
+//! still measured from the intended start, so server-side stalls
+//! surface as tail latency instead of silently shrinking the sample
+//! set.
+//!
+//! TCP is the exception to multiplexing: one endpoint per client, one
+//! connection per endpoint. The echo stream has no message framing, so
+//! response bytes can only be attributed to a single outstanding
+//! request per connection.
 
 use nectar::scenario::{encode_reply_addr, handle_tcp_events_inline};
 use nectar::world::SharedLoadLedger;
 use nectar_cab::proto::{self, rmp_submit, rr_call};
 use nectar_cab::reqs::SendReq;
-use nectar_cab::{CabThread, Cx, HostOpMode, MboxId, Step, WouldBlock};
+use nectar_cab::{CabThread, Cx, HostOpMode, MboxId, Step};
 use nectar_sim::{Pcg32, SimDuration, SimTime};
 use nectar_stack::tcp::SocketId;
 use nectar_wire::datalink::DatalinkProto;
@@ -29,7 +44,7 @@ use crate::recorder::SharedRecorder;
 use crate::workload::{Arrival, SizeDist};
 use crate::LoadTransport;
 
-/// Everything that parameterizes one client.
+/// Everything that parameterizes one client thread.
 #[derive(Clone, Debug)]
 pub struct ClientSpec {
     pub transport: LoadTransport,
@@ -45,16 +60,16 @@ pub struct ClientSpec {
     pub start: SimTime,
     /// No new requests are issued at or after this time.
     pub stop: SimTime,
-    /// Local UDP port (UDP transport only); must be unique per client.
+    /// Local UDP port (UDP transport only); must be unique per client
+    /// thread — endpoints share it and demultiplex by sequence number.
     pub udp_port: u16,
-    /// Private RNG stream (fork one per client).
-    pub rng: Pcg32,
+    /// One private RNG stream per endpoint; the vector length is the
+    /// endpoint count. TCP clients must carry exactly one.
+    pub rngs: Vec<Pcg32>,
 }
 
-enum State {
-    Init,
-    /// TCP only: active open issued, waiting for establishment.
-    Connecting,
+#[derive(Clone, Copy)]
+enum EpState {
     Idle,
     Waiting {
         intended: SimTime,
@@ -68,15 +83,33 @@ enum State {
     Finished,
 }
 
-/// One simulated client, runnable as a CAB thread.
+/// One lightweight endpoint: its schedule, RNG stream, and at most one
+/// outstanding request.
+struct Endpoint {
+    rng: Pcg32,
+    next_intended: SimTime,
+    state: EpState,
+}
+
+enum State {
+    Init,
+    /// TCP only: active open issued, waiting for establishment.
+    Connecting,
+    Running,
+    Finished,
+}
+
+/// One simulated client thread, runnable as a CAB thread.
 pub struct LoadClient {
     spec: ClientSpec,
     rec: SharedRecorder,
     ledger: SharedLoadLedger,
     state: State,
+    eps: Vec<Endpoint>,
     my_mbox: MboxId,
     conn: Option<SocketId>,
-    next_intended: SimTime,
+    /// Client-wide sequence counter; endpoints share it so a response
+    /// sequence identifies its endpoint uniquely.
     seq: u32,
     /// TCP: echoed bytes still owed from timed-out requests; absorbed
     /// before counting bytes toward the current request so stream
@@ -88,27 +121,38 @@ pub struct LoadClient {
 
 impl LoadClient {
     pub fn new(spec: ClientSpec, rec: SharedRecorder, ledger: SharedLoadLedger) -> LoadClient {
+        assert!(!spec.rngs.is_empty(), "a load client needs at least one endpoint");
+        assert!(
+            spec.transport != LoadTransport::Tcp || spec.rngs.len() == 1,
+            "TCP endpoints are whole connections; one per client thread"
+        );
+        let eps = spec
+            .rngs
+            .iter()
+            .cloned()
+            .map(|rng| Endpoint { rng, next_intended: SimTime::ZERO, state: EpState::Idle })
+            .collect();
         LoadClient {
             spec,
             rec,
             ledger,
             state: State::Init,
+            eps,
             my_mbox: 0,
             conn: None,
-            next_intended: SimTime::ZERO,
             seq: 0,
             tcp_deficit: 0,
             tcp_unsent: Vec::new(),
         }
     }
 
-    fn payload(&mut self, cab_id: u16, seq: u32) -> Vec<u8> {
+    fn payload(&mut self, cab_id: u16, ep: usize, seq: u32) -> Vec<u8> {
         let reply_id = if self.spec.transport == LoadTransport::Udp {
             self.spec.udp_port
         } else {
             self.my_mbox
         };
-        let size = self.spec.size.draw(&mut self.spec.rng);
+        let size = self.spec.size.draw(&mut self.eps[ep].rng);
         let mut p = Vec::with_capacity(size);
         p.extend_from_slice(&encode_reply_addr(cab_id, reply_id));
         p.extend_from_slice(&seq.to_be_bytes());
@@ -126,11 +170,12 @@ impl LoadClient {
         Some(u32::from_be_bytes([s[0], s[1], s[2], s[3]]))
     }
 
-    /// Dispatch the request for the current intended slot. Returns
-    /// `false` if the transport refused it (counted as a failure).
-    fn dispatch(&mut self, cx: &mut Cx<'_>, seq: u32) -> bool {
+    /// Dispatch endpoint `ep`'s request for the current intended slot.
+    /// Returns `false` if the transport refused it (counted as a
+    /// failure).
+    fn dispatch(&mut self, cx: &mut Cx<'_>, ep: usize, seq: u32) -> bool {
         let (cab, id) = self.spec.server;
-        let payload = self.payload(cx.cab_id, seq);
+        let payload = self.payload(cx.cab_id, ep, seq);
         let t = self.spec.transport;
         let len = payload.len() as u64;
         let ok = match t {
@@ -202,18 +247,30 @@ impl LoadClient {
         }
     }
 
-    /// Complete the current request (response fully received).
-    fn complete(&mut self, cx: &mut Cx<'_>, intended: SimTime, bytes: u64) {
+    /// Complete endpoint `ep`'s request (response fully received).
+    fn complete(&mut self, cx: &mut Cx<'_>, ep: usize, intended: SimTime, bytes: u64) {
         let now = cx.now();
         let latency = now.saturating_since(intended);
         self.ledger.borrow_mut().responses += 1;
         self.ledger.borrow_mut().bytes_received += bytes;
         self.rec.borrow_mut().response(self.spec.transport, latency, bytes);
-        self.next_intended = self.spec.arrival.next_after(intended, now, &mut self.spec.rng);
-        self.state = State::Idle;
+        let e = &mut self.eps[ep];
+        if !self.spec.arrival.is_open() {
+            // closed loop: the schedule advances from completion;
+            // open-loop endpoints already advanced at dispatch
+            e.next_intended = self.spec.arrival.next_after(intended, now, &mut e.rng);
+        }
+        e.state = EpState::Idle;
     }
 
-    fn timeout(&mut self, cx: &mut Cx<'_>, expect: usize, got: usize) {
+    fn timeout(
+        &mut self,
+        cx: &mut Cx<'_>,
+        ep: usize,
+        intended: SimTime,
+        expect: usize,
+        got: usize,
+    ) {
         let now = cx.now();
         self.ledger.borrow_mut().timeouts += 1;
         self.rec.borrow_mut().record_mut(self.spec.transport).timeouts += 1;
@@ -222,68 +279,91 @@ impl LoadClient {
             // before counting toward the next request
             self.tcp_deficit += expect - got;
         }
+        let e = &mut self.eps[ep];
         if !self.spec.arrival.is_open() {
-            // a closed-loop client thinks from the abandonment
-            self.next_intended =
-                self.spec.arrival.next_after(self.next_intended, now, &mut self.spec.rng);
+            // a closed-loop endpoint thinks from the abandonment
+            e.next_intended = self.spec.arrival.next_after(intended, now, &mut e.rng);
         }
-        self.state = State::Idle;
-    }
-}
-
-impl CabThread for LoadClient {
-    fn name(&self) -> &'static str {
-        "load-client"
+        e.state = EpState::Idle;
     }
 
-    fn run(&mut self, cx: &mut Cx<'_>) -> Step {
+    /// The TCP stream failed (EOF from the echo service): resolve the
+    /// whole client — TCP has exactly one endpoint.
+    fn tcp_fail(&mut self) {
+        self.ledger.borrow_mut().failures += 1;
+        self.rec.borrow_mut().record_mut(self.spec.transport).failures += 1;
+        self.eps[0].state = EpState::Finished;
+        self.state = State::Finished;
+    }
+
+    /// Count echoed TCP bytes toward endpoint 0's outstanding request.
+    fn tcp_bytes(&mut self, cx: &mut Cx<'_>, mut n: usize) {
+        if self.tcp_deficit > 0 {
+            let absorbed = self.tcp_deficit.min(n);
+            self.tcp_deficit -= absorbed;
+            n -= absorbed;
+        }
+        if let EpState::Waiting { intended, seq, deadline, expect, got } = self.eps[0].state {
+            let got = got + n;
+            if got >= expect {
+                self.complete(cx, 0, intended, expect as u64);
+            } else {
+                self.eps[0].state = EpState::Waiting { intended, seq, deadline, expect, got };
+            }
+        }
+    }
+
+    /// Handle one response message from the shared mailbox.
+    fn handle_response(&mut self, cx: &mut Cx<'_>, bytes: Vec<u8>) {
+        if self.spec.transport == LoadTransport::Tcp {
+            if bytes.is_empty() {
+                // EOF: the echo connection died
+                self.tcp_fail();
+            } else {
+                self.tcp_bytes(cx, bytes.len());
+            }
+            return;
+        }
+        let seq = self.response_seq(&bytes);
+        let waiter = self
+            .eps
+            .iter()
+            .position(|e| matches!(e.state, EpState::Waiting { seq: s, .. } if Some(s) == seq));
+        match waiter {
+            Some(ep) => {
+                let EpState::Waiting { intended, .. } = self.eps[ep].state else { unreachable!() };
+                self.complete(cx, ep, intended, bytes.len() as u64);
+            }
+            None => {
+                self.ledger.borrow_mut().stale_replies += 1;
+                self.rec.borrow_mut().record_mut(self.spec.transport).stale_replies += 1;
+            }
+        }
+    }
+
+    /// Step endpoint `ep` through timeouts and due dispatches. Returns
+    /// `true` if it dispatched a request.
+    fn step_endpoint(&mut self, cx: &mut Cx<'_>, ep: usize) -> bool {
+        let mut dispatched = false;
         loop {
-            match self.state {
-                State::Init => {
-                    self.my_mbox = cx.shared.create_mailbox(false, HostOpMode::SharedMemory);
-                    self.next_intended =
-                        self.spec.start + self.spec.arrival.draw_gap(&mut self.spec.rng);
-                    match self.spec.transport {
-                        LoadTransport::Udp => {
-                            cx.proto.udp.bind(self.spec.udp_port, self.my_mbox as u32);
-                            self.state = State::Idle;
-                        }
-                        LoadTransport::Tcp => {
-                            let now = cx.now();
-                            let remote =
-                                (proto::ip_for_cab(self.spec.server.0), self.spec.server.1);
-                            let (id, events) = cx.proto.tcp.connect(now, remote, None);
-                            cx.proto.tcp_conns.entry(id).or_default().recv_mbox =
-                                Some(self.my_mbox);
-                            self.conn = Some(id);
-                            handle_tcp_events_inline(cx, events);
-                            self.state = State::Connecting;
-                            return Step::Block(cx.proto.tcp_cond);
-                        }
-                        _ => self.state = State::Idle,
+            let now = cx.now();
+            match self.eps[ep].state {
+                EpState::Finished => return dispatched,
+                EpState::Waiting { intended, deadline, expect, got, .. } => {
+                    if now < deadline {
+                        return dispatched;
                     }
+                    self.timeout(cx, ep, intended, expect, got);
                 }
-                State::Connecting => {
-                    let established = self
-                        .conn
-                        .and_then(|c| cx.proto.tcp_conns.get(&c))
-                        .map(|c| c.established)
-                        .unwrap_or(false);
-                    if !established {
-                        return Step::Block(cx.proto.tcp_cond);
-                    }
-                    self.state = State::Idle;
-                }
-                State::Idle => {
-                    if self.next_intended >= self.spec.stop {
-                        self.state = State::Finished;
+                EpState::Idle => {
+                    let intended = self.eps[ep].next_intended;
+                    if intended >= self.spec.stop {
+                        self.eps[ep].state = EpState::Finished;
                         continue;
                     }
-                    let now = cx.now();
-                    if now < self.next_intended {
-                        return Step::Sleep(self.next_intended);
+                    if now < intended {
+                        return dispatched;
                     }
-                    let intended = self.next_intended;
                     {
                         let mut led = self.ledger.borrow_mut();
                         led.requests_intended += 1;
@@ -299,77 +379,116 @@ impl CabThread for LoadClient {
                     // expected echo size is fixed by the payload draw
                     // inside dispatch; recompute after it runs
                     let sent_before = self.rec.borrow().record(self.spec.transport).bytes_sent;
-                    if self.dispatch(cx, seq) {
+                    let ok = self.dispatch(cx, ep, seq);
+                    // open loop: the schedule advances from the
+                    // intended start, regardless of outcome; a refused
+                    // dispatch consumes its slot under either regime
+                    if self.spec.arrival.is_open() || !ok {
+                        let e = &mut self.eps[ep];
+                        e.next_intended = self.spec.arrival.next_after(intended, now, &mut e.rng);
+                    }
+                    if ok {
                         let sent_after = self.rec.borrow().record(self.spec.transport).bytes_sent;
                         let expect = (sent_after - sent_before) as usize;
-                        self.state = State::Waiting {
+                        self.eps[ep].state = EpState::Waiting {
                             intended,
                             seq,
                             deadline: now + self.spec.timeout,
                             expect,
                             got: 0,
                         };
-                        // open-loop: the schedule advances from the
-                        // intended start, regardless of completion
-                        if self.spec.arrival.is_open() {
-                            self.next_intended =
-                                self.spec.arrival.next_after(intended, now, &mut self.spec.rng);
+                        dispatched = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl CabThread for LoadClient {
+    fn name(&self) -> &'static str {
+        "load-client"
+    }
+
+    fn run(&mut self, cx: &mut Cx<'_>) -> Step {
+        loop {
+            match self.state {
+                State::Init => {
+                    self.my_mbox = cx.shared.create_mailbox(false, HostOpMode::SharedMemory);
+                    for e in &mut self.eps {
+                        e.next_intended = self.spec.start + self.spec.arrival.draw_gap(&mut e.rng);
+                    }
+                    match self.spec.transport {
+                        LoadTransport::Udp => {
+                            cx.proto.udp.bind(self.spec.udp_port, self.my_mbox as u32);
+                            self.state = State::Running;
                         }
+                        LoadTransport::Tcp => {
+                            let now = cx.now();
+                            let remote =
+                                (proto::ip_for_cab(self.spec.server.0), self.spec.server.1);
+                            let (id, events) = cx.proto.tcp.connect(now, remote, None);
+                            cx.proto.tcp_conns.entry(id).or_default().recv_mbox =
+                                Some(self.my_mbox);
+                            self.conn = Some(id);
+                            handle_tcp_events_inline(cx, events);
+                            self.state = State::Connecting;
+                            return Step::Block(cx.proto.tcp_cond);
+                        }
+                        _ => self.state = State::Running,
+                    }
+                }
+                State::Connecting => {
+                    let established = self
+                        .conn
+                        .and_then(|c| cx.proto.tcp_conns.get(&c))
+                        .map(|c| c.established)
+                        .unwrap_or(false);
+                    if !established {
+                        return Step::Block(cx.proto.tcp_cond);
+                    }
+                    self.state = State::Running;
+                }
+                State::Running => {
+                    self.tcp_pump(cx);
+                    // select-before-read: drain every queued response
+                    // without ever paying a charged empty Begin_Get
+                    while cx.mbox_pending(self.my_mbox) {
+                        let Ok(msg) = cx.begin_get(self.my_mbox) else { break };
+                        let bytes = cx.shared.msg_bytes(&msg).to_vec();
+                        cx.end_get(self.my_mbox, msg);
+                        self.handle_response(cx, bytes);
+                        if matches!(self.state, State::Finished) {
+                            break;
+                        }
+                    }
+                    if matches!(self.state, State::Finished) {
+                        continue;
+                    }
+                    let mut dispatched = false;
+                    for ep in 0..self.eps.len() {
+                        dispatched |= self.step_endpoint(cx, ep);
+                    }
+                    if self.eps.iter().all(|e| matches!(e.state, EpState::Finished)) {
+                        self.state = State::Finished;
+                        continue;
+                    }
+                    if dispatched {
+                        // let the fabric move before re-polling
                         return Step::Yield;
                     }
-                    // refused outright: consume the slot and move on
-                    self.next_intended =
-                        self.spec.arrival.next_after(intended, now, &mut self.spec.rng);
-                }
-                State::Waiting { intended, seq, deadline, expect, got } => {
-                    self.tcp_pump(cx);
-                    match cx.begin_get(self.my_mbox) {
-                        Ok(msg) => {
-                            let bytes = cx.shared.msg_bytes(&msg).to_vec();
-                            cx.end_get(self.my_mbox, msg);
-                            if self.spec.transport == LoadTransport::Tcp {
-                                if bytes.is_empty() {
-                                    // EOF: the echo connection died
-                                    self.ledger.borrow_mut().failures += 1;
-                                    self.rec
-                                        .borrow_mut()
-                                        .record_mut(self.spec.transport)
-                                        .failures += 1;
-                                    self.state = State::Finished;
-                                    continue;
-                                }
-                                let mut n = bytes.len();
-                                if self.tcp_deficit > 0 {
-                                    let absorbed = self.tcp_deficit.min(n);
-                                    self.tcp_deficit -= absorbed;
-                                    n -= absorbed;
-                                }
-                                let got = got + n;
-                                if got >= expect {
-                                    self.complete(cx, intended, expect as u64);
-                                } else {
-                                    self.state =
-                                        State::Waiting { intended, seq, deadline, expect, got };
-                                }
-                            } else if self.response_seq(&bytes) == Some(seq) {
-                                self.complete(cx, intended, bytes.len() as u64);
-                            } else {
-                                self.ledger.borrow_mut().stale_replies += 1;
-                                self.rec
-                                    .borrow_mut()
-                                    .record_mut(self.spec.transport)
-                                    .stale_replies += 1;
-                            }
-                        }
-                        Err(WouldBlock::Empty(c)) | Err(WouldBlock::NoSpace(c)) => {
-                            let now = cx.now();
-                            if now >= deadline {
-                                self.timeout(cx, expect, got);
-                                continue;
-                            }
-                            return Step::BlockTimeout(c, deadline);
-                        }
+                    // earliest future obligation across endpoints: a
+                    // response deadline or an intended start
+                    let mut wake = SimTime::MAX;
+                    for e in &self.eps {
+                        let t = match e.state {
+                            EpState::Waiting { deadline, .. } => deadline,
+                            EpState::Idle => e.next_intended,
+                            EpState::Finished => continue,
+                        };
+                        wake = wake.min(t);
                     }
+                    return Step::BlockTimeout(cx.mbox_cond(self.my_mbox), wake);
                 }
                 State::Finished => return Step::Done,
             }

@@ -8,7 +8,7 @@
 
 use nectar::scenario::{CabEcho, CabTcpEchoServer, CabUdpEcho, Transport};
 use nectar::world::{SharedLoadLedger, World};
-use nectar::Topology;
+use nectar::{ClosSpec, Topology};
 use nectar_cab::HostOpMode;
 use nectar_sim::{Pcg32, SimDuration, SimTime};
 
@@ -28,10 +28,15 @@ pub const UDP_CLIENT_PORT_BASE: u16 = 9000;
 #[derive(Clone, Debug)]
 pub struct FleetPlan {
     pub seed: u64,
-    /// `(transport, client count)` — one echo-service CAB per entry.
+    /// `(transport, endpoint count)` — one echo-service CAB per entry.
     pub mix: Vec<(LoadTransport, usize)>,
-    /// Clients packed onto each client CAB.
+    /// Client threads packed onto each client CAB.
     pub clients_per_cab: usize,
+    /// Lightweight endpoints multiplexed onto each client thread.
+    /// TCP endpoints are whole connections and never multiplex — a TCP
+    /// mix entry always gets one endpoint per thread. Use 1 for the
+    /// classic one-thread-per-client fleet.
+    pub endpoints_per_client: usize,
     pub arrival: Arrival,
     pub size: SizeDist,
     pub timeout: SimDuration,
@@ -40,15 +45,27 @@ pub struct FleetPlan {
 }
 
 impl FleetPlan {
+    /// Total endpoints — the unit of offered load.
     pub fn total_clients(&self) -> usize {
         self.mix.iter().map(|(_, n)| n).sum()
+    }
+
+    fn epc(&self) -> usize {
+        self.endpoints_per_client.max(1)
+    }
+
+    /// Client threads the plan forks (endpoints grouped per thread).
+    pub fn client_threads(&self) -> usize {
+        self.mix
+            .iter()
+            .map(|(t, n)| if *t == LoadTransport::Tcp { *n } else { n.div_ceil(self.epc()) })
+            .sum()
     }
 
     /// CABs the plan needs: one per mix entry (echo service) plus the
     /// client CABs.
     pub fn cabs(&self) -> usize {
-        let clients = self.total_clients();
-        self.mix.len() + clients.div_ceil(self.clients_per_cab.max(1))
+        self.mix.len() + self.client_threads().div_ceil(self.clients_per_cab.max(1))
     }
 
     /// The topology this plan should run on.
@@ -58,14 +75,15 @@ impl FleetPlan {
 }
 
 /// Smallest standard topology fitting `cabs` boards: one HUB up to its
-/// port budget, two bridged HUBs past that, then a HUB chain.
+/// port budget, two bridged HUBs past that, then a folded-Clos fabric
+/// of 16×16 HUBs sized by [`ClosSpec::for_cabs`].
 pub fn fleet_topology(cabs: usize) -> Topology {
     if cabs <= 16 {
         Topology::single_hub(cabs)
     } else if cabs <= 30 {
         Topology::two_hubs(cabs)
     } else {
-        Topology::chain(cabs.div_ceil(14), 14)
+        Topology::folded_clos(&ClosSpec::for_cabs(cabs))
     }
 }
 
@@ -123,11 +141,18 @@ pub fn deploy_fleet(world: &mut World, plan: &FleetPlan) -> Fleet {
 
     let n_servers = plan.mix.len();
     let mut master = Pcg32::seeded(plan.seed ^ 0x10ad);
-    let mut i = 0usize;
+    let mut thread = 0usize; // global client-thread index (CAB packing)
+    let mut ep = 0usize; // global endpoint index (RNG forking)
     for (mi, (t, count)) in plan.mix.iter().enumerate() {
         let server = servers[mi].1;
-        for _ in 0..*count {
-            let cab = n_servers + i / plan.clients_per_cab.max(1);
+        let epc = if *t == LoadTransport::Tcp { 1 } else { plan.epc() };
+        let mut left = *count;
+        while left > 0 {
+            let n = left.min(epc);
+            // fork by global endpoint index: an endpoint's stream does
+            // not depend on how endpoints are grouped into threads
+            let rngs: Vec<Pcg32> = (0..n).map(|k| master.fork((ep + k) as u64)).collect();
+            let cab = n_servers + thread / plan.clients_per_cab.max(1);
             let spec = ClientSpec {
                 transport: *t,
                 server,
@@ -136,19 +161,21 @@ pub fn deploy_fleet(world: &mut World, plan: &FleetPlan) -> Fleet {
                 timeout: plan.timeout,
                 start: plan.start,
                 stop: plan.stop,
-                udp_port: UDP_CLIENT_PORT_BASE + i as u16,
-                rng: master.fork(i as u64),
+                udp_port: UDP_CLIENT_PORT_BASE + thread as u16,
+                rngs,
             };
             world.cabs[cab].fork_app(Box::new(LoadClient::new(
                 spec,
                 recorder.clone(),
                 ledger.clone(),
             )));
-            i += 1;
+            ep += n;
+            thread += 1;
+            left -= n;
         }
     }
 
-    Fleet { recorder, ledger, total_clients: i, servers }
+    Fleet { recorder, ledger, total_clients: ep, servers }
 }
 
 #[cfg(test)]
@@ -160,6 +187,7 @@ mod tests {
             seed: 1,
             mix,
             clients_per_cab: 12,
+            endpoints_per_client: 1,
             arrival: Arrival::Open { mean_gap: SimDuration::from_micros(500) },
             size: SizeDist::Fixed(64),
             timeout: SimDuration::from_millis(50),
@@ -185,5 +213,23 @@ mod tests {
         let big = fleet_topology(40);
         assert!(big.hubs >= 3);
         assert!(big.cabs() >= 40);
+        // past the two-HUB budget the fleet rides a folded Clos, and
+        // it keeps scaling to the multi-pod sizes the scale bench uses
+        assert!(big.stages() >= 2, "40-CAB fleet should be leaf-spine");
+        let huge = fleet_topology(400);
+        assert!(huge.stages() == 3, "400-CAB fleet should cross pods via cores");
+        assert!(huge.cabs() >= 400);
+    }
+
+    #[test]
+    fn endpoint_multiplexing_shrinks_the_thread_count() {
+        let mut p = plan(vec![(LoadTransport::ReqResp, 120), (LoadTransport::Tcp, 5)]);
+        p.endpoints_per_client = 30;
+        // 120 reqresp endpoints ride ceil(120/30)=4 threads; TCP never
+        // multiplexes, so its 5 endpoints are 5 threads
+        assert_eq!(p.total_clients(), 125);
+        assert_eq!(p.client_threads(), 9);
+        // 2 servers + ceil(9/12) = 1 client CAB
+        assert_eq!(p.cabs(), 3);
     }
 }

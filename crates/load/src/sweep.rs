@@ -30,9 +30,12 @@ use crate::LoadTransport;
 pub struct SweepConfig {
     pub seed: u64,
     pub transports: Vec<LoadTransport>,
-    /// Clients per load point (all driving one transport).
+    /// Endpoints per load point (all driving one transport).
     pub clients: usize,
     pub clients_per_cab: usize,
+    /// Endpoints multiplexed per client thread (see
+    /// [`crate::fleet::FleetPlan::endpoints_per_client`]).
+    pub endpoints_per_client: usize,
     /// Aggregate offered load steps, requests per second.
     pub offered_rps: Vec<u64>,
     pub size: SizeDist,
@@ -64,6 +67,7 @@ impl SweepConfig {
             transports: vec![LoadTransport::ReqResp, LoadTransport::Udp],
             clients: 12,
             clients_per_cab: 6,
+            endpoints_per_client: 1,
             offered_rps: vec![2_000, 8_000],
             size: SizeDist::Fixed(64),
             measure: SimDuration::from_millis(60),
@@ -92,6 +96,7 @@ impl SweepConfig {
             ],
             clients: 48,
             clients_per_cab: 12,
+            endpoints_per_client: 1,
             offered_rps: vec![
                 1_000, 2_000, 3_400, 3_600, 4_000, 5_000, 6_000, 7_000, 8_000, 9_000, 10_000,
                 12_000, 14_000, 16_000, 20_000,
@@ -192,6 +197,7 @@ pub fn run_point(cfg: &SweepConfig, t: LoadTransport, offered_rps: u64) -> LoadP
         seed: cfg.seed ^ ((t.index() as u64) << 56) ^ offered_rps,
         mix: vec![(t, cfg.clients)],
         clients_per_cab: cfg.clients_per_cab,
+        endpoints_per_client: cfg.endpoints_per_client,
         arrival: Arrival::Open { mean_gap: SimDuration::from_nanos(gap_ns) },
         size: cfg.size,
         timeout: cfg.timeout,
@@ -384,6 +390,7 @@ mod tests {
             transports: vec![LoadTransport::Datagram],
             clients: 4,
             clients_per_cab: 4,
+            endpoints_per_client: 1,
             offered_rps: vec![1_000],
             size: SizeDist::Fixed(64),
             measure: SimDuration::from_millis(20),
@@ -408,6 +415,7 @@ mod tests {
             transports: vec![LoadTransport::Udp],
             clients: 3,
             clients_per_cab: 3,
+            endpoints_per_client: 1,
             offered_rps: vec![500, 2_000],
             size: SizeDist::Fixed(32),
             measure: SimDuration::from_millis(10),

@@ -298,8 +298,14 @@ impl RmpSender {
         }
     }
 
-    /// Earliest retransmission deadline across all flights.
+    /// Earliest retransmission deadline across all flights. A failed
+    /// channel never wakes again: its flights are dead, and reporting
+    /// their stale (past) deadlines would spin the RMP thread on an
+    /// already-due timer that `poll` will never act on.
     pub fn next_wakeup(&self) -> Option<SimTime> {
+        if self.failed {
+            return None;
+        }
         self.flights.iter().map(|fl| fl.deadline).min()
     }
 }

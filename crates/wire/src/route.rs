@@ -7,10 +7,38 @@
 //! route travels in a small prefix ahead of the datalink header — see
 //! [`crate::datalink::Frame`] for the on-wire layout.
 
-/// Maximum number of hops a route may contain. Two HUBs sufficed for the
-/// paper's 26-host system; 16 is generous for any mesh we simulate and
-/// keeps the prefix bounded.
-pub const MAX_HOPS: usize = 16;
+/// Maximum number of hops a route may contain. Two HUBs sufficed for
+/// the paper's 26-host system; a multi-stage folded Clos of 16-port
+/// HUBs has diameter ≤ 2·stages, so 64 covers any fabric we can build
+/// (a k=16 fat-tree needs 6) while keeping the prefix bounded. The
+/// on-wire `route_len` byte could carry up to 255.
+pub const MAX_HOPS: usize = 64;
+
+/// Why a route could not be built. Routes normally come from the
+/// topology layer, which surfaces this instead of aborting the sim:
+/// an operator can describe a fabric (a 70-HUB chain, say) whose
+/// diameter exceeds the route prefix, and that is input, not a
+/// programming error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteError {
+    /// The path needs more hops than the route prefix can carry.
+    TooLong { len: usize, max: usize },
+    /// No path exists between the endpoints.
+    Unreachable,
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::TooLong { len, max } => {
+                write!(f, "route needs {len} hops but the prefix holds at most {max}")
+            }
+            RouteError::Unreachable => write!(f, "no path between endpoints"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
 
 /// An ordered list of HUB output ports (0..16 for the 16×16 crossbar).
 #[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
@@ -25,13 +53,20 @@ impl Route {
         Route { hops: Vec::new() }
     }
 
-    /// Build a route from output-port hops. Panics if the route is longer
-    /// than [`MAX_HOPS`] — routes are computed by the topology layer, so
-    /// an over-long route is a programming error, not input.
-    pub fn new(hops: impl Into<Vec<u8>>) -> Self {
+    /// Build a route from output-port hops, rejecting routes longer
+    /// than [`MAX_HOPS`].
+    pub fn try_new(hops: impl Into<Vec<u8>>) -> Result<Self, RouteError> {
         let hops = hops.into();
-        assert!(hops.len() <= MAX_HOPS, "route exceeds MAX_HOPS");
-        Route { hops }
+        if hops.len() > MAX_HOPS {
+            return Err(RouteError::TooLong { len: hops.len(), max: MAX_HOPS });
+        }
+        Ok(Route { hops })
+    }
+
+    /// Build a route from output-port hops. Panics if the route is longer
+    /// than [`MAX_HOPS`] — use [`Route::try_new`] for computed routes.
+    pub fn new(hops: impl Into<Vec<u8>>) -> Self {
+        Route::try_new(hops).expect("route exceeds MAX_HOPS")
     }
 
     pub fn hops(&self) -> &[u8] {
@@ -46,10 +81,19 @@ impl Route {
         self.hops.is_empty()
     }
 
-    /// Append a hop (used by topology route computation).
-    pub fn push(&mut self, port: u8) {
-        assert!(self.hops.len() < MAX_HOPS, "route exceeds MAX_HOPS");
+    /// Append a hop, rejecting growth past [`MAX_HOPS`].
+    pub fn try_push(&mut self, port: u8) -> Result<(), RouteError> {
+        if self.hops.len() >= MAX_HOPS {
+            return Err(RouteError::TooLong { len: self.hops.len() + 1, max: MAX_HOPS });
+        }
         self.hops.push(port);
+        Ok(())
+    }
+
+    /// Append a hop. Panics past [`MAX_HOPS`] — use [`Route::try_push`]
+    /// for computed routes.
+    pub fn push(&mut self, port: u8) {
+        self.try_push(port).expect("route exceeds MAX_HOPS");
     }
 }
 
@@ -75,8 +119,25 @@ mod tests {
     }
 
     #[test]
+    fn overlong_route_is_a_typed_error() {
+        let err = Route::try_new(vec![0u8; MAX_HOPS + 1]).unwrap_err();
+        assert_eq!(err, RouteError::TooLong { len: MAX_HOPS + 1, max: MAX_HOPS });
+        let mut r = Route::new(vec![0u8; MAX_HOPS]);
+        assert_eq!(r.try_push(0), Err(RouteError::TooLong { len: MAX_HOPS + 1, max: MAX_HOPS }));
+        assert_eq!(r.len(), MAX_HOPS, "failed push must not grow the route");
+        // the Display form names both numbers for the operator
+        assert!(err.to_string().contains("65"), "{err}");
+    }
+
+    #[test]
     #[should_panic(expected = "MAX_HOPS")]
-    fn overlong_route_panics() {
+    fn overlong_route_panics_via_infallible_constructor() {
         Route::new(vec![0u8; MAX_HOPS + 1]);
+    }
+
+    #[test]
+    fn max_hops_fits_the_wire_prefix() {
+        // the on-wire route_len field is a single byte
+        assert!(MAX_HOPS <= u8::MAX as usize);
     }
 }

@@ -24,6 +24,7 @@ fn main() {
             (LoadTransport::Tcp, 16),
         ],
         clients_per_cab: 8,
+        endpoints_per_client: 1,
         arrival: Arrival::Open { mean_gap: SimDuration::from_millis(2) },
         size: SizeDist::Uniform(32, 256),
         timeout: SimDuration::from_millis(25),

@@ -120,4 +120,50 @@ for v in r["variants"]:
         f"{t['transport']} knee {t['knee_rps']} rps" for t in v["transports"]))
 EOF
 
+# scale smoke: the quick scale sweep (two-hub + two folded-Clos sizes,
+# backpressure armed, chaos point under the sharded kernel) must emit a
+# well-formed BENCH_scale.json, byte-identical across two runs. --full
+# runs the 10k-endpoint three-stage sweep instead.
+scale_args=(--quick)
+if [[ "${1:-}" == "--full" ]]; then
+    scale_args=()
+fi
+echo "ci: scale sweep smoke (double run, byte-compared)"
+NECTAR_BENCH_DIR="$smoke_dir/scale1" \
+    cargo bench -p nectar-bench --bench scale -- "${scale_args[@]+"${scale_args[@]}"}"
+NECTAR_BENCH_DIR="$smoke_dir/scale2" \
+    cargo bench -p nectar-bench --bench scale -- "${scale_args[@]+"${scale_args[@]}"}"
+cmp "$smoke_dir/scale1/BENCH_scale.json" "$smoke_dir/scale2/BENCH_scale.json" \
+    || { echo "ci: BENCH_scale.json differs between same-seed runs"; exit 1; }
+python3 - "$smoke_dir/scale1/BENCH_scale.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+sizes = r["sizes"]
+assert len(sizes) >= 3, f"BENCH_scale.json: only {len(sizes)} fabric sizes"
+hubs = [s["hubs"] for s in sizes]
+assert hubs == sorted(hubs) and len(set(hubs)) == len(hubs), \
+    f"fabric sizes not strictly growing: {hubs}"
+assert any(s["stages"] >= 2 for s in sizes), "no multi-stage Clos size in the sweep"
+for s in sizes:
+    assert s["knee_rps"] > 0, f"{s['label']}: no capacity knee"
+    assert s["points"] and any(p["responses"] > 0 for p in s["points"]), \
+        f"{s['label']}: served nothing"
+    assert len(s["stage_hotspots"]) == s["stages"], \
+        f"{s['label']}: hotspot rollup covers {len(s['stage_hotspots'])}/{s['stages']} stages"
+    for row in s["stage_hotspots"]:
+        for key in ("rx_frames", "forwarded_frames", "dropped_frames",
+                    "held_frames", "backlog_high_ns"):
+            assert key in row, f"{s['label']}: stage hotspot missing {key}"
+c = r["chaos"]
+assert c["oracle_armed"] is True, "chaos ran without the conformance oracle"
+assert c["conserved"] is True, "chaos ledger leaked requests"
+assert c["shards"] >= 2, "chaos did not run under the sharded kernel"
+assert c["responses"] > 0, "chaos fleet made no progress"
+assert c["hubs"] == sizes[-1]["hubs"], "chaos did not run at the largest size"
+print("ci: scale artifact ok:", ", ".join(
+    f"{s['label']} ({s['hubs']} hubs) knee {s['knee_rps']} rps" for s in sizes),
+    f"| chaos {c['responses']}/{c['intended']} under loss, conserved")
+EOF
+
 echo "ci: all green"

@@ -1,0 +1,166 @@
+//! Property tests over randomized multi-stage folded-Clos fabrics.
+//!
+//! The topology generator admits a large family of shapes (pods ×
+//! leaves × spines × cores × uplink spread); hand-picked examples in
+//! the unit tests cover the corners, and this suite samples the
+//! interior: for every sampled spec the fabric must validate, every
+//! cached route must actually traverse the port map to its
+//! destination, reachability must be symmetric, and the whole route
+//! table must be byte-identical run-to-run — the determinism the
+//! per-source route cache is allowed to rely on.
+
+use nectar::topology::{Attachment, ClosSpec, Topology};
+use nectar_hub::PORTS;
+use nectar_sim::Pcg32;
+
+/// Draw a spec satisfying the generator's documented constraints:
+/// `uplinks % spines == 0`, `cores % spines == 0`, leaf and spine port
+/// budgets respected, cores present iff multi-pod.
+fn sample_spec(rng: &mut Pcg32) -> ClosSpec {
+    let spp = [1, 2, 4][rng.below(3) as usize];
+    let ups = 1 + rng.below(2) as usize; // uplinks landing per spine
+    let uplinks = spp * ups;
+    let cabs_per_leaf = 1 + rng.below((PORTS - uplinks) as u32) as usize;
+    if rng.chance(0.5) {
+        // two-stage leaf–spine, single pod
+        let max_lpp = PORTS / ups;
+        ClosSpec {
+            pods: 1,
+            leaves_per_pod: 1 + rng.below(max_lpp as u32) as usize,
+            spines_per_pod: spp,
+            cores: 0,
+            uplinks_per_leaf: uplinks,
+            cabs_per_leaf,
+        }
+    } else {
+        // three-stage, cores shared across pods
+        let cps = 1 + rng.below(2) as usize; // cores owned per spine
+        let max_lpp = (PORTS - cps) / ups;
+        ClosSpec {
+            pods: 2 + rng.below(8) as usize,
+            leaves_per_pod: 1 + rng.below(max_lpp as u32) as usize,
+            spines_per_pod: spp,
+            cores: spp * cps,
+            uplinks_per_leaf: uplinks,
+            cabs_per_leaf,
+        }
+    }
+}
+
+/// Walk `route` through the port map from `src`'s leaf and require it
+/// to terminate exactly at `dst`'s CAB port — the property the HUBs
+/// enforce frame by frame at runtime.
+fn assert_route_traverses(t: &Topology, src: u16, dst: u16, route: &nectar_wire::route::Route) {
+    let (mut hub, _) = t.cab_port[src as usize];
+    let hops = route.hops();
+    assert!(!hops.is_empty(), "route {src}->{dst} is empty");
+    for (i, &hop) in hops.iter().enumerate() {
+        assert!((hop as usize) < PORTS, "route {src}->{dst} hop {i} = {hop} out of range");
+        match t.port_map[hub as usize][hop as usize] {
+            Attachment::Hub { hub: next, .. } => {
+                assert!(i + 1 < hops.len(), "route {src}->{dst} ends on a trunk at HUB {hub}");
+                hub = next;
+            }
+            Attachment::Cab(c) => {
+                assert_eq!(i + 1, hops.len(), "route {src}->{dst} hits a CAB mid-route");
+                assert_eq!(c, dst, "route {src}->{dst} delivered to CAB {c}");
+            }
+            Attachment::None => {
+                panic!("route {src}->{dst} hop {i} exits HUB {hub} port {hop} into nothing")
+            }
+        }
+    }
+}
+
+/// Flatten the full route cache (every source) into one byte string:
+/// `src, dst, len, hops…` in table order.
+fn route_table_bytes(t: &Topology) -> Vec<u8> {
+    let mut out = Vec::new();
+    for src in 0..t.cabs() as u16 {
+        let table = t.routes_from(src).expect("sampled fabrics stay under MAX_HOPS");
+        for (dst, r) in &table {
+            out.extend_from_slice(&src.to_le_bytes());
+            out.extend_from_slice(&dst.to_le_bytes());
+            out.push(r.hops().len() as u8);
+            out.extend_from_slice(r.hops());
+        }
+    }
+    out
+}
+
+#[test]
+fn randomized_fabrics_route_every_pair_validly() {
+    let mut rng = Pcg32::seeded(0xc105);
+    for case in 0..12 {
+        let spec = sample_spec(&mut rng);
+        let t = Topology::folded_clos(&spec);
+        t.validate().unwrap_or_else(|e| panic!("case {case} {spec:?}: {e}"));
+        let diameter = t.diameter();
+        assert!((1..=5).contains(&diameter), "case {case} {spec:?}: diameter {diameter}");
+
+        // full coverage on small fabrics, a deterministic sample of
+        // sources on big ones — every destination either way
+        let cabs = t.cabs() as u16;
+        let srcs: Vec<u16> =
+            if cabs <= 40 { (0..cabs).collect() } else { (0..8).map(|i| i * (cabs / 8)).collect() };
+        for &src in &srcs {
+            let table = t.routes_from(src).unwrap();
+            assert_eq!(
+                table.len(),
+                cabs as usize - 1,
+                "case {case} {spec:?}: src {src} cannot reach everyone"
+            );
+            for (&dst, r) in &table {
+                assert!(
+                    r.hops().len() <= diameter,
+                    "case {case} {spec:?}: route {src}->{dst} longer than the diameter"
+                );
+                assert_route_traverses(&t, src, dst, r);
+                // the cache agrees with the per-pair computation
+                assert_eq!(r, &t.route(src, dst).unwrap());
+            }
+        }
+    }
+}
+
+#[test]
+fn reachability_is_symmetric_with_equal_path_lengths() {
+    let mut rng = Pcg32::seeded(0x5e11);
+    for _ in 0..8 {
+        let spec = sample_spec(&mut rng);
+        let t = Topology::folded_clos(&spec);
+        let cabs = t.cabs() as u16;
+        let step = (cabs as usize / 12).max(1) as u16;
+        let mut a = 0u16;
+        while a < cabs {
+            let mut b = a + 1;
+            while b < cabs {
+                let ab = t.route(a, b).expect("forward route");
+                let ba = t.route(b, a).expect("reverse route");
+                // trunks are bidirectional pairs, so BFS shortest-path
+                // lengths agree in both directions
+                assert_eq!(
+                    ab.hops().len(),
+                    ba.hops().len(),
+                    "{spec:?}: asymmetric path length {a}<->{b}"
+                );
+                b += step;
+            }
+            a += step;
+        }
+    }
+}
+
+#[test]
+fn route_cache_is_byte_identical_run_to_run() {
+    let mut rng = Pcg32::seeded(0xcac4e);
+    for _ in 0..4 {
+        let spec = sample_spec(&mut rng);
+        // two independently built fabrics from the same spec
+        let t1 = Topology::folded_clos(&spec);
+        let t2 = Topology::folded_clos(&spec);
+        let b1 = route_table_bytes(&t1);
+        assert!(!b1.is_empty());
+        assert_eq!(b1, route_table_bytes(&t2), "{spec:?}: route cache not deterministic");
+    }
+}

@@ -26,6 +26,7 @@ fn big_mixed_plan(seed: u64) -> FleetPlan {
             (LoadTransport::Tcp, 48),
         ],
         clients_per_cab: 12,
+        endpoints_per_client: 1,
         arrival: Arrival::Open { mean_gap: SimDuration::from_millis(2) },
         size: SizeDist::Uniform(32, 256),
         timeout: SimDuration::from_millis(20),
@@ -120,6 +121,7 @@ fn small_fleet_survives_faults_with_oracle_armed() {
         seed: 0xc0a5,
         mix: vec![(LoadTransport::Rmp, 8), (LoadTransport::ReqResp, 8), (LoadTransport::Tcp, 8)],
         clients_per_cab: 8,
+        endpoints_per_client: 1,
         arrival: Arrival::Open { mean_gap: SimDuration::from_millis(2) },
         size: SizeDist::Fixed(128),
         timeout: SimDuration::from_millis(25),

@@ -123,6 +123,7 @@ fn det_mode_preserves_fleet_latency_digests() {
             (LoadTransport::Tcp, 48),
         ],
         clients_per_cab: 12,
+        endpoints_per_client: 1,
         arrival: Arrival::Open { mean_gap: SimDuration::from_millis(2) },
         size: SizeDist::Uniform(32, 256),
         timeout: SimDuration::from_millis(20),
