@@ -78,6 +78,10 @@ pub struct Cab {
     /// Protocol threads that service shared-stack timers, in the order
     /// of [`Cab::stack_timers`]: RMP, request-response, TCP.
     timer_tids: [ThreadId; 3],
+    /// The collective progress thread, forked lazily by
+    /// [`Cab::enable_collective`] so boards that never join a group pay
+    /// nothing (and the boot thread census stays unchanged).
+    coll_tid: Option<ThreadId>,
 }
 
 impl Cab {
@@ -117,7 +121,37 @@ impl Cab {
             rx_slots: Vec::new(),
             rx_fifo_bytes: 0,
             timer_tids: [rmp_tid, rr_tid, tcp_tid],
+            coll_tid: None,
         }
+    }
+
+    /// Fork the collective progress thread (idempotent). Receive-side
+    /// combining runs at interrupt level; the thread only drives
+    /// `Arrive` retransmission timers.
+    pub fn enable_collective(&mut self) {
+        if self.coll_tid.is_none() {
+            self.coll_tid = Some(self.rt.fork(
+                &mut self.shared,
+                Box::new(proto::CollectiveThread),
+                PRIO_SYSTEM,
+            ));
+        }
+    }
+
+    /// Install this board's slice of a collective group tree and make
+    /// sure the progress thread is running.
+    pub fn install_collective_group(
+        &mut self,
+        group: u16,
+        parent: Option<u16>,
+        children: Vec<u16>,
+    ) {
+        self.enable_collective();
+        self.proto.coll.install_group(group, parent, children);
+    }
+
+    pub fn collective_enabled(&self) -> bool {
+        self.coll_tid.is_some()
     }
 
     /// Fork an application thread (§5.3: "application-specific code can
@@ -211,12 +245,15 @@ impl Cab {
     /// stack deadlines wake the owning thread (and only that thread,
     /// so sibling waiters on the shared cond don't see spurious
     /// wakeups).
-    fn stack_timers(&self) -> [(Option<SimTime>, ThreadId); 3] {
+    fn stack_timers(&self) -> [(Option<SimTime>, ThreadId); 4] {
         let [rmp_tid, rr_tid, tcp_tid] = self.timer_tids;
         [
             (self.proto.rmp_tx.values().filter_map(|s| s.next_wakeup()).min(), rmp_tid),
             (self.proto.rr_clients.values().filter_map(|c| c.next_wakeup()).min(), rr_tid),
             (self.proto.tcp.next_wakeup(), tcp_tid),
+            // collective arrivals are driven inline by app threads, so
+            // their retransmit deadlines live here too
+            (self.coll_tid.and(self.proto.coll.next_wakeup()), self.coll_tid.unwrap_or(0)),
         ]
     }
 

@@ -20,12 +20,14 @@
 use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
 
+use nectar_stack::collective::{CollectiveAction, CollectiveConfig, CollectiveEngine};
 use nectar_stack::icmp::{IcmpEngine, IcmpInput};
 use nectar_stack::ip::{IpEndpoint, IpInput};
 use nectar_stack::reqresp::{RrClient, RrClientAction, RrConfig, RrServer, RrServerAction};
 use nectar_stack::rmp::{RmpConfig, RmpReceiver, RmpRecvAction, RmpSendAction, RmpSender};
 use nectar_stack::tcp::{SocketId, TcpConfig, TcpEvent, TcpStack, TcpStackEvent};
 use nectar_stack::udp::{UdpEndpoint, UdpInput};
+use nectar_wire::collective::CombineOp;
 use nectar_wire::datalink::DatalinkProto;
 use nectar_wire::framebuf::FrameBuf;
 use nectar_wire::icmp::UnreachableCode;
@@ -109,6 +111,12 @@ pub struct ProtoState {
     pub tcp_accepts: HashMap<u16, MboxId>,
     /// Ping replies (ICMP echo) are delivered here when set.
     pub ping_mbox: Option<MboxId>,
+    /// In-network collectives: multicast fan-out, tree barrier,
+    /// reduction combining (DESIGN.md §16).
+    pub coll: CollectiveEngine,
+    /// Collective notifications ([`reqs::CollNote`]) land here when the
+    /// application registers a mailbox.
+    pub coll_mbox: Option<MboxId>,
     /// Ablation A1: process IP input in a thread instead of at
     /// interrupt level.
     pub ip_in_thread: bool,
@@ -127,6 +135,7 @@ pub struct ProtoState {
     pub rr_cond: CondId,
     pub dg_cond: CondId,
     pub ip_cond: CondId,
+    pub coll_cond: CondId,
 }
 
 impl ProtoState {
@@ -172,6 +181,8 @@ pub fn init_protocols(
     ];
     assert_eq!(ids[0], reqs::MB_DG_SEND);
     assert_eq!(ids[13], reqs::MB_RAW_SEND);
+    // allocated after the well-known mailboxes so their ids stay pinned
+    let coll_cond = shared.alloc_cond();
     ProtoState {
         ip: IpEndpoint::new(addr),
         icmp: IcmpEngine::new(),
@@ -186,6 +197,8 @@ pub fn init_protocols(
         tcp_conns: HashMap::new(),
         tcp_accepts: HashMap::new(),
         ping_mbox: None,
+        coll: CollectiveEngine::new(CollectiveConfig::default()),
+        coll_mbox: None,
         ip_in_thread: false,
         mtu,
         burst_limit: BURST_LIMIT,
@@ -196,6 +209,7 @@ pub fn init_protocols(
         rr_cond,
         dg_cond,
         ip_cond,
+        coll_cond,
     }
 }
 
@@ -406,6 +420,21 @@ pub fn rx_dispatch(
     msg_id: u32,
     payload: FrameBuf,
 ) {
+    // Collective frames keep the zero-copy [`FrameBuf`]: interior CABs
+    // replicate the received storage onward, so the dispatch happens
+    // before the byte-slice view below is taken.
+    if proto == DatalinkProto::Collective {
+        cx.charge(cx.costs.datagram_proc);
+        let now = cx.now();
+        let mut acts = Vec::new();
+        if cx.proto.coll.on_packet(now, src_cab, &payload, &mut acts).is_err() {
+            cx.proto.stats.bad_requests += 1;
+            return;
+        }
+        cx.stamp("cab_rx_collective", msg_id as u64);
+        run_collective_actions(cx, msg_id, acts);
+        return;
+    }
     let payload: &[u8] = &payload;
     match proto {
         DatalinkProto::Raw => {
@@ -517,7 +546,69 @@ pub fn rx_dispatch(
                 process_ip_input(cx, payload);
             }
         }
+        DatalinkProto::Collective => unreachable!("dispatched on the zero-copy path above"),
     }
+}
+
+/// Apply collective engine effects: upstream `Arrive`s go out as fresh
+/// frames, downstream replication rides the zero-copy datalink path,
+/// and application-facing events become [`reqs::CollNote`]s in the
+/// registered collective mailbox.
+pub fn run_collective_actions(cx: &mut Cx<'_>, msg_id: u32, acts: Vec<CollectiveAction>) {
+    for act in acts {
+        match act {
+            CollectiveAction::Transmit { dst_cab, packet } => {
+                cx.datalink_send(dst_cab, DatalinkProto::Collective, msg_id, &packet);
+            }
+            CollectiveAction::Replicate { dst_cab, packet } => {
+                cx.datalink_send_shared(dst_cab, DatalinkProto::Collective, msg_id, &packet);
+            }
+            CollectiveAction::Deliver { group, payload } => {
+                if let Some(mb) = cx.proto.coll_mbox {
+                    // prefix matches reqs::CollNote::Deliver's encoding;
+                    // the payload moves by mailbox DMA, not a CPU copy
+                    let mut prefix = vec![1u8, 0];
+                    prefix.extend_from_slice(&group.to_be_bytes());
+                    deliver_to_mbox(cx, mb, &prefix, &payload);
+                }
+            }
+            CollectiveAction::Completed { group, epoch, value } => {
+                if let Some(mb) = cx.proto.coll_mbox {
+                    let note = reqs::CollNote::Completed { group, epoch, value }.encode();
+                    deliver_to_mbox(cx, mb, &[], &note);
+                }
+            }
+            CollectiveAction::Failed { group, epoch } => {
+                if let Some(mb) = cx.proto.coll_mbox {
+                    let note = reqs::CollNote::Failed { group, epoch }.encode();
+                    deliver_to_mbox(cx, mb, &[], &note);
+                }
+            }
+        }
+    }
+}
+
+/// The local application reached the barrier / contributed `value` to
+/// the current epoch's reduction. Drives the engine inline from the
+/// calling thread; the retransmit deadline it may arm is picked up by
+/// the board's stack-timer scan.
+pub fn coll_arrive(cx: &mut Cx<'_>, group: u16, op: CombineOp, value: u64) -> bool {
+    cx.charge(cx.costs.datagram_proc);
+    let now = cx.now();
+    let mut acts = Vec::new();
+    let ok = cx.proto.coll.arrive(now, group, op, value, &mut acts);
+    run_collective_actions(cx, 0, acts);
+    ok
+}
+
+/// Fan `payload` out to the group's subtree below this CAB (the group
+/// root for a source-rooted tree). Returns false for unknown groups.
+pub fn coll_multicast(cx: &mut Cx<'_>, group: u16, payload: &[u8]) -> bool {
+    cx.charge(cx.costs.datagram_proc);
+    let mut acts = Vec::new();
+    let ok = cx.proto.coll.multicast(group, payload, &mut acts);
+    run_collective_actions(cx, 0, acts);
+    ok
 }
 
 // ----------------------------------------------------------------------
@@ -727,6 +818,33 @@ impl CabThread for RrThread {
         match wake {
             Some(t) => Step::BlockTimeout(cx.proto.rr_cond, t),
             None => Step::Block(cx.proto.rr_cond),
+        }
+    }
+}
+
+/// The collective progress thread: drives `Arrive` retransmission
+/// timers. Receive-side combining and fan-out run at interrupt level
+/// (like the datagram fast path), and applications drive sends inline
+/// through [`coll_arrive`]/[`coll_multicast`] — this thread only
+/// recovers losses. Forked lazily by `Cab::enable_collective`.
+pub struct CollectiveThread;
+
+impl CabThread for CollectiveThread {
+    fn name(&self) -> &'static str {
+        "collective"
+    }
+
+    fn run(&mut self, cx: &mut Cx<'_>) -> Step {
+        let now = cx.now();
+        let mut acts = Vec::new();
+        cx.proto.coll.poll(now, &mut acts);
+        if !acts.is_empty() {
+            cx.charge(cx.costs.datagram_proc);
+        }
+        run_collective_actions(cx, 0, acts);
+        match cx.proto.coll.next_wakeup() {
+            Some(t) => Step::BlockTimeout(cx.proto.coll_cond, t),
+            None => Step::Block(cx.proto.coll_cond),
         }
     }
 }

@@ -303,9 +303,76 @@ impl UdpSendReq {
     }
 }
 
+/// Collective notification delivered into the application's registered
+/// collective mailbox ([`crate::proto::ProtoState::coll_mbox`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CollNote {
+    /// A multicast payload arrived for `group`.
+    Deliver { group: u16, payload: Vec<u8> },
+    /// Barrier/reduction `epoch` released with the combined `value`.
+    Completed { group: u16, epoch: u32, value: u64 },
+    /// The epoch's upstream report exhausted its retries.
+    Failed { group: u16, epoch: u32 },
+}
+
+impl CollNote {
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            CollNote::Deliver { group, payload } => {
+                let mut v = vec![1u8, 0];
+                v.extend_from_slice(&group.to_be_bytes());
+                v.extend_from_slice(payload);
+                v
+            }
+            CollNote::Completed { group, epoch, value } => {
+                let mut v = vec![2u8, 0];
+                v.extend_from_slice(&group.to_be_bytes());
+                v.extend_from_slice(&epoch.to_be_bytes());
+                v.extend_from_slice(&value.to_be_bytes());
+                v
+            }
+            CollNote::Failed { group, epoch } => {
+                let mut v = vec![3u8, 0];
+                v.extend_from_slice(&group.to_be_bytes());
+                v.extend_from_slice(&epoch.to_be_bytes());
+                v
+            }
+        }
+    }
+
+    pub fn decode(b: &[u8]) -> Option<CollNote> {
+        match b.first()? {
+            1 if b.len() >= 4 => {
+                Some(CollNote::Deliver { group: u16be(b, 2), payload: b[4..].to_vec() })
+            }
+            2 if b.len() >= 16 => Some(CollNote::Completed {
+                group: u16be(b, 2),
+                epoch: u32be(b, 4),
+                value: u64::from_be_bytes(b[8..16].try_into().ok()?),
+            }),
+            3 if b.len() >= 8 => Some(CollNote::Failed { group: u16be(b, 2), epoch: u32be(b, 4) }),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn coll_note_roundtrip() {
+        let notes = [
+            CollNote::Deliver { group: 9, payload: b"phase".to_vec() },
+            CollNote::Completed { group: 9, epoch: 3, value: u64::MAX - 1 },
+            CollNote::Failed { group: 9, epoch: 7 },
+        ];
+        for n in notes {
+            assert_eq!(CollNote::decode(&n.encode()), Some(n));
+        }
+        assert_eq!(CollNote::decode(&[]), None);
+        assert_eq!(CollNote::decode(&[2, 0, 0, 9]), None); // truncated Completed
+    }
 
     #[test]
     fn send_req_roundtrip() {

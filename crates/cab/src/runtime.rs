@@ -321,6 +321,45 @@ impl<'a> Cx<'a> {
         true
     }
 
+    /// Like [`Cx::datalink_send`], but the payload is an existing
+    /// [`FrameBuf`] replicated without copying: only a fresh route +
+    /// header head is allocated and the payload backing is shared
+    /// across every replica ([`Frame::build_shared`]). This is the
+    /// multicast fan-out path — the DMA engine reads the one shared
+    /// buffer per outgoing branch, as the CAB's single frame memory
+    /// did.
+    pub fn datalink_send_shared(
+        &mut self,
+        dst_cab: u16,
+        proto: DatalinkProto,
+        msg_id: u32,
+        payload: &nectar_wire::FrameBuf,
+    ) -> bool {
+        self.charge(self.costs.datalink);
+        self.charge(self.costs.dma_setup);
+        let Some(route) = self.net.routes.get(&dst_cab) else {
+            self.net.no_route_drops += 1;
+            return false;
+        };
+        let header = nectar_wire::datalink::DatalinkHeader {
+            dst_cab,
+            src_cab: self.cab_id,
+            proto,
+            flags: 0,
+            payload_len: 0, // filled by build_shared
+            msg_id,
+        };
+        let frame = Frame::build_shared(route, header, payload);
+        self.stamp("cab_datalink_tx", msg_id as u64);
+        self.net.tx_frames += 1;
+        self.net.tx_bytes += frame.wire_len() as u64;
+        let ser = SimDuration::serialization(frame.wire_len(), self.net.link.fiber_bits_per_sec);
+        let first_byte = self.now().max(self.net.tx_busy_until);
+        self.net.tx_busy_until = first_byte + ser;
+        self.fx.push(CabEffect::Transmit { frame, first_byte });
+        true
+    }
+
     /// Loopback check: is this CAB the destination?
     pub fn is_local(&self, dst_cab: u16) -> bool {
         dst_cab == self.cab_id

@@ -42,6 +42,7 @@
 //! assert!(median.as_micros() > 100 && median.as_micros() < 1000);
 //! ```
 
+pub mod collective;
 pub mod config;
 pub mod fault;
 pub mod netdev;
@@ -50,6 +51,7 @@ pub mod shard;
 pub mod topology;
 pub mod world;
 
+pub use collective::{CollectiveGroup, TreeShape};
 pub use config::{Config, FaultPlan};
 pub use fault::{
     FaultEngine, FaultScript, GilbertElliott, LinkId, LinkPlan, NodeOutage, NodeRef, Verdict,

@@ -356,6 +356,50 @@ impl World {
             r.publish("net/load/bytes_received", l.bytes_received);
         }
 
+        // In-network collective accounting, only when some board runs
+        // the collective subsystem: plain worlds keep the legacy key
+        // set (same gating rationale as the fault keys above). Every
+        // `replicas` entry is a real datalink transmit, so fan-out is
+        // explicit in the frame-conservation ledger: each replica
+        // counts once in `net/frames_launched` and once at its
+        // receiver.
+        if self.cabs.iter().any(|c| c.collective_enabled()) {
+            let mut agg = nectar_stack::collective::CollectiveStats::default();
+            for cab in &self.cabs {
+                let s = cab.proto.coll.stats();
+                agg.multicasts += s.multicasts;
+                agg.replicas += s.replicas;
+                agg.delivers += s.delivers;
+                agg.arrives_rx += s.arrives_rx;
+                agg.arrives_tx += s.arrives_tx;
+                agg.arrive_retransmits += s.arrive_retransmits;
+                agg.duplicate_arrives += s.duplicate_arrives;
+                agg.stale_arrives += s.stale_arrives;
+                agg.straggler_resends += s.straggler_resends;
+                agg.releases += s.releases;
+                agg.releases_forwarded += s.releases_forwarded;
+                agg.duplicate_releases += s.duplicate_releases;
+                agg.completions += s.completions;
+                agg.failures += s.failures;
+                agg.misdirected_drops += s.misdirected_drops;
+            }
+            r.publish("net/collective/multicasts", agg.multicasts);
+            r.publish("net/collective/replicas", agg.replicas);
+            r.publish("net/collective/delivers", agg.delivers);
+            r.publish("net/collective/arrives_rx", agg.arrives_rx);
+            r.publish("net/collective/arrives_tx", agg.arrives_tx);
+            r.publish("net/collective/arrive_retransmits", agg.arrive_retransmits);
+            r.publish("net/collective/duplicate_arrives", agg.duplicate_arrives);
+            r.publish("net/collective/stale_arrives", agg.stale_arrives);
+            r.publish("net/collective/straggler_resends", agg.straggler_resends);
+            r.publish("net/collective/releases", agg.releases);
+            r.publish("net/collective/releases_forwarded", agg.releases_forwarded);
+            r.publish("net/collective/duplicate_releases", agg.duplicate_releases);
+            r.publish("net/collective/completions", agg.completions);
+            r.publish("net/collective/failures", agg.failures);
+            r.publish("net/collective/misdirected_drops", agg.misdirected_drops);
+        }
+
         // a nonzero value means some cost model produced a timestamp in
         // the past and the scheduler clamped it to "now"
         r.publish("sched/clamped_past", self.sched.clamped_past());

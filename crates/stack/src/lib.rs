@@ -30,7 +30,11 @@
 //! * [`conform`] — the conformance oracle: always-on protocol invariant
 //!   monitors for simulation builds plus the packetdrill-style `.pkt`
 //!   script interpreter (DESIGN.md §11).
+//! * [`collective`] — CAB-resident collectives: multicast fan-out down
+//!   source-rooted trees, log-depth tree barrier, and reduction
+//!   combining at interior CABs (DESIGN.md §16).
 
+pub mod collective;
 pub mod conform;
 pub mod icmp;
 pub mod ip;

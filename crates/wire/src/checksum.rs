@@ -284,6 +284,36 @@ pub fn crc32(data: &[u8]) -> u32 {
     !reg
 }
 
+/// Streaming CRC-32 accumulator: feed segments in wire order, then
+/// [`finish`](Crc32Accum::finish). Byte-identical to [`crc32`] over the
+/// concatenation — what split frames (shared-payload multicast
+/// replicas) use to cover head and tail without materializing a
+/// contiguous copy.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32Accum {
+    reg: u32,
+}
+
+impl Default for Crc32Accum {
+    fn default() -> Self {
+        Crc32Accum::new()
+    }
+}
+
+impl Crc32Accum {
+    pub fn new() -> Crc32Accum {
+        Crc32Accum { reg: 0xffff_ffff }
+    }
+
+    pub fn write(&mut self, data: &[u8]) {
+        self.reg = crc32_update_table(self.reg, data);
+    }
+
+    pub fn finish(self) -> u32 {
+        !self.reg
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,6 +408,22 @@ mod tests {
         assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414f_a339);
+    }
+
+    #[test]
+    fn crc32_streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..517u32).map(|i| (i.wrapping_mul(97) >> 3) as u8).collect();
+        for split in [0, 1, 16, 100, 516, 517] {
+            let mut acc = Crc32Accum::new();
+            acc.write(&data[..split]);
+            acc.write(&data[split..]);
+            assert_eq!(acc.finish(), crc32(&data), "split {split}");
+        }
+        let mut many = Crc32Accum::new();
+        for chunk in data.chunks(13) {
+            many.write(chunk);
+        }
+        assert_eq!(many.finish(), crc32(&data));
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Wire format for the CAB-resident collective protocol (multicast,
+//! tree barrier, reduction combining).
+//!
+//! The NIC-based collectives literature moves collective progress off
+//! the hosts and into the network interface; the Nectar CAB behind a
+//! low-latency crossbar is the same shape of platform. One datalink
+//! protocol number ([`crate::datalink::DatalinkProto::Collective`])
+//! carries three packet kinds:
+//!
+//! * `Multicast` — fan-out data along a source-rooted distribution
+//!   tree; intermediate CABs replicate to their children.
+//! * `Arrive` — a child subtree reports (combined) arrival upstream;
+//!   interior CABs merge children + self into one frame per subtree.
+//! * `Release` — the root's answer, fanned back down the tree. Doubles
+//!   as the acknowledgment for `Arrive`, so stragglers retransmit
+//!   `Arrive` until the release for their epoch comes back.
+//!
+//! `epoch` sequences successive barriers/reductions on one group;
+//! `value` carries the reduction operand (`op` selects sum/min/max,
+//! `None` for a pure barrier). All fields big-endian.
+
+use crate::{get_u16, get_u32, get_u64, put_u16, put_u32, put_u64, WireError};
+
+/// Collective header: 16 bytes, then an optional payload (multicast
+/// data; Arrive/Release usually carry none).
+pub const COLLECTIVE_HEADER_LEN: usize = 16;
+
+/// Collective packet kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum CollectiveKind {
+    /// Fan-out data distribution along the group tree.
+    Multicast = 1,
+    /// Upstream (combined) arrival report for `epoch`.
+    Arrive = 2,
+    /// Downstream release of `epoch`, carrying the combined value.
+    Release = 3,
+}
+
+/// Reduction operator combined at interior CABs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum CombineOp {
+    /// No combining — a pure barrier.
+    None = 0,
+    /// Wrapping u64 sum.
+    Sum = 1,
+    Min = 2,
+    Max = 3,
+}
+
+impl CombineOp {
+    /// The operator's identity element (the accumulator seed).
+    pub fn identity(self) -> u64 {
+        match self {
+            CombineOp::None | CombineOp::Sum => 0,
+            CombineOp::Min => u64::MAX,
+            CombineOp::Max => 0,
+        }
+    }
+
+    /// Combine two operands.
+    pub fn combine(self, a: u64, b: u64) -> u64 {
+        match self {
+            CombineOp::None => 0,
+            CombineOp::Sum => a.wrapping_add(b),
+            CombineOp::Min => a.min(b),
+            CombineOp::Max => a.max(b),
+        }
+    }
+}
+
+/// The collective header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CollectiveHeader {
+    pub kind: CollectiveKind,
+    pub op: CombineOp,
+    /// Group id — the key into each CAB's group table.
+    pub group: u16,
+    /// Barrier/reduction round. Stragglers from epoch N must never
+    /// release epoch N+1; per-epoch state keys off this.
+    pub epoch: u32,
+    /// Reduction operand (Arrive) or combined result (Release); unused
+    /// for multicast and pure barriers.
+    pub value: u64,
+}
+
+impl CollectiveHeader {
+    pub fn build(&self, payload: &[u8]) -> Vec<u8> {
+        let mut msg = vec![0u8; COLLECTIVE_HEADER_LEN + payload.len()];
+        msg[0] = self.kind as u8;
+        msg[1] = self.op as u8;
+        put_u16(&mut msg, 2, self.group);
+        put_u32(&mut msg, 4, self.epoch);
+        put_u64(&mut msg, 8, self.value);
+        msg[COLLECTIVE_HEADER_LEN..].copy_from_slice(payload);
+        msg
+    }
+
+    pub fn parse(data: &[u8]) -> Result<(CollectiveHeader, &[u8]), WireError> {
+        if data.len() < COLLECTIVE_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let kind = match data[0] {
+            1 => CollectiveKind::Multicast,
+            2 => CollectiveKind::Arrive,
+            3 => CollectiveKind::Release,
+            _ => return Err(WireError::BadField),
+        };
+        let op = match data[1] {
+            0 => CombineOp::None,
+            1 => CombineOp::Sum,
+            2 => CombineOp::Min,
+            3 => CombineOp::Max,
+            _ => return Err(WireError::BadField),
+        };
+        Ok((
+            CollectiveHeader {
+                kind,
+                op,
+                group: get_u16(data, 2),
+                epoch: get_u32(data, 4),
+                value: get_u64(data, 8),
+            },
+            &data[COLLECTIVE_HEADER_LEN..],
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds_and_ops() {
+        for kind in [CollectiveKind::Multicast, CollectiveKind::Arrive, CollectiveKind::Release] {
+            for op in [CombineOp::None, CombineOp::Sum, CombineOp::Min, CombineOp::Max] {
+                let h = CollectiveHeader {
+                    kind,
+                    op,
+                    group: 0x1234,
+                    epoch: 0xdead_beef,
+                    value: 0x0123_4567_89ab_cdef,
+                };
+                let msg = h.build(b"fanout payload");
+                let (parsed, payload) = CollectiveHeader::parse(&msg).unwrap();
+                assert_eq!(parsed, h);
+                assert_eq!(payload, b"fanout payload");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_and_bad_fields() {
+        let h = CollectiveHeader {
+            kind: CollectiveKind::Arrive,
+            op: CombineOp::Sum,
+            group: 1,
+            epoch: 2,
+            value: 3,
+        };
+        let msg = h.build(&[]);
+        assert_eq!(CollectiveHeader::parse(&msg[..8]), Err(WireError::Truncated));
+        let mut bad = msg.clone();
+        bad[0] = 9;
+        assert_eq!(CollectiveHeader::parse(&bad), Err(WireError::BadField));
+        let mut bad = msg;
+        bad[1] = 7;
+        assert_eq!(CollectiveHeader::parse(&bad), Err(WireError::BadField));
+    }
+
+    #[test]
+    fn combine_semantics() {
+        assert_eq!(CombineOp::Sum.combine(u64::MAX, 2), 1); // wrapping
+        assert_eq!(CombineOp::Min.combine(5, 3), 3);
+        assert_eq!(CombineOp::Max.combine(5, 3), 5);
+        for op in [CombineOp::Sum, CombineOp::Min, CombineOp::Max] {
+            assert_eq!(op.combine(op.identity(), 42), 42, "{op:?} identity");
+        }
+        assert_eq!(CombineOp::None.combine(1, 2), 0);
+    }
+}

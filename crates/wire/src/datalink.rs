@@ -45,6 +45,9 @@ pub enum DatalinkProto {
     /// Raw frames for the network-device mode of §5.1 (host-resident
     /// protocol stack; the CAB acts as a dumb interface).
     Raw = 5,
+    /// CAB-resident collectives: multicast fan-out, tree barrier, and
+    /// reduction combining (see [`crate::collective`]).
+    Collective = 6,
 }
 
 impl DatalinkProto {
@@ -55,6 +58,7 @@ impl DatalinkProto {
             3 => DatalinkProto::Rmp,
             4 => DatalinkProto::ReqResp,
             5 => DatalinkProto::Raw,
+            6 => DatalinkProto::Collective,
             _ => return Err(WireError::BadField),
         })
     }
@@ -86,9 +90,24 @@ pub struct DatalinkHeader {
 /// HUBs advance hops by bumping the field, which means a frame can
 /// traverse the whole network — build, HUB forwarding, CAB delivery —
 /// on one backing allocation even while clones of it exist.
+/// A frame comes in two storage shapes:
+///
+/// * *contiguous* — `buf` holds the whole wire image (route + header +
+///   payload + CRC trailer); `tail` is `None`. This is what
+///   [`Frame::build`] and [`Frame::from_bytes`] produce.
+/// * *split* — `buf` holds only route + header, `tail` holds the
+///   payload, and the CRC trailer lives in the `crc` field. This is
+///   what [`Frame::build_shared`] produces: every multicast replica
+///   gets a fresh ~20-byte head but shares one payload allocation, so
+///   fan-out at interior CABs never deep-copies the data.
 #[derive(Clone, Debug)]
 pub struct Frame {
     buf: FrameBuf,
+    /// Shared payload of a split frame; `None` for contiguous frames.
+    tail: Option<FrameBuf>,
+    /// CRC-32 trailer of a split frame; contiguous frames keep theirs
+    /// in the last 4 bytes of `buf`.
+    crc: u32,
     /// Authoritative `route_pos`; shadows byte 1 of `buf`.
     route_pos: u8,
 }
@@ -115,7 +134,40 @@ impl Frame {
         bytes.extend_from_slice(payload);
         let crc = checksum::crc32(&bytes[h..]);
         bytes.extend_from_slice(&crc.to_be_bytes());
-        Frame { buf: FrameBuf::new(bytes), route_pos: 0 }
+        Frame { buf: FrameBuf::new(bytes), tail: None, crc: 0, route_pos: 0 }
+    }
+
+    /// Assemble a *split* frame whose payload is a zero-copy view of
+    /// `payload`: only the route + header head is allocated; the
+    /// payload backing is shared (an `Rc` bump). The CRC is streamed
+    /// over header + payload exactly as [`Frame::build`] computes it,
+    /// so the two shapes are wire-identical (see
+    /// [`Frame::into_bytes`]). This is the multicast replication path:
+    /// one payload allocation serves every branch of the fan-out tree.
+    pub fn build_shared(route: &Route, header: DatalinkHeader, payload: &FrameBuf) -> Frame {
+        assert!(payload.len() <= u16::MAX as usize, "payload too large for frame");
+        let r = route.len();
+        let mut head = Vec::with_capacity(ROUTE_FIXED_LEN + r + HEADER_LEN);
+        head.push(r as u8);
+        head.push(0); // route_pos
+        head.extend_from_slice(route.hops());
+        let h = head.len();
+        head.resize(h + HEADER_LEN, 0);
+        put_u16(&mut head, h, header.dst_cab);
+        put_u16(&mut head, h + 2, header.src_cab);
+        head[h + 4] = header.proto as u8;
+        head[h + 5] = header.flags;
+        put_u16(&mut head, h + 6, payload.len() as u16);
+        put_u32(&mut head, h + 8, header.msg_id);
+        let mut acc = checksum::Crc32Accum::new();
+        acc.write(&head[h..]);
+        acc.write(payload.as_slice());
+        Frame {
+            buf: FrameBuf::new(head),
+            tail: Some(payload.clone()),
+            crc: acc.finish(),
+            route_pos: 0,
+        }
     }
 
     /// Wrap raw received bytes without validation (validation happens in
@@ -124,13 +176,23 @@ impl Frame {
     /// `route_pos` is lifted out of byte 1 into the overlay field.
     pub fn from_bytes(bytes: Vec<u8>) -> Frame {
         let route_pos = bytes.get(1).copied().unwrap_or(0);
-        Frame { buf: FrameBuf::new(bytes), route_pos }
+        Frame { buf: FrameBuf::new(bytes), tail: None, crc: 0, route_pos }
     }
 
     /// Materialize the on-wire bytes, writing the overlay `route_pos`
-    /// back into byte 1.
+    /// back into byte 1. A split frame serializes to the same byte
+    /// sequence a contiguous build would have produced.
     pub fn into_bytes(self) -> Vec<u8> {
-        let mut bytes = self.buf.to_vec();
+        let mut bytes = match &self.tail {
+            None => self.buf.to_vec(),
+            Some(tail) => {
+                let mut v = Vec::with_capacity(self.wire_len());
+                v.extend_from_slice(self.buf.as_slice());
+                v.extend_from_slice(tail.as_slice());
+                v.extend_from_slice(&self.crc.to_be_bytes());
+                v
+            }
+        };
         if bytes.len() > 1 {
             bytes[1] = self.route_pos;
         }
@@ -140,7 +202,10 @@ impl Frame {
     /// Total length on the wire, in bytes (what serialization delay is
     /// charged on).
     pub fn wire_len(&self) -> usize {
-        self.buf.len()
+        match &self.tail {
+            None => self.buf.len(),
+            Some(tail) => self.buf.len() + tail.len() + CRC_LEN,
+        }
     }
 
     fn route_len(&self) -> usize {
@@ -190,13 +255,28 @@ impl Frame {
     pub fn parse_header(&self) -> Result<DatalinkHeader, WireError> {
         let h = self.header_at();
         let b = self.buf.as_slice();
-        if b.len() < h + HEADER_LEN + CRC_LEN {
-            return Err(WireError::Truncated);
-        }
-        let payload_len = get_u16(b, h + 6);
-        if b.len() != h + HEADER_LEN + payload_len as usize + CRC_LEN {
-            return Err(WireError::BadLength);
-        }
+        let payload_len = match &self.tail {
+            None => {
+                if b.len() < h + HEADER_LEN + CRC_LEN {
+                    return Err(WireError::Truncated);
+                }
+                let payload_len = get_u16(b, h + 6);
+                if b.len() != h + HEADER_LEN + payload_len as usize + CRC_LEN {
+                    return Err(WireError::BadLength);
+                }
+                payload_len
+            }
+            Some(tail) => {
+                if b.len() < h + HEADER_LEN {
+                    return Err(WireError::Truncated);
+                }
+                let payload_len = get_u16(b, h + 6);
+                if b.len() != h + HEADER_LEN || payload_len as usize != tail.len() {
+                    return Err(WireError::BadLength);
+                }
+                payload_len
+            }
+        };
         Ok(DatalinkHeader {
             dst_cab: get_u16(b, h),
             src_cab: get_u16(b, h + 2),
@@ -211,7 +291,12 @@ impl Frame {
     pub fn payload(&self) -> Result<&[u8], WireError> {
         let h = self.header_at();
         let hdr = self.parse_header()?;
-        Ok(&self.buf.as_slice()[h + HEADER_LEN..h + HEADER_LEN + hdr.payload_len as usize])
+        match &self.tail {
+            None => {
+                Ok(&self.buf.as_slice()[h + HEADER_LEN..h + HEADER_LEN + hdr.payload_len as usize])
+            }
+            Some(tail) => Ok(tail.as_slice()),
+        }
     }
 
     /// The transport payload as a zero-copy view sharing this frame's
@@ -220,7 +305,10 @@ impl Frame {
     pub fn payload_buf(&self) -> Result<FrameBuf, WireError> {
         let h = self.header_at();
         let hdr = self.parse_header()?;
-        Ok(self.buf.slice(h + HEADER_LEN..h + HEADER_LEN + hdr.payload_len as usize))
+        match &self.tail {
+            None => Ok(self.buf.slice(h + HEADER_LEN..h + HEADER_LEN + hdr.payload_len as usize)),
+            Some(tail) => Ok(tail.clone()),
+        }
     }
 
     /// Verify the CRC-32 trailer over header + payload. Route bytes are
@@ -228,31 +316,72 @@ impl Frame {
     pub fn check_crc(&self) -> Result<(), WireError> {
         let h = self.header_at();
         let b = self.buf.as_slice();
-        if b.len() < h + HEADER_LEN + CRC_LEN {
-            return Err(WireError::Truncated);
-        }
-        let body = &b[h..b.len() - CRC_LEN];
-        let stored = get_u32(b, b.len() - CRC_LEN);
-        if checksum::crc32(body) == stored {
-            Ok(())
-        } else {
-            Err(WireError::BadChecksum)
+        match &self.tail {
+            None => {
+                if b.len() < h + HEADER_LEN + CRC_LEN {
+                    return Err(WireError::Truncated);
+                }
+                let body = &b[h..b.len() - CRC_LEN];
+                let stored = get_u32(b, b.len() - CRC_LEN);
+                if checksum::crc32(body) == stored {
+                    Ok(())
+                } else {
+                    Err(WireError::BadChecksum)
+                }
+            }
+            Some(tail) => {
+                if b.len() < h + HEADER_LEN {
+                    return Err(WireError::Truncated);
+                }
+                let mut acc = checksum::Crc32Accum::new();
+                acc.write(&b[h..]);
+                acc.write(tail.as_slice());
+                if acc.finish() == self.crc {
+                    Ok(())
+                } else {
+                    Err(WireError::BadChecksum)
+                }
+            }
         }
     }
 
     /// Flip a bit (fault-injection helper for tests and the lossy-link
     /// model). `bit` indexes into the whole frame. Corrupting the
     /// `route_pos` byte hits the overlay field; anything else copies the
-    /// shared bytes first, so clones of this frame are unaffected.
+    /// affected segment first, so clones of this frame — including
+    /// multicast replicas sharing a split frame's payload backing — are
+    /// unaffected.
     pub fn corrupt_bit(&mut self, bit: usize) {
-        let byte = (bit / 8) % self.buf.len();
-        let mask = 1 << (bit % 8);
+        let byte = (bit / 8) % self.wire_len();
+        let mask = 1u8 << (bit % 8);
         if byte == 1 {
             self.route_pos ^= mask;
-        } else {
-            let mut bytes = self.buf.to_vec();
-            bytes[byte] ^= mask;
-            self.buf = FrameBuf::new(bytes);
+            return;
+        }
+        match &self.tail {
+            None => {
+                let mut bytes = self.buf.to_vec();
+                bytes[byte] ^= mask;
+                self.buf = FrameBuf::new(bytes);
+            }
+            Some(tail) => {
+                if byte < self.buf.len() {
+                    let mut bytes = self.buf.to_vec();
+                    bytes[byte] ^= mask;
+                    self.buf = FrameBuf::new(bytes);
+                } else if byte < self.buf.len() + tail.len() {
+                    // copy-on-write: never write through the payload
+                    // backing shared with sibling replicas
+                    let mut bytes = tail.to_vec();
+                    bytes[byte - self.buf.len()] ^= mask;
+                    self.tail = Some(FrameBuf::new(bytes));
+                } else {
+                    // the CRC trailer of a split frame lives in the
+                    // `crc` field; flip the matching big-endian bit
+                    let crc_byte = byte - self.buf.len() - tail.len();
+                    self.crc ^= u32::from(mask) << (8 * (3 - crc_byte));
+                }
+            }
         }
     }
 }
@@ -422,9 +551,90 @@ mod tests {
             DatalinkProto::Rmp,
             DatalinkProto::ReqResp,
             DatalinkProto::Raw,
+            DatalinkProto::Collective,
         ] {
             assert_eq!(DatalinkProto::from_u8(p as u8).unwrap(), p);
         }
         assert!(DatalinkProto::from_u8(0).is_err());
+    }
+
+    #[test]
+    fn shared_build_matches_contiguous_wire_image() {
+        let route = Route::new(vec![2, 5]);
+        let payload = FrameBuf::new(b"multicast body".to_vec());
+        let shared = Frame::build_shared(&route, header(), &payload);
+        let contiguous = Frame::build(&route, header(), payload.as_slice());
+        assert_eq!(shared.wire_len(), contiguous.wire_len());
+        assert_eq!(shared.parse_header().unwrap(), contiguous.parse_header().unwrap());
+        shared.check_crc().unwrap();
+        assert_eq!(shared.payload().unwrap(), payload.as_slice());
+        // serializes to the identical byte sequence, and the bytes
+        // round-trip back through the contiguous receive path
+        let bytes = shared.clone().into_bytes();
+        assert_eq!(bytes, contiguous.into_bytes());
+        let back = Frame::from_bytes(bytes);
+        back.check_crc().unwrap();
+        assert_eq!(back.payload().unwrap(), payload.as_slice());
+    }
+
+    #[test]
+    fn multicast_replicas_share_payload_backing() {
+        // Fan-out at an interior CAB: N replicas down N subtrees must
+        // share ONE payload allocation — an Rc bump per branch, never a
+        // deep copy.
+        let payload = FrameBuf::new(vec![0xab; 512]);
+        let replicas: Vec<Frame> = (0..4)
+            .map(|i| Frame::build_shared(&Route::new(vec![i as u8]), header(), &payload))
+            .collect();
+        assert!(payload.backing_refcount() > 1, "replication must not deep-copy");
+        for f in &replicas {
+            let view = f.payload_buf().unwrap();
+            assert!(view.shares_backing(&payload), "replica payload must share the source backing");
+            f.check_crc().unwrap();
+        }
+        // 1 source + 4 replica tails + 4 payload_buf views dropped above
+        assert_eq!(payload.backing_refcount(), 1 + replicas.len());
+    }
+
+    #[test]
+    fn corrupt_replica_copy_on_writes_payload() {
+        let payload = FrameBuf::new(b"shared across the tree".to_vec());
+        let mut victim = Frame::build_shared(&Route::new(vec![1]), header(), &payload);
+        let sibling = Frame::build_shared(&Route::new(vec![2]), header(), &payload);
+
+        // flip a payload bit on one replica
+        let payload_bit = (victim.wire_len() - CRC_LEN - 1) * 8;
+        victim.corrupt_bit(payload_bit);
+        assert!(victim.check_crc().is_err(), "flip must damage the corrupted replica");
+        assert!(
+            !victim.payload_buf().unwrap().shares_backing(&payload),
+            "corruption must detach the victim from the shared backing"
+        );
+        // … without touching the sibling replica or the source buffer
+        sibling.check_crc().unwrap();
+        assert_eq!(sibling.payload().unwrap(), b"shared across the tree");
+        assert_eq!(payload.as_slice(), b"shared across the tree");
+
+        // flipping a CRC-trailer bit of a split frame is detected too
+        let mut trailer = Frame::build_shared(&Route::new(vec![3]), header(), &payload);
+        trailer.corrupt_bit((trailer.wire_len() - 1) * 8);
+        assert!(trailer.check_crc().is_err());
+        sibling.check_crc().unwrap();
+    }
+
+    #[test]
+    fn shared_corruption_detected_by_crc() {
+        let payload = FrameBuf::new(b"payload bytes here".to_vec());
+        let f0 = Frame::build_shared(&Route::new(vec![1]), header(), &payload);
+        let start = (2 + 1) * 8;
+        let end = f0.wire_len() * 8;
+        for bit in start..end {
+            let mut f = f0.clone();
+            f.corrupt_bit(bit);
+            assert!(
+                f.check_crc().is_err() || f.parse_header().is_err(),
+                "undetected corruption at bit {bit}"
+            );
+        }
     }
 }

@@ -59,6 +59,19 @@ impl FrameBuf {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_slice().to_vec()
     }
+
+    /// How many [`FrameBuf`] views share this backing allocation. The
+    /// zero-copy fan-out tests assert multicast replicas keep this > 1
+    /// (shared storage) and copy-on-write corruption leaves siblings
+    /// untouched.
+    pub fn backing_refcount(&self) -> usize {
+        Rc::strong_count(&self.data)
+    }
+
+    /// Do two views share one backing allocation?
+    pub fn shares_backing(&self, other: &FrameBuf) -> bool {
+        Rc::ptr_eq(&self.data, &other.data)
+    }
 }
 
 impl From<Vec<u8>> for FrameBuf {

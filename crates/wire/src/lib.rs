@@ -24,6 +24,7 @@
 //! format property-testable in isolation.
 
 pub mod checksum;
+pub mod collective;
 pub mod datalink;
 pub mod framebuf;
 pub mod icmp;
@@ -33,7 +34,7 @@ pub mod route;
 pub mod tcp;
 pub mod udp;
 
-pub use checksum::{crc32, internet_checksum, ChecksumAccum};
+pub use checksum::{crc32, internet_checksum, ChecksumAccum, Crc32Accum};
 pub use datalink::{DatalinkHeader, DatalinkProto, Frame};
 pub use framebuf::FrameBuf;
 
@@ -78,4 +79,14 @@ pub(crate) fn put_u16(b: &mut [u8], at: usize, v: u16) {
 
 pub(crate) fn put_u32(b: &mut [u8], at: usize, v: u32) {
     b[at..at + 4].copy_from_slice(&v.to_be_bytes());
+}
+
+pub(crate) fn get_u64(b: &[u8], at: usize) -> u64 {
+    let mut bytes = [0u8; 8];
+    bytes.copy_from_slice(&b[at..at + 8]);
+    u64::from_be_bytes(bytes)
+}
+
+pub(crate) fn put_u64(b: &mut [u8], at: usize, v: u64) {
+    b[at..at + 8].copy_from_slice(&v.to_be_bytes());
 }

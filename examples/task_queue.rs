@@ -1,30 +1,48 @@
 //! §5.3 "Application-level Communication Engine": a divide-and-conquer
-//! task queue where the *workers run on the communication processors*.
+//! task queue where the *workers run on the communication processors*,
+//! coordinated by the in-network collectives (ISSUE 10).
 //!
-//! A master process on host 0 farms work items (chunks of a numeric
-//! reduction) to application threads running on the other CABs via the
-//! request-response protocol, and gathers partial results — the
-//! Noodles / COSMOS usage pattern the paper describes.
+//! A master process on host 0 no longer dispatches per-task requests.
+//! Instead a coordinator thread on CAB 0 — the root of a combining
+//! tree over all worker CABs — *multicasts* each phase descriptor down
+//! the tree, every worker computes its slice and *arrives* at the tree
+//! barrier carrying its partial sum, and interior CABs combine on the
+//! way up so the root receives one frame per child subtree. The
+//! combined phase total pops out of the barrier release; the host
+//! master just folds the per-phase totals. This is the Noodles /
+//! COSMOS usage pattern with the coordination moved into the fabric.
 //!
 //!     cargo run -p nectar-examples --bin task_queue -- --workers 4 --tasks 64
 
 use std::cell::Cell;
 use std::rc::Rc;
 
-use nectar::cab::reqs::{self, rr_deliver_decode, rr_response_decode, SendReq};
-use nectar::cab::{CabThread, Cx, HostOpMode, Step, WouldBlock};
+use nectar::cab::proto::{coll_arrive, coll_multicast};
+use nectar::cab::reqs::CollNote;
+use nectar::cab::{CabThread, Cx, HostOpMode, MboxId, Step, WouldBlock};
+use nectar::collective::CollectiveGroup;
 use nectar::config::Config;
 use nectar::host::{HostCx, HostProcess, HostStep};
 use nectar::sim::{SimDuration, SimTime};
+use nectar::wire::collective::CombineOp;
 use nectar::world::World;
 use nectar_examples::arg;
 
-/// A worker thread on a CAB: serves compute requests from its service
-/// mailbox. Each request carries a range [lo, hi); the reply is the
-/// sum of squares over it. The compute burst charges simulated CPU
-/// time proportional to the range.
+/// The collective group id shared by coordinator and workers.
+const GROUP: u16 = 1;
+
+/// A worker thread on a CAB: waits for a phase descriptor to arrive by
+/// multicast, computes its slice (task id = phase × workers + rank),
+/// and contributes the partial sum of squares to the tree barrier.
+/// The compute burst charges simulated CPU time proportional to the
+/// range, exactly as the request-response version did.
 struct Worker {
-    service: u16,
+    note_mbox: MboxId,
+    rank: u64,
+    nworkers: u64,
+    tasks: u64,
+    chunk: u64,
+    epochs: u32,
 }
 
 impl CabThread for Worker {
@@ -33,64 +51,105 @@ impl CabThread for Worker {
     }
 
     fn run(&mut self, cx: &mut Cx<'_>) -> Step {
-        match cx.begin_get(self.service) {
-            Err(WouldBlock::Empty(c)) | Err(WouldBlock::NoSpace(c)) => Step::Block(c),
-            Ok(msg) => {
-                let bytes = cx.shared.msg_bytes(&msg).to_vec();
-                cx.end_get(self.service, msg);
-                let Some((client_cab, reply_mbox, req_id, payload)) = rr_deliver_decode(&bytes)
-                else {
-                    return Step::Yield;
-                };
-                let lo = u64::from_be_bytes(payload[..8].try_into().unwrap());
-                let hi = u64::from_be_bytes(payload[8..16].try_into().unwrap());
-                // the actual computation, with simulated CPU time
-                let mut acc: u64 = 0;
-                for v in lo..hi {
-                    acc = acc.wrapping_add(v.wrapping_mul(v));
-                }
-                cx.charge(SimDuration::from_nanos(200) * (hi - lo));
-                // reply through the request-response protocol
-                let mut acts = Vec::new();
-                let server = cx.proto.rr_servers.entry(self.service).or_default();
-                server.reply(client_cab, reply_mbox, req_id, acc.to_be_bytes().to_vec(), &mut acts);
-                for act in acts {
-                    if let nectar::stack::reqresp::RrServerAction::Transmit { dst_cab, packet } =
-                        act
-                    {
-                        cx.charge(cx.costs.reqresp_proc);
-                        cx.datalink_send(
-                            dst_cab,
-                            nectar::wire::datalink::DatalinkProto::ReqResp,
-                            0,
-                            &packet,
-                        );
+        for _ in 0..cx.proto.burst_limit {
+            if !cx.mbox_pending(self.note_mbox) {
+                return Step::Block(cx.mbox_cond(self.note_mbox));
+            }
+            match cx.begin_get(self.note_mbox) {
+                Err(WouldBlock::Empty(c)) | Err(WouldBlock::NoSpace(c)) => return Step::Block(c),
+                Ok(msg) => {
+                    let bytes = cx.shared.msg_bytes(&msg).to_vec();
+                    cx.end_get(self.note_mbox, msg);
+                    match CollNote::decode(&bytes) {
+                        Some(CollNote::Deliver { group: GROUP, payload }) => {
+                            let phase = u32::from_be_bytes(payload[..4].try_into().unwrap()) as u64;
+                            // my slice of this phase, if any — the last
+                            // phase may be ragged when workers ∤ tasks
+                            let t = phase * self.nworkers + self.rank;
+                            let mut acc: u64 = 0;
+                            if t < self.tasks {
+                                let lo = t * self.chunk;
+                                let hi = lo + self.chunk;
+                                for v in lo..hi {
+                                    acc = acc.wrapping_add(v.wrapping_mul(v));
+                                }
+                                cx.charge(SimDuration::from_nanos(200) * self.chunk);
+                            }
+                            coll_arrive(cx, GROUP, CombineOp::Sum, acc);
+                        }
+                        Some(CollNote::Completed { group: GROUP, epoch, .. })
+                            if epoch + 1 >= self.epochs =>
+                        {
+                            return Step::Done;
+                        }
+                        _ => {}
                     }
                 }
-                Step::Yield
             }
         }
+        Step::Yield
     }
 }
 
-/// The master on host 0: dispatches tasks round-robin, gathers sums.
-///
-/// A request-response reply mailbox binds to exactly one server
-/// (replies carry only (reply_mbox, req_id), so fanning out to several
-/// workers through one mailbox would collide on req_id — the protocol
-/// refuses the rebind while calls are outstanding). The master
-/// therefore keeps one reply mailbox per worker, paired by index.
+/// The tree root on CAB 0: multicasts each phase descriptor, arrives
+/// with a zero contribution, and forwards every combined phase total
+/// to the host master's result mailbox.
+struct Coordinator {
+    note_mbox: MboxId,
+    result_mbox: MboxId,
+    epochs: u32,
+    started: bool,
+}
+
+impl CabThread for Coordinator {
+    fn name(&self) -> &'static str {
+        "coordinator"
+    }
+
+    fn run(&mut self, cx: &mut Cx<'_>) -> Step {
+        if !self.started {
+            self.started = true;
+            coll_multicast(cx, GROUP, &0u32.to_be_bytes());
+            coll_arrive(cx, GROUP, CombineOp::Sum, 0);
+        }
+        for _ in 0..cx.proto.burst_limit {
+            if !cx.mbox_pending(self.note_mbox) {
+                return Step::Block(cx.mbox_cond(self.note_mbox));
+            }
+            match cx.begin_get(self.note_mbox) {
+                Err(WouldBlock::Empty(c)) | Err(WouldBlock::NoSpace(c)) => return Step::Block(c),
+                Ok(msg) => {
+                    let bytes = cx.shared.msg_bytes(&msg).to_vec();
+                    cx.end_get(self.note_mbox, msg);
+                    if let Some(CollNote::Completed { group: GROUP, epoch, value }) =
+                        CollNote::decode(&bytes)
+                    {
+                        let mut note = Vec::with_capacity(12);
+                        note.extend_from_slice(&epoch.to_be_bytes());
+                        note.extend_from_slice(&value.to_be_bytes());
+                        let _ = cx.put_message(self.result_mbox, &note);
+                        if epoch + 1 >= self.epochs {
+                            return Step::Done;
+                        }
+                        coll_multicast(cx, GROUP, &(epoch + 1).to_be_bytes());
+                        coll_arrive(cx, GROUP, CombineOp::Sum, 0);
+                    }
+                }
+            }
+        }
+        Step::Yield
+    }
+}
+
+/// The master on host 0: folds the per-phase totals the coordinator
+/// posts — no dispatch loop, the fabric runs the phases.
 struct Master {
-    workers: Vec<(u16, u16, u16)>, // (cab, service mailbox, reply mailbox)
-    tasks: u64,
-    chunk: u64,
-    dispatched: u64,
-    gathered: u64,
+    result_mbox: MboxId,
+    epochs: u32,
+    gathered: u32,
     total: Rc<Cell<u64>>,
     done: Rc<Cell<bool>>,
     finished_at: Rc<Cell<u64>>,
-    outstanding: u32,
-    started: bool,
 }
 
 impl HostProcess for Master {
@@ -99,41 +158,17 @@ impl HostProcess for Master {
     }
 
     fn run(&mut self, cx: &mut HostCx<'_>) -> HostStep {
-        if !self.started {
-            self.started = true;
-            return HostStep::Yield;
-        }
-        // gather replies from every worker's reply mailbox
-        for &(_, _, reply) in &self.workers {
-            while let Some((_, bytes)) = cx.get_message(reply) {
-                if let Some((_req, payload)) = rr_response_decode(&bytes) {
-                    let part = u64::from_be_bytes(payload[..8].try_into().unwrap());
-                    self.total.set(self.total.get().wrapping_add(part));
-                    self.gathered += 1;
-                    self.outstanding -= 1;
-                }
+        while let Some((_, bytes)) = cx.get_message(self.result_mbox) {
+            if bytes.len() >= 12 {
+                let value = u64::from_be_bytes(bytes[4..12].try_into().unwrap());
+                self.total.set(self.total.get().wrapping_add(value));
+                self.gathered += 1;
             }
         }
-        if self.gathered == self.tasks {
+        if self.gathered == self.epochs {
             self.done.set(true);
             self.finished_at.set(cx.now().as_nanos());
             return HostStep::Done;
-        }
-        // keep a bounded number of tasks in flight per worker
-        while self.dispatched < self.tasks && self.outstanding < 2 * self.workers.len() as u32 {
-            let w = &self.workers[(self.dispatched as usize) % self.workers.len()];
-            let lo = self.dispatched * self.chunk;
-            let hi = lo + self.chunk;
-            let mut payload = Vec::with_capacity(16);
-            payload.extend_from_slice(&lo.to_be_bytes());
-            payload.extend_from_slice(&hi.to_be_bytes());
-            let req = SendReq { dst_cab: w.0, dst_mbox: w.1, src_mbox: w.2 };
-            if cx.put_message(reqs::MB_RR_SEND, &req.encode(&payload)).is_ok() {
-                self.dispatched += 1;
-                self.outstanding += 1;
-            } else {
-                break;
-            }
         }
         HostStep::Yield
     }
@@ -143,30 +178,47 @@ fn main() {
     let workers: usize = arg("--workers", 4);
     let tasks: u64 = arg("--tasks", 64);
     let chunk: u64 = 1000;
+    // one phase runs `workers` tasks in lockstep; the last may be ragged
+    let epochs = tasks.div_ceil(workers as u64) as u32;
 
     let (mut world, mut sim) = World::single_hub(Config::default(), workers + 1);
-    let mut targets = Vec::new();
-    for w in 1..=workers {
-        let svc = world.cabs[w].shared.create_mailbox(false, HostOpMode::SharedMemory);
-        world.cabs[w].fork_app(Box::new(Worker { service: svc }));
-        let reply = world.cabs[0].shared.create_mailbox(true, HostOpMode::SharedMemory);
-        targets.push((w as u16, svc, reply));
+
+    // CAB 0 is the tree root, workers hang below it (fan-out 4)
+    let members: Vec<u16> = (0..=workers as u16).collect();
+    let group = CollectiveGroup::tree(GROUP, members, 4);
+    let mboxes = group.deploy(&mut world);
+
+    for (w, &mb) in mboxes.iter().enumerate().skip(1) {
+        world.cabs[w].fork_app(Box::new(Worker {
+            note_mbox: mb,
+            rank: w as u64 - 1,
+            nworkers: workers as u64,
+            tasks,
+            chunk,
+            epochs,
+        }));
     }
+
+    let result_mbox = world.cabs[0].shared.create_mailbox(true, HostOpMode::SharedMemory);
+    world.cabs[0].fork_app(Box::new(Coordinator {
+        note_mbox: mboxes[0],
+        result_mbox,
+        epochs,
+        started: false,
+    }));
+
     let total = Rc::new(Cell::new(0u64));
     let done = Rc::new(Cell::new(false));
     let finished_at = Rc::new(Cell::new(0u64));
     world.hosts[0].spawn(Box::new(Master {
-        workers: targets,
-        tasks,
-        chunk,
-        dispatched: 0,
+        result_mbox,
+        epochs,
         gathered: 0,
         total: total.clone(),
         done: done.clone(),
         finished_at: finished_at.clone(),
-        outstanding: 0,
-        started: false,
     }));
+
     let t0 = SimTime::ZERO;
     world.run_until(&mut sim, t0 + SimDuration::from_secs(60));
     assert!(done.get(), "task queue did not drain");
@@ -177,10 +229,12 @@ fn main() {
     assert_eq!(total.get(), expected, "distributed result must match sequential");
 
     println!("task queue: {tasks} tasks x {chunk} elements over {workers} CAB-resident workers");
+    println!("  phases          : {epochs} (multicast down, sum-combined up)");
     println!("  result          : {:#x} (verified against sequential)", total.get());
     let _ = t0;
     println!("  simulated time  : {}", SimDuration::from_nanos(finished_at.get()));
     println!();
-    println!("the workers ran as application threads on the communication");
-    println!("processors themselves — §5.3's application-level engine.");
+    println!("each phase was one multicast down the combining tree and one");
+    println!("tree-barrier reduction back up — §5.3's application-level");
+    println!("engine, with the coordination done inside the fabric.");
 }

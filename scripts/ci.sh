@@ -166,4 +166,50 @@ print("ci: scale artifact ok:", ", ".join(
     f"| chaos {c['responses']}/{c['intended']} under loss, conserved")
 EOF
 
+# collective smoke: the quick tree-vs-chain sweep (16 and 256 members)
+# must emit a well-formed BENCH_collective.json, byte-identical across
+# two runs, and the combining tree must beat the linear gather at the
+# largest fleet swept. --full adds the 2048-member folded-Clos size.
+coll_args=(--quick)
+if [[ "${1:-}" == "--full" ]]; then
+    coll_args=()
+fi
+echo "ci: collective sweep smoke (double run, byte-compared)"
+NECTAR_BENCH_DIR="$smoke_dir/coll1" \
+    cargo bench -p nectar-bench --bench collective -- "${coll_args[@]+"${coll_args[@]}"}"
+NECTAR_BENCH_DIR="$smoke_dir/coll2" \
+    cargo bench -p nectar-bench --bench collective -- "${coll_args[@]+"${coll_args[@]}"}"
+cmp "$smoke_dir/coll1/BENCH_collective.json" "$smoke_dir/coll2/BENCH_collective.json" \
+    || { echo "ci: BENCH_collective.json differs between same-seed runs"; exit 1; }
+python3 - "$smoke_dir/coll1/BENCH_collective.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+fleets = r["fleets"]
+assert len(fleets) >= 2, f"BENCH_collective.json: only {len(fleets)} fleet sizes"
+sizes = [f["fleet"] for f in fleets]
+assert sizes == sorted(sizes) and len(set(sizes)) == len(sizes), \
+    f"fleet sizes not strictly growing: {sizes}"
+assert sizes[-1] >= 256, f"largest fleet {sizes[-1]} below the 256-member bar"
+for f in fleets:
+    for shape in ("tree", "chain"):
+        s = f[shape]
+        assert s["per_epoch_ns"] > 0, f"{f['label']}/{shape}: no latency recorded"
+        n = f["fleet"]
+        assert s["reduced_value"] == n * (n + 1) // 2, \
+            f"{f['label']}/{shape}: wrong reduction value"
+    assert f["tree"]["depth"] < f["chain"]["depth"], \
+        f"{f['label']}: tree not log-depth"
+    # interior combining: the root hears one Arrive per child per
+    # epoch, never one per descendant
+    assert f["tree"]["root_arrives_rx"] <= r["fanout"] * r["epochs"], \
+        f"{f['label']}: root heard uncombined arrives"
+largest = fleets[-1]
+assert largest["tree"]["per_epoch_ns"] < largest["chain"]["per_epoch_ns"], \
+    f"{largest['label']}: combining tree no faster than the linear gather"
+print("ci: collective artifact ok:", ", ".join(
+    f"{f['label']} tree {f['tree']['per_epoch_ns'] // 1000} µs "
+    f"vs chain {f['chain']['per_epoch_ns'] // 1000} µs" for f in fleets))
+EOF
+
 echo "ci: all green"

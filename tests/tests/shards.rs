@@ -257,3 +257,117 @@ fn fast_mode_conserves_frames_at_quiescence() {
         assert!(delivered > 0, "RMP made no progress at {shards} shards");
     }
 }
+
+/// ISSUE 10: the in-network collective engine under the shard contract.
+/// A 16-member reduction tree spanning both HUB domains — Arrive
+/// combining at interior CABs, Release fan-out, straggler timers —
+/// must leave the merged metric snapshot byte-identical to the
+/// unsharded run at shards = 1, 2 and 4.
+#[test]
+fn det_mode_matches_unsharded_with_collectives() {
+    use nectar::collective::{deploy_barrier_fleet, CollectiveGroup};
+    use nectar_wire::collective::CombineOp;
+
+    let epochs = 3u32;
+    let deadline = SimTime::ZERO + SimDuration::from_millis(200);
+    let build = |handles: &mut Vec<Vec<nectar::collective::MemberHandles>>| {
+        let (mut world, sim) = World::new(Config::default(), Topology::two_hubs(26));
+        let group = CollectiveGroup::tree(5, (0..16).collect(), 4);
+        handles.push(deploy_barrier_fleet(&mut world, &group, CombineOp::Sum, epochs, |i| {
+            i as u64 + 1
+        }));
+        (world, sim)
+    };
+
+    let mut solo = Vec::new();
+    let (mut world, mut sim) = build(&mut solo);
+    world.run_until(&mut sim, deadline);
+    let want = world.metrics_json();
+    assert!(solo[0].iter().all(|h| h.done.get() && h.last_value.get() == 136));
+
+    for shards in [1, 2, 4] {
+        let mut handle_sets = Vec::new();
+        let mut sw = ShardedWorld::build(shards, || build(&mut handle_sets));
+        sw.run_until(deadline);
+        assert!(
+            sw.metrics_json() == want,
+            "collective {shards}-shard run diverged from single-thread"
+        );
+        // each member runs on whichever shard owns its CAB; merge the
+        // replicated handle sets to confirm the barrier completed
+        for i in 0..16 {
+            assert!(
+                handle_sets.iter().any(|h| h[i].done.get()),
+                "member {i} never finished at {shards} shards"
+            );
+            let value = handle_sets.iter().map(|h| h[i].last_value.get()).max().unwrap();
+            assert_eq!(value, 136, "member {i} reduction diverged at {shards} shards");
+        }
+    }
+}
+
+/// Chaos composition: a barrier fleet sharing the fabric with the
+/// pairwise RMP/TCP load, 2% uniform frame loss on every fiber and the
+/// conformance oracle armed, under the sharded kernel. The barrier
+/// must complete every epoch with the exact sum, the streams must
+/// deliver, and the ledger must balance with collective replication
+/// and injected loss as explicit terms.
+#[test]
+fn collective_barrier_composes_with_chaos_under_shards() {
+    use nectar::collective::{deploy_barrier_fleet, CollectiveGroup};
+    use nectar::fault::{FaultScript, LinkPlan};
+    use nectar_wire::collective::CombineOp;
+
+    let topo = Topology::two_hubs(26);
+    let heal = SimTime::ZERO + SimDuration::from_millis(400);
+    let script = FaultScript::uniform(
+        &topo,
+        LinkPlan { loss: 0.02, until: Some(heal), ..LinkPlan::default() },
+    );
+    let mut config = Config { oracle: Some(true), ..Config::default() };
+    config.rmp.rto_max = SimDuration::from_millis(20);
+    config.rmp.max_retries = 64;
+
+    const BYTES_PER_PAIR: u64 = 4 * 1024;
+    let epochs = 5u32;
+    let mut handle_sets = Vec::new();
+    let mut load_sets = Vec::new();
+    let mut sw = ShardedWorld::build(2, || {
+        let (mut world, mut sim) = World::new(config, Topology::two_hubs(26));
+        world.install_fault_script(&mut sim, &script);
+        load_sets.push(two_hub_pair_load(&mut world, BYTES_PER_PAIR, 1024));
+        let group = CollectiveGroup::tree(3, (0..16).collect(), 4);
+        handle_sets.push(deploy_barrier_fleet(&mut world, &group, CombineOp::Sum, epochs, |i| {
+            i as u64 + 1
+        }));
+        (world, sim)
+    });
+    sw.run_until(SimTime::ZERO + SimDuration::from_secs(10));
+
+    // barrier: every member done with the exact sum, despite loss
+    for i in 0..16 {
+        assert!(handle_sets.iter().any(|h| h[i].done.get()), "member {i} stuck under chaos");
+        assert!(handle_sets.iter().all(|h| !h[i].failed.get()), "member {i} gave up");
+        let value = handle_sets.iter().map(|h| h[i].last_value.get()).max().unwrap();
+        assert_eq!(value, 136, "member {i} reduced wrong value under chaos");
+    }
+    // unicast load: every stream delivered its bytes post-heal
+    let pairs = load_sets[0].len();
+    for i in 0..pairs {
+        let received: u64 = load_sets.iter().map(|h| h[i].0.get()).sum();
+        assert_eq!(received, BYTES_PER_PAIR, "stream {i} short under chaos");
+    }
+    // ledger: launched = sinks with replication and injected loss
+    let snap = sw.metrics();
+    let g = |k: &str| snap.get(k).unwrap_or(0);
+    assert!(g("net/frames_lost_injected") > 0, "loss never fired");
+    assert!(g("net/collective/replicas") > 0, "no fan-out in the composed run");
+    let launched = g("net/frames_launched");
+    let sinks = g("net/frames_lost_injected")
+        + g("net/frames_dead_end")
+        + g("net/fault/frames_down_dropped")
+        + snap.sum_matching("hub/", "/dropped_frames")
+        + snap.sum_matching("node/", "/link/rx_frames")
+        + snap.sum_matching("node/", "/link/rx_fifo_dropped_frames");
+    assert_eq!(launched, sinks, "conservation broke with collectives under chaos");
+}
